@@ -1,0 +1,39 @@
+//! Criterion bench: circuit-level models (Figs. 7, 10, 11, 12; Tables 3, 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_circuit::{AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, SenseAmpVariation, Wire};
+use std::hint::black_box;
+
+fn bench_link_models(c: &mut Criterion) {
+    c.bench_function("lowswing_link_energy_and_speed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for length in [0.5, 1.0, 1.5, 2.0] {
+                let link = LowSwingLink::new(Wire::link_45nm(black_box(length)), 0.3);
+                acc += link.energy_per_bit_fj() + link.max_frequency_ghz();
+            }
+            acc
+        });
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let model = SenseAmpVariation::chip_45nm();
+    c.bench_function("sense_amp_monte_carlo_1000_runs", |b| {
+        b.iter(|| black_box(model.monte_carlo(0.3, 1000, 42)));
+    });
+}
+
+fn bench_static_reports(c: &mut Criterion) {
+    c.bench_function("timing_area_eye_reports", |b| {
+        b.iter(|| {
+            let t = CriticalPathModel::chip_45nm().table3();
+            let a = AreaModel::chip_45nm().table4();
+            let e = EyeAnalysis::repeated_2mm().eye_height_v(2.5, 1.3);
+            black_box((t, a, e))
+        });
+    });
+}
+
+criterion_group!(benches, bench_link_models, bench_monte_carlo, bench_static_reports);
+criterion_main!(benches);

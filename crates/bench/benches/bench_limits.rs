@@ -1,0 +1,31 @@
+//! Criterion bench: analytical limits and chip models (Tables 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_topology::chips;
+use noc_topology::limits::{DatapathEnergy, MeshLimits};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_limits_k4_to_k16", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 2..=16u16 {
+                let l = MeshLimits::new(black_box(k));
+                acc += l.unicast_average_hops()
+                    + l.broadcast_average_hops()
+                    + l.unicast_energy_limit_pj(DatapathEnergy::default())
+                    + l.broadcast_energy_limit_pj(DatapathEnergy::default());
+            }
+            acc
+        });
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_chip_rows", |b| {
+        b.iter(|| black_box(chips::table2()));
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: whole-network simulation throughput (cycles/second of
+//! simulated 4x4 mesh), the cost behind Figs. 5 and 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh_noc::{Network, NetworkVariant, NocConfig};
+use noc_traffic::TrafficMix;
+use std::hint::black_box;
+
+fn run(config: NocConfig, rate: f64, cycles: u64) -> u64 {
+    let mut network = Network::new(config, rate).unwrap();
+    for _ in 0..cycles {
+        network.step(true);
+    }
+    network.counters().link_traversals
+}
+
+fn bench_proposed_mixed(c: &mut Criterion) {
+    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+    c.bench_function("network_proposed_mixed_500_cycles", |b| {
+        b.iter(|| black_box(run(config, 0.1, 500)));
+    });
+}
+
+fn bench_baseline_mixed(c: &mut Criterion) {
+    let config = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
+    c.bench_function("network_baseline_mixed_500_cycles", |b| {
+        b.iter(|| black_box(run(config, 0.1, 500)));
+    });
+}
+
+fn bench_broadcast_only(c: &mut Criterion) {
+    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
+        .unwrap()
+        .with_mix(TrafficMix::broadcast_only());
+    c.bench_function("network_proposed_broadcast_500_cycles", |b| {
+        b.iter(|| black_box(run(config, 0.05, 500)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_proposed_mixed, bench_baseline_mixed, bench_broadcast_only
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: power-model evaluation (Figs. 6 and 8 pricing path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_power::{EnergyParams, MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator};
+use noc_sim::ActivityCounters;
+use std::hint::black_box;
+
+fn busy_counters() -> ActivityCounters {
+    ActivityCounters {
+        buffer_writes: 50_000,
+        buffer_reads: 50_000,
+        crossbar_traversals: 200_000,
+        link_traversals: 150_000,
+        local_link_traversals: 60_000,
+        sa_local_arbitrations: 80_000,
+        sa_global_arbitrations: 90_000,
+        vc_allocations: 40_000,
+        route_computations: 40_000,
+        lookaheads_sent: 150_000,
+        bypasses: 100_000,
+        credits_sent: 150_000,
+        multicast_forks: 10_000,
+        ejections: 50_000,
+        cycles: 160_000,
+        routers: 16,
+    }
+}
+
+fn bench_three_models(c: &mut Criterion) {
+    let counters = busy_counters();
+    let measured = MeasuredPowerModel::new(EnergyParams::chip_low_swing());
+    let orion = OrionPowerModel::new(EnergyParams::chip_low_swing());
+    let post = PostLayoutPowerModel::new(EnergyParams::chip_low_swing());
+    c.bench_function("price_activity_with_three_models", |b| {
+        b.iter(|| {
+            let m = measured.estimate(black_box(&counters), 10_000, 1.0).total_mw();
+            let o = orion.estimate(black_box(&counters), 10_000, 1.0).total_mw();
+            let p = post.estimate(black_box(&counters), 10_000, 1.0).total_mw();
+            black_box(m + o + p)
+        });
+    });
+}
+
+criterion_group!(benches, bench_three_models);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: single-router switch allocation and traversal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_router::{Lookahead, Router, RouterConfig};
+use noc_topology::{routing, Mesh};
+use noc_types::{Coord, Credit, DestinationSet, MessageClass, Packet, PacketKind, Port};
+use std::hint::black_box;
+
+fn unicast_flit(id: u64) -> noc_types::Flit {
+    let p = Packet::new(id, 0, DestinationSet::unicast(7), PacketKind::Request, 0);
+    let mut f = p.to_flits().remove(0);
+    f.set_vc((id % 4) as u8);
+    f
+}
+
+fn bench_bypass_hop(c: &mut Criterion) {
+    let mesh = Mesh::new(4).unwrap();
+    c.bench_function("router_bypassed_hop", |b| {
+        b.iter_batched(
+            || Router::new(&RouterConfig::proposed(true), mesh, Coord::new(1, 1)),
+            |mut router| {
+                for i in 0..100u64 {
+                    let flit = unicast_flit(i);
+                    let ports = routing::requested_ports(&mesh, router.coord(), flit.destinations());
+                    let la = Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports);
+                    router.accept_flit(Port::West, flit);
+                    router.accept_lookahead(Port::West, la);
+                    let out = black_box(router.step(i));
+                    // Model an always-ready downstream router: return the
+                    // credit for every departed flit so flow control never
+                    // stalls the benchmark loop.
+                    for departure in &out.departures {
+                        if let Some(vc) = departure.flit.vc() {
+                            router.accept_credit(departure.port, Credit::new(MessageClass::Request, vc));
+                        }
+                    }
+                }
+                router
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_buffered_hop(c: &mut Criterion) {
+    let mesh = Mesh::new(4).unwrap();
+    c.bench_function("router_buffered_hop", |b| {
+        b.iter_batched(
+            || Router::new(&RouterConfig::aggressive_baseline(), mesh, Coord::new(1, 1)),
+            |mut router| {
+                for i in 0..100u64 {
+                    // Inject a new flit only when its VC has drained, exactly
+                    // as an upstream router limited by credits would.
+                    let flit = unicast_flit(i);
+                    let vc = flit.vc().unwrap();
+                    if router.input(Port::West).vc(MessageClass::Request, vc).is_empty() {
+                        router.accept_flit(Port::West, flit);
+                    }
+                    let out = black_box(router.step(i));
+                    for departure in &out.departures {
+                        if let Some(vc) = departure.flit.vc() {
+                            router.accept_credit(departure.port, Credit::new(MessageClass::Request, vc));
+                        }
+                    }
+                }
+                router
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_bypass_hop, bench_buffered_hop);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <experiment>...   # e.g. repro table1 fig5
+//! repro [--quick] all               # every experiment in paper order
+//! repro list                        # list experiment names
+//! ```
+
+use std::process::ExitCode;
+
+use noc_bench::{run_experiment, Effort, EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Full;
+    let mut names: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" | "-q" => effort = Effort::Quick,
+            "list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: repro [--quick] <experiment>... | all | list");
+        eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    for name in names {
+        match run_experiment(&name, effort) {
+            Some(report) => {
+                println!("==================================================================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; try `repro list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,72 @@
+//! # noc-bench
+//!
+//! The experiment harness: one function per table and figure of the paper,
+//! each returning a formatted text report with the reproduced rows/series
+//! (and, where the paper states them, the published values alongside for
+//! comparison). The `repro` binary exposes them as subcommands; the Criterion
+//! benches in `benches/` measure the performance of the underlying models.
+//!
+//! Every simulation-backed experiment takes a [`Effort`] knob so that CI and
+//! the Criterion benches can run a quick variant while `repro` defaults to
+//! the full-size runs recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+mod format;
+
+pub use experiments::Effort;
+pub use format::Table;
+
+/// Names of all experiments, in paper order, as accepted by the `repro`
+/// binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig5", "fig6", "table3", "fig7", "table4", "fig8", "fig10", "fig11",
+    "fig12", "fig13", "zeroload", "headline",
+];
+
+/// Runs one experiment by name and returns its report.
+///
+/// Returns `None` when the name is unknown.
+#[must_use]
+pub fn run_experiment(name: &str, effort: Effort) -> Option<String> {
+    let report = match name {
+        "table1" => experiments::table1_report(),
+        "table2" => experiments::table2_report(),
+        "fig5" => experiments::fig5_report(effort),
+        "fig6" => experiments::fig6_report(effort),
+        "table3" => experiments::table3_report(),
+        "fig7" => experiments::fig7_report(),
+        "table4" => experiments::table4_report(),
+        "fig8" => experiments::fig8_report(effort),
+        "fig10" => experiments::fig10_report(),
+        "fig11" => experiments::fig11_report(),
+        "fig12" => experiments::fig12_report(),
+        "fig13" => experiments::fig13_report(effort),
+        "zeroload" => experiments::zero_load_report(effort),
+        "headline" => experiments::headline_report(effort),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_runs_in_quick_mode() {
+        for name in EXPERIMENTS {
+            let report = run_experiment(name, Effort::Quick)
+                .unwrap_or_else(|| panic!("experiment {name} missing"));
+            assert!(!report.is_empty(), "{name} produced an empty report");
+            assert!(report.contains('|') || report.contains(':'), "{name} report looks empty");
+        }
+    }
+
+    #[test]
+    fn unknown_experiments_are_rejected() {
+        assert!(run_experiment("fig99", Effort::Quick).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Calibrated technology parameters.
+//!
+//! All circuit models in this crate are first-order analytical models whose
+//! free parameters are fixed here. They are chosen once so that the model
+//! reproduces the paper's measured circuit numbers (see the crate-level
+//! documentation); nothing else in the workspace tunes them.
+
+/// Nominal supply voltage of the 45nm SOI process (V).
+pub const VDD: f64 = 1.1;
+
+/// Secondary supply used by the reduced-swing drivers (V). The chip uses
+/// 0.8 V for the low-swing datapath supply.
+pub const LVDD: f64 = 0.8;
+
+/// Default differential voltage swing chosen by the paper for 3-σ
+/// reliability (V).
+pub const DEFAULT_SWING: f64 = 0.3;
+
+/// Wire resistance of the 0.15 µm-wide, 0.30 µm-spaced link wires (Ω/mm).
+pub const WIRE_R_PER_MM: f64 = 600.0;
+
+/// Wire capacitance of the shielded differential link wires (fF/mm).
+pub const WIRE_C_PER_MM: f64 = 150.0;
+
+/// Effective drive resistance of the 4-PMOS-stacked tri-state RSD (Ω).
+pub const RSD_DRIVE_RES: f64 = 950.0;
+
+/// Fixed capacitance seen by the driver before the wire: crossbar vertical
+/// wire stub, tri-state output junctions of the other drivers sharing the
+/// vertical wire, and the sense-amplifier input (fF).
+pub const RSD_FIXED_CAP_FF: f64 = 80.0;
+
+/// Energy overhead per received bit that does not scale with swing: sense
+/// amplifier strobe, delay-cell alignment and enable distribution (fJ).
+pub const RECEIVER_OVERHEAD_FJ: f64 = 8.0;
+
+/// Extra capacitance factor of a repeated full-swing wire (repeater input
+/// and output loading relative to the bare wire).
+pub const REPEATER_CAP_OVERHEAD: f64 = 0.5;
+
+/// Switching activity assumed for pseudo-random data (transitions per bit).
+pub const PRBS_ACTIVITY: f64 = 0.5;
+
+/// Standard deviation of the sense-amplifier input offset caused by process
+/// variation (V). 50 mV puts the 300 mV differential swing (±150 mV at the
+/// amplifier) exactly at 3 σ, matching the paper's design point.
+pub const SENSE_AMP_OFFSET_SIGMA: f64 = 0.05;
+
+/// Elmore-delay coefficient for the lumped driver-on-wire term.
+pub const ELMORE_DRIVER: f64 = 0.69;
+
+/// Elmore-delay coefficient for the distributed wire term.
+pub const ELMORE_WIRE: f64 = 0.38;
+
+/// Full-swing repeater insertion delay per millimetre of wire (ps/mm),
+/// covering repeater gate delays for an optimally repeated line.
+pub const REPEATER_DELAY_PS_PER_MM: f64 = 66.0;
+
+/// Energy per flit consumed by one 64-bit low-swing crossbar input-to-output
+/// traversal at the default swing (fJ); used by the router-level power model.
+pub const XBAR_TRAVERSAL_FJ_LOW_SWING: f64 = 2_600.0;
+
+/// Energy per flit for an equivalent synthesized full-swing crossbar
+/// traversal (fJ).
+pub const XBAR_TRAVERSAL_FJ_FULL_SWING: f64 = 5_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swing_is_three_sigma() {
+        assert!((DEFAULT_SWING / 2.0 / SENSE_AMP_OFFSET_SIGMA - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supplies_are_ordered() {
+        assert!(DEFAULT_SWING < LVDD);
+        assert!(LVDD < VDD);
+    }
+}

@@ -1,0 +1,285 @@
+//! Network configuration and the paper's named network variants.
+
+use noc_power::EnergyParams;
+use noc_router::RouterConfig;
+use noc_traffic::{SeedMode, TrafficMix};
+use noc_types::{ConfigError, NocError};
+use serde::{Deserialize, Serialize};
+
+/// Which signaling technology the datapath (crossbar + links) uses.
+///
+/// This only affects energy accounting — both datapaths support single-cycle
+/// ST+LT at 1 GHz (the paper explicitly chooses a baseline with single-cycle
+/// ST+LT because even a full-swing datapath can achieve it at 1 GHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatapathKind {
+    /// Conventional full-swing repeated wires.
+    FullSwing,
+    /// Tri-state reduced-swing-driver crossbar and differential links.
+    LowSwing,
+}
+
+/// The named network configurations measured in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkVariant {
+    /// The textbook 4-stage baseline router of Fig. 1 (separate ST and LT
+    /// stages), full-swing datapath, broadcasts duplicated at the NIC.
+    TextbookBaseline,
+    /// Fig. 6 config A and the Fig. 5 baseline: aggressive baseline router
+    /// (single-cycle ST+LT), full-swing datapath, no multicast support.
+    FullSwingUnicast,
+    /// Fig. 6 config B: the same unicast network with a low-swing datapath.
+    LowSwingUnicast,
+    /// Fig. 6 config C: low-swing datapath plus router-level broadcast
+    /// support, but no multicast buffer bypass.
+    LowSwingBroadcastNoBypass,
+    /// Fig. 6 config D and the fabricated chip: low-swing datapath,
+    /// router-level broadcast support and multicast virtual bypassing.
+    LowSwingBroadcastBypass,
+    /// Alias of [`NetworkVariant::LowSwingBroadcastBypass`] used where the
+    /// intent is "the chip as fabricated".
+    ProposedChip,
+}
+
+impl NetworkVariant {
+    /// All four Fig. 6 variants in waterfall order (A, B, C, D).
+    pub const FIG6: [NetworkVariant; 4] = [
+        NetworkVariant::FullSwingUnicast,
+        NetworkVariant::LowSwingUnicast,
+        NetworkVariant::LowSwingBroadcastNoBypass,
+        NetworkVariant::LowSwingBroadcastBypass,
+    ];
+
+    /// The single-letter label Fig. 6 uses for this variant, if it has one.
+    #[must_use]
+    pub fn fig6_label(self) -> Option<char> {
+        match self {
+            NetworkVariant::FullSwingUnicast => Some('A'),
+            NetworkVariant::LowSwingUnicast => Some('B'),
+            NetworkVariant::LowSwingBroadcastNoBypass => Some('C'),
+            NetworkVariant::LowSwingBroadcastBypass | NetworkVariant::ProposedChip => Some('D'),
+            NetworkVariant::TextbookBaseline => None,
+        }
+    }
+
+    /// Router configuration of this variant.
+    #[must_use]
+    pub fn router_config(self) -> RouterConfig {
+        match self {
+            NetworkVariant::TextbookBaseline => RouterConfig::textbook_baseline(),
+            NetworkVariant::FullSwingUnicast | NetworkVariant::LowSwingUnicast => {
+                RouterConfig::aggressive_baseline()
+            }
+            NetworkVariant::LowSwingBroadcastNoBypass => RouterConfig::proposed(false),
+            NetworkVariant::LowSwingBroadcastBypass | NetworkVariant::ProposedChip => {
+                RouterConfig::proposed(true)
+            }
+        }
+    }
+
+    /// Datapath signaling technology of this variant.
+    #[must_use]
+    pub fn datapath(self) -> DatapathKind {
+        match self {
+            NetworkVariant::TextbookBaseline | NetworkVariant::FullSwingUnicast => {
+                DatapathKind::FullSwing
+            }
+            _ => DatapathKind::LowSwing,
+        }
+    }
+}
+
+/// Full configuration of one simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh side length (4 for the fabricated chip).
+    pub k: u16,
+    /// Router microarchitecture.
+    pub router: RouterConfig,
+    /// Datapath signaling technology (energy accounting only).
+    pub datapath: DatapathKind,
+    /// Traffic mix injected by every NIC.
+    pub mix: TrafficMix,
+    /// PRBS seeding discipline of the NICs.
+    pub seed_mode: SeedMode,
+    /// Network clock in GHz (1.0 for the chip).
+    pub frequency_ghz: f64,
+    /// Flit width in bits (64 for the chip).
+    pub flit_bits: u32,
+    /// Cycles a credit takes to return and be processed upstream.
+    pub credit_delay_cycles: u64,
+}
+
+impl NocConfig {
+    /// Configuration of one of the paper's named variants on the 4×4 mesh
+    /// with mixed traffic and the chip's identical-seed PRBS artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] if the built-in configuration fails
+    /// validation (it never should; the check guards future edits).
+    pub fn variant(variant: NetworkVariant) -> Result<Self, NocError> {
+        let config = Self {
+            k: 4,
+            router: variant.router_config(),
+            datapath: variant.datapath(),
+            mix: TrafficMix::mixed(),
+            seed_mode: SeedMode::Identical,
+            frequency_ghz: 1.0,
+            flit_bits: 64,
+            credit_delay_cycles: 2,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The fabricated chip's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] if the built-in configuration fails
+    /// validation.
+    pub fn proposed_chip() -> Result<Self, NocError> {
+        Self::variant(NetworkVariant::ProposedChip)
+    }
+
+    /// Replaces the traffic mix.
+    #[must_use]
+    pub fn with_mix(mut self, mix: TrafficMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Replaces the PRBS seeding discipline.
+    #[must_use]
+    pub fn with_seed_mode(mut self, seed_mode: SeedMode) -> Self {
+        self.seed_mode = seed_mode;
+        self
+    }
+
+    /// Replaces the mesh side length.
+    #[must_use]
+    pub fn with_side(mut self, k: u16) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Whether the NICs must expand broadcasts into per-destination unicasts
+    /// (true exactly when the routers cannot replicate flits).
+    #[must_use]
+    pub fn nic_duplicates_broadcasts(&self) -> bool {
+        !self.router.kind.multicast_support()
+    }
+
+    /// Whether NICs send lookaheads with injected flits.
+    #[must_use]
+    pub fn lookahead_enabled(&self) -> bool {
+        self.router.kind.lookahead_enabled()
+    }
+
+    /// Link delay in cycles between a switch traversal and the arrival at the
+    /// next router (1, plus an extra cycle for the textbook baseline's
+    /// separate LT stage).
+    #[must_use]
+    pub fn link_delay_cycles(&self) -> u64 {
+        1 + self.router.kind.separate_lt_cycles()
+    }
+
+    /// Energy parameters matching the configured datapath.
+    #[must_use]
+    pub fn energy_params(&self) -> EnergyParams {
+        match self.datapath {
+            DatapathKind::FullSwing => EnergyParams::chip_full_swing(),
+            DatapathKind::LowSwing => EnergyParams::chip_low_swing(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the mesh side, VC configuration or
+    /// clock frequency is invalid.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.k == 0 || self.k > 16 {
+            return Err(ConfigError::InvalidMeshSide { k: self.k }.into());
+        }
+        self.router.validate()?;
+        if self.frequency_ghz <= 0.0 {
+            return Err(ConfigError::InvalidVcConfig {
+                reason: "clock frequency must be positive".to_owned(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_variants_form_the_expected_waterfall() {
+        let a = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
+        let b = NocConfig::variant(NetworkVariant::LowSwingUnicast).unwrap();
+        let c = NocConfig::variant(NetworkVariant::LowSwingBroadcastNoBypass).unwrap();
+        let d = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+        // A -> B changes only the datapath.
+        assert_eq!(a.router, b.router);
+        assert_ne!(a.datapath, b.datapath);
+        // B -> C adds multicast support.
+        assert!(b.nic_duplicates_broadcasts());
+        assert!(!c.nic_duplicates_broadcasts());
+        // C -> D adds bypassing.
+        assert!(!c.lookahead_enabled());
+        assert!(d.lookahead_enabled());
+        assert_eq!(
+            NetworkVariant::FIG6.map(|v| v.fig6_label().unwrap()),
+            ['A', 'B', 'C', 'D']
+        );
+    }
+
+    #[test]
+    fn chip_preset_matches_the_fabricated_configuration() {
+        let chip = NocConfig::proposed_chip().unwrap();
+        assert_eq!(chip.k, 4);
+        assert_eq!(chip.flit_bits, 64);
+        assert_eq!(chip.frequency_ghz, 1.0);
+        assert!(chip.lookahead_enabled());
+        assert!(!chip.nic_duplicates_broadcasts());
+        assert_eq!(chip.router.total_vcs(), 6);
+        assert_eq!(chip.router.total_buffers(), 10);
+        assert_eq!(chip.link_delay_cycles(), 1);
+    }
+
+    #[test]
+    fn textbook_baseline_pays_a_separate_link_cycle() {
+        let t = NocConfig::variant(NetworkVariant::TextbookBaseline).unwrap();
+        assert_eq!(t.link_delay_cycles(), 2);
+        assert!(matches!(
+            t.router.kind,
+            noc_router::RouterKind::Baseline { combined_st_lt: false }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_sides_and_frequencies() {
+        let mut cfg = NocConfig::proposed_chip().unwrap();
+        cfg.k = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NocConfig::proposed_chip().unwrap();
+        cfg.frequency_ghz = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = NocConfig::proposed_chip().unwrap();
+        cfg.k = 17;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn energy_params_follow_the_datapath() {
+        let a = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
+        let d = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+        assert!(a.energy_params().crossbar_pj > d.energy_params().crossbar_pj);
+    }
+}

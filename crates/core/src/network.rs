@@ -1,0 +1,536 @@
+//! The cycle-accurate network orchestrator.
+
+use std::collections::{BTreeMap, HashMap};
+
+use noc_router::{Departure, Lookahead, Router};
+use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
+use noc_topology::Mesh;
+use noc_types::{Credit, Cycle, Flit, NocError, NodeId, PacketId, Port};
+
+use crate::config::NocConfig;
+use crate::nic::{Nic, PacketRegistration};
+
+/// A message in flight between components, scheduled for a future cycle.
+#[derive(Debug, Clone)]
+enum Delivery {
+    FlitToRouter {
+        node: NodeId,
+        port: Port,
+        flit: Flit,
+    },
+    LookaheadToRouter {
+        node: NodeId,
+        port: Port,
+        lookahead: Lookahead,
+    },
+    FlitToNic {
+        node: NodeId,
+        flit: Flit,
+    },
+    CreditToRouter {
+        node: NodeId,
+        port: Port,
+        credit: Credit,
+    },
+    CreditToNic {
+        node: NodeId,
+        credit: Credit,
+    },
+}
+
+/// Scoreboard entry tracking one packet until every destination received it.
+#[derive(Debug, Clone, Copy)]
+struct TrackedPacket {
+    created_at: Cycle,
+    remaining_receptions: u32,
+    track_latency: bool,
+}
+
+/// A k×k mesh NoC: routers, NICs, links and the measurement machinery.
+///
+/// The network advances in lock-step cycles via [`Network::step`]. Traffic
+/// injection and measurement are controlled per cycle so that a
+/// [`crate::Simulation`] can run warmup / measurement / drain phases over the
+/// same instance.
+#[derive(Debug)]
+pub struct Network {
+    config: NocConfig,
+    mesh: Mesh,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    clock: Clock,
+    pending: BTreeMap<Cycle, Vec<Delivery>>,
+    scoreboard: HashMap<PacketId, TrackedPacket>,
+    latency: LatencyStats,
+    throughput: ThroughputStats,
+    measuring: bool,
+}
+
+impl Network {
+    /// Builds a network from `config` with all NICs injecting at `rate`
+    /// flits/cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the configuration is invalid.
+    pub fn new(config: NocConfig, rate: f64) -> Result<Self, NocError> {
+        config.validate()?;
+        let mesh = Mesh::new(config.k).map_err(NocError::from)?;
+        let routers = mesh
+            .nodes()
+            .map(|coord| Router::new(&config.router, mesh, coord))
+            .collect();
+        let nics = (0..mesh.node_count() as NodeId)
+            .map(|node| Nic::new(&config, mesh, node, rate))
+            .collect();
+        Ok(Self {
+            config,
+            mesh,
+            routers,
+            nics,
+            clock: Clock::new(),
+            pending: BTreeMap::new(),
+            scoreboard: HashMap::new(),
+            latency: LatencyStats::new(),
+            throughput: ThroughputStats::new(),
+            measuring: false,
+        })
+    }
+
+    /// The configuration this network was built from.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// The mesh topology.
+    #[must_use]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.clock.now()
+    }
+
+    /// Changes the injection rate of every NIC.
+    pub fn set_rate(&mut self, rate: f64) {
+        for nic in &mut self.nics {
+            nic.set_rate(rate);
+        }
+    }
+
+    /// Starts or stops counting receptions and latencies.
+    pub fn set_measuring(&mut self, measuring: bool) {
+        self.measuring = measuring;
+    }
+
+    /// Latency statistics of packets injected while measuring.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Throughput statistics of receptions while measuring.
+    #[must_use]
+    pub fn throughput(&self) -> &ThroughputStats {
+        &self.throughput
+    }
+
+    /// Mutable access to the throughput accumulator (the simulation driver
+    /// sets the measurement window length).
+    pub fn throughput_mut(&mut self) -> &mut ThroughputStats {
+        &mut self.throughput
+    }
+
+    /// Merged activity counters of all routers and NICs.
+    #[must_use]
+    pub fn counters(&self) -> ActivityCounters {
+        let mut total = ActivityCounters::new();
+        for router in &self.routers {
+            total.merge(router.counters());
+        }
+        for nic in &self.nics {
+            total.merge(nic.counters());
+        }
+        total
+    }
+
+    /// Total flits currently buffered in routers plus queued in NICs
+    /// (used to detect drain completion and saturation).
+    #[must_use]
+    pub fn in_flight_flits(&self) -> usize {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let queued: usize = self.nics.iter().map(Nic::queued_flits).sum();
+        let on_links: usize = self
+            .pending
+            .values()
+            .flatten()
+            .filter(|d| matches!(d, Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }))
+            .count();
+        buffered + queued + on_links
+    }
+
+    /// Number of tracked packets that have not yet reached every destination.
+    #[must_use]
+    pub fn outstanding_tracked_packets(&self) -> usize {
+        self.scoreboard
+            .values()
+            .filter(|t| t.track_latency && t.remaining_receptions > 0)
+            .count()
+    }
+
+    /// Total packets injected by all NICs so far.
+    #[must_use]
+    pub fn injected_packets(&self) -> u64 {
+        self.nics.iter().map(Nic::injected_packets).sum()
+    }
+
+    /// Prints the location of every buffered or queued flit to stderr
+    /// (diagnostic aid used by tests and examples when a network fails to
+    /// drain).
+    pub fn debug_dump(&self) {
+        for (node, nic) in self.nics.iter().enumerate() {
+            if nic.queued_flits() > 0 {
+                eprintln!("nic {node}: {} queued flits", nic.queued_flits());
+            }
+        }
+        for (node, router) in self.routers.iter().enumerate() {
+            if router.buffered_flits() == 0 {
+                continue;
+            }
+            for port in Port::ALL {
+                let input = router.input(port);
+                for vc_idx in 0..input.vc_count() {
+                    let vc = input.vc_at(vc_idx);
+                    if vc.occupancy() > 0 {
+                        let head = vc.head().expect("non-empty VC has a head");
+                        eprintln!(
+                            "router {node} port {port} vc#{vc_idx} ({:?} vc {:?}): {} flits, head packet {} kind {:?} dests {:?} route {:?}",
+                            vc.class(),
+                            vc.id(),
+                            vc.occupancy(),
+                            head.packet_id(),
+                            head.kind(),
+                            head.destinations(),
+                            vc.route(),
+                        );
+                    }
+                }
+            }
+        }
+        for (node, router) in self.routers.iter().enumerate() {
+            if router.buffered_flits() == 0 {
+                continue;
+            }
+            for port in Port::ALL {
+                if port.is_local() {
+                    continue;
+                }
+                let output = router.output(port);
+                for class in noc_types::MessageClass::ALL {
+                    for vc in 0..2u8 {
+                        if let Some(state) = output.downstream_vc(class, vc) {
+                            if state.allocated || state.credits < state.depth() {
+                                eprintln!(
+                                    "router {node} output {port} {class:?} vc {vc}: allocated={} credits={} tail_sent={}",
+                                    state.allocated, state.credits, state.tail_sent
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (id, tracked) in &self.scoreboard {
+            if tracked.remaining_receptions > 0 {
+                eprintln!(
+                    "scoreboard: packet {id} still needs {} receptions (created {})",
+                    tracked.remaining_receptions, tracked.created_at
+                );
+            }
+        }
+    }
+
+    /// Advances the network by one cycle.
+    ///
+    /// `inject` enables the NIC traffic generators for this cycle (warmup and
+    /// measurement phases inject; the drain phase does not).
+    pub fn step(&mut self, inject: bool) {
+        let now = self.clock.now();
+
+        // Phase A: deliver everything scheduled for this cycle.
+        if let Some(deliveries) = self.pending.remove(&now) {
+            for delivery in deliveries {
+                self.deliver(delivery, now);
+            }
+        }
+
+        // Phase B1: NICs create and inject traffic.
+        for node in 0..self.nics.len() {
+            let (injection, registrations) = self.nics[node].tick(now, inject);
+            for registration in registrations {
+                self.register_packet(registration);
+            }
+            if let Some(injection) = injection {
+                let arrival = now + 1;
+                self.schedule(
+                    arrival,
+                    Delivery::FlitToRouter {
+                        node: node as NodeId,
+                        port: Port::Local,
+                        flit: injection.flit,
+                    },
+                );
+                if let Some(lookahead) = injection.lookahead {
+                    self.schedule(
+                        arrival,
+                        Delivery::LookaheadToRouter {
+                            node: node as NodeId,
+                            port: Port::Local,
+                            lookahead,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Phase B2: routers allocate and traverse.
+        let link_delay = self.config.link_delay_cycles();
+        let credit_delay = self.config.credit_delay_cycles;
+        for node in 0..self.routers.len() {
+            let output = self.routers[node].step(now);
+            let coord = self.mesh.coord_of(node as NodeId);
+            for Departure { port, flit, lookahead } in output.departures {
+                if port.is_local() {
+                    self.schedule(
+                        now + 1,
+                        Delivery::FlitToNic {
+                            node: node as NodeId,
+                            flit,
+                        },
+                    );
+                } else {
+                    let dir = port.direction().expect("non-local port has a direction");
+                    let neighbor = self
+                        .mesh
+                        .neighbor(coord, dir)
+                        .expect("routers never send off the mesh edge");
+                    let dest_node = self.mesh.id_of(neighbor);
+                    let dest_port = dir.opposite().port();
+                    let arrival = now + link_delay;
+                    self.schedule(
+                        arrival,
+                        Delivery::FlitToRouter {
+                            node: dest_node,
+                            port: dest_port,
+                            flit,
+                        },
+                    );
+                    if let Some(lookahead) = lookahead {
+                        self.schedule(
+                            arrival,
+                            Delivery::LookaheadToRouter {
+                                node: dest_node,
+                                port: dest_port,
+                                lookahead,
+                            },
+                        );
+                    }
+                }
+            }
+            for (in_port, credit) in output.credits {
+                let arrival = now + credit_delay;
+                if in_port.is_local() {
+                    self.schedule(
+                        arrival,
+                        Delivery::CreditToNic {
+                            node: node as NodeId,
+                            credit,
+                        },
+                    );
+                } else {
+                    let dir = in_port.direction().expect("non-local port has a direction");
+                    let upstream = self
+                        .mesh
+                        .neighbor(coord, dir)
+                        .expect("credits only go to existing neighbours");
+                    self.schedule(
+                        arrival,
+                        Delivery::CreditToRouter {
+                            node: self.mesh.id_of(upstream),
+                            port: dir.opposite().port(),
+                            credit,
+                        },
+                    );
+                }
+            }
+        }
+
+        self.clock.tick();
+    }
+
+    fn schedule(&mut self, at: Cycle, delivery: Delivery) {
+        self.pending.entry(at).or_default().push(delivery);
+    }
+
+    fn register_packet(&mut self, registration: PacketRegistration) {
+        if self.measuring {
+            self.throughput.record_injection(u64::from(
+                registration.flits_per_reception,
+            ));
+        }
+        self.scoreboard.insert(
+            registration.id,
+            TrackedPacket {
+                created_at: registration.created_at,
+                remaining_receptions: registration.expected_receptions,
+                track_latency: self.measuring,
+            },
+        );
+    }
+
+    fn deliver(&mut self, delivery: Delivery, now: Cycle) {
+        match delivery {
+            Delivery::FlitToRouter { node, port, flit } => {
+                self.routers[usize::from(node)].accept_flit(port, flit);
+            }
+            Delivery::LookaheadToRouter { node, port, lookahead } => {
+                self.routers[usize::from(node)].accept_lookahead(port, lookahead);
+            }
+            Delivery::CreditToRouter { node, port, credit } => {
+                self.routers[usize::from(node)].accept_credit(port, credit);
+            }
+            Delivery::CreditToNic { node, credit } => {
+                self.nics[usize::from(node)].accept_credit(credit);
+            }
+            Delivery::FlitToNic { node, flit } => {
+                if let Some(reception) = self.nics[usize::from(node)].accept_flit(&flit, now) {
+                    if self.measuring {
+                        self.throughput.record_reception(u64::from(reception.flits));
+                    }
+                    if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
+                        tracked.remaining_receptions = tracked.remaining_receptions.saturating_sub(1);
+                        if tracked.remaining_receptions == 0 {
+                            if tracked.track_latency {
+                                self.latency.record(now - tracked.created_at);
+                            }
+                            self.scoreboard.remove(&reception.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkVariant, NocConfig};
+
+    fn run_cycles(network: &mut Network, cycles: u64, inject: bool) {
+        for _ in 0..cycles {
+            network.step(inject);
+        }
+    }
+
+    #[test]
+    fn an_idle_network_stays_idle() {
+        let mut network = Network::new(NocConfig::proposed_chip().unwrap(), 0.0).unwrap();
+        run_cycles(&mut network, 100, true);
+        assert_eq!(network.in_flight_flits(), 0);
+        assert_eq!(network.injected_packets(), 0);
+        assert_eq!(network.latency().count(), 0);
+    }
+
+    #[test]
+    fn low_load_traffic_is_delivered_and_drains() {
+        let mut network = Network::new(NocConfig::proposed_chip().unwrap(), 0.05).unwrap();
+        network.set_measuring(true);
+        run_cycles(&mut network, 500, true);
+        run_cycles(&mut network, 300, false);
+        assert!(network.injected_packets() > 0);
+        assert!(network.latency().count() > 0, "packets must complete");
+        assert_eq!(network.in_flight_flits(), 0, "the network must drain");
+        assert_eq!(network.outstanding_tracked_packets(), 0);
+    }
+
+    #[test]
+    fn proposed_network_achieves_near_single_cycle_hops_at_low_load() {
+        // With per-node seeds (no artifact) and a very low rate, the average
+        // mixed-traffic latency should sit close to the theoretical limit
+        // (hops + 2 NIC cycles + serialization).
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(noc_traffic::SeedMode::PerNode);
+        let mut network = Network::new(config, 0.01).unwrap();
+        network.set_measuring(true);
+        run_cycles(&mut network, 3000, true);
+        run_cycles(&mut network, 500, false);
+        let avg = network.latency().mean();
+        assert!(network.latency().count() > 20);
+        // Mixed traffic limit is ~8 cycles; allow generous contention slack.
+        assert!(avg < 12.0, "average latency too high: {avg}");
+        assert!(avg >= 5.0, "average latency implausibly low: {avg}");
+    }
+
+    #[test]
+    fn baseline_broadcasts_are_much_slower_than_proposed() {
+        let run = |variant| {
+            let config = NocConfig::variant(variant)
+                .unwrap()
+                .with_mix(noc_traffic::TrafficMix::broadcast_only())
+                .with_seed_mode(noc_traffic::SeedMode::PerNode);
+            let mut network = Network::new(config, 0.02).unwrap();
+            network.set_measuring(true);
+            run_cycles(&mut network, 2000, true);
+            run_cycles(&mut network, 1000, false);
+            network.latency().mean()
+        };
+        let baseline = run(NetworkVariant::FullSwingUnicast);
+        let proposed = run(NetworkVariant::LowSwingBroadcastBypass);
+        assert!(
+            baseline > 1.5 * proposed,
+            "baseline {baseline:.1} cycles should be well above proposed {proposed:.1}"
+        );
+    }
+
+    #[test]
+    fn bypassing_actually_happens_on_the_proposed_network()
+    {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(noc_traffic::SeedMode::PerNode);
+        let mut network = Network::new(config, 0.02).unwrap();
+        run_cycles(&mut network, 1000, true);
+        let counters = network.counters();
+        assert!(counters.bypasses > 0, "lookahead bypassing must occur");
+        assert!(counters.bypass_fraction() > 0.5, "most hops should bypass at low load");
+        // The baseline never bypasses.
+        let baseline = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
+        let mut baseline_net = Network::new(baseline, 0.02).unwrap();
+        run_cycles(&mut baseline_net, 1000, true);
+        assert_eq!(baseline_net.counters().bypasses, 0);
+    }
+
+    #[test]
+    fn conservation_no_flit_is_lost_or_duplicated() {
+        // Inject for a while, drain completely, and check that every tracked
+        // packet reached all of its destinations.
+        let config = NocConfig::proposed_chip().unwrap();
+        let mut network = Network::new(config, 0.08).unwrap();
+        network.set_measuring(true);
+        run_cycles(&mut network, 1500, true);
+        run_cycles(&mut network, 1500, false);
+        assert_eq!(network.in_flight_flits(), 0, "network must fully drain");
+        assert_eq!(
+            network.outstanding_tracked_packets(),
+            0,
+            "every measured packet must complete all receptions"
+        );
+        assert!(network.throughput().received_flits() > 0);
+    }
+}

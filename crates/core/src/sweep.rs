@@ -1,0 +1,252 @@
+//! Injection-rate sweeps, saturation detection and the §4.1 summary numbers.
+//!
+//! The paper presents its latency-throughput results (Figs. 5 and 13) as
+//! curves of average packet latency versus received throughput, one curve per
+//! network, with the theoretical limits overlaid, and summarises them as:
+//! latency reduction before saturation, saturation-throughput improvement
+//! over the baseline, and fraction of the theoretical throughput limit
+//! reached. This module produces exactly those artefacts.
+
+use noc_topology::limits::MeshLimits;
+use noc_types::NocError;
+use serde::{Deserialize, Serialize};
+
+use crate::config::NocConfig;
+use crate::result::SimulationResult;
+use crate::simulation::Simulation;
+
+/// One sweep point: a simulation at one injection rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered injection rate (flits/node/cycle).
+    pub injection_rate: f64,
+    /// Average packet latency (cycles).
+    pub latency_cycles: f64,
+    /// Received throughput (Gb/s).
+    pub received_gbps: f64,
+    /// Received throughput (flits/cycle).
+    pub received_flits_per_cycle: f64,
+    /// Fraction of hops that bypassed the router pipeline.
+    pub bypass_fraction: f64,
+}
+
+impl From<&SimulationResult> for SweepPoint {
+    fn from(r: &SimulationResult) -> Self {
+        Self {
+            injection_rate: r.injection_rate,
+            latency_cycles: r.average_latency_cycles,
+            received_gbps: r.received_gbps,
+            received_flits_per_cycle: r.received_flits_per_cycle,
+            bypass_fraction: r.bypass_fraction,
+        }
+    }
+}
+
+/// A full latency-throughput curve for one network configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCurve {
+    /// Points in increasing injection-rate order.
+    pub points: Vec<SweepPoint>,
+    /// Low-load ("zero-load") latency: the latency of the first point.
+    pub zero_load_latency_cycles: f64,
+    /// Saturation throughput in Gb/s (the paper's definition: the received
+    /// throughput at the first point whose latency reaches 3× the zero-load
+    /// latency; the last point's throughput if none does).
+    pub saturation_gbps: f64,
+    /// Injection rate at which saturation was detected.
+    pub saturation_rate: f64,
+}
+
+impl SweepCurve {
+    /// Builds a curve from sweep points (already ordered by injection rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        assert!(!points.is_empty(), "a sweep needs at least one point");
+        let zero_load = points[0].latency_cycles;
+        let saturation_point = points
+            .iter()
+            .find(|p| p.latency_cycles >= 3.0 * zero_load)
+            .or_else(|| points.last())
+            .expect("points is non-empty");
+        Self {
+            zero_load_latency_cycles: zero_load,
+            saturation_gbps: saturation_point.received_gbps,
+            saturation_rate: saturation_point.injection_rate,
+            points,
+        }
+    }
+
+    /// Latency at the lowest injection rate, i.e. the measured analogue of
+    /// the zero-load latency of Table 2.
+    #[must_use]
+    pub fn low_load_latency(&self) -> f64 {
+        self.zero_load_latency_cycles
+    }
+}
+
+/// Side-by-side comparison of a proposed and a baseline curve, plus the
+/// theoretical limits — the numbers §4.1 quotes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepComparison {
+    /// The proposed network's curve.
+    pub proposed: SweepCurve,
+    /// The baseline network's curve.
+    pub baseline: SweepCurve,
+    /// Latency reduction of the proposed network at low load (0..1).
+    pub latency_reduction: f64,
+    /// Saturation-throughput improvement factor over the baseline.
+    pub throughput_improvement: f64,
+    /// Proposed saturation throughput as a fraction of the theoretical limit.
+    pub fraction_of_theoretical_limit: f64,
+    /// The theoretical throughput limit used for that fraction (Gb/s).
+    pub theoretical_limit_gbps: f64,
+    /// Theoretical latency limit (cycles per packet, including NIC cycles).
+    pub theoretical_latency_cycles: f64,
+}
+
+/// Runs a latency-throughput sweep of `config` over `rates`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying simulations.
+pub fn sweep(
+    config: NocConfig,
+    rates: &[f64],
+    warmup_cycles: u64,
+    measure_cycles: u64,
+) -> Result<SweepCurve, NocError> {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let mut sim = Simulation::new(config)?;
+        let result = sim.run(rate, warmup_cycles, measure_cycles)?;
+        points.push(SweepPoint::from(&result));
+    }
+    Ok(SweepCurve::from_points(points))
+}
+
+/// Compares a proposed and a baseline configuration over the same rates and
+/// computes the §4.1 summary statistics.
+///
+/// `broadcast_fraction_of_limit` selects which theoretical throughput limit
+/// to compare against: `true` uses the broadcast (ejection-limited) limit,
+/// which is also the right reference for the paper's mixed traffic since its
+/// throughput axis counts received flits.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying simulations.
+pub fn compare(
+    proposed: NocConfig,
+    baseline: NocConfig,
+    rates: &[f64],
+    warmup_cycles: u64,
+    measure_cycles: u64,
+) -> Result<SweepComparison, NocError> {
+    let limits = MeshLimits::new(proposed.k);
+    let proposed_curve = sweep(proposed, rates, warmup_cycles, measure_cycles)?;
+    let baseline_curve = sweep(baseline, rates, warmup_cycles, measure_cycles)?;
+    let theoretical_limit_gbps =
+        limits.throughput_limit_gbps(true, proposed.flit_bits, proposed.frequency_ghz);
+    let broadcast_heavy = proposed.mix.broadcast_request() > 0.0;
+    let mean_flits = proposed.mix.expected_flits_per_packet() as usize;
+    let theoretical_latency_cycles =
+        limits.packet_latency_limit(broadcast_heavy, mean_flits.max(1));
+    Ok(SweepComparison {
+        latency_reduction: 1.0
+            - proposed_curve.low_load_latency() / baseline_curve.low_load_latency(),
+        throughput_improvement: proposed_curve.saturation_gbps / baseline_curve.saturation_gbps,
+        fraction_of_theoretical_limit: proposed_curve.saturation_gbps / theoretical_limit_gbps,
+        theoretical_limit_gbps,
+        theoretical_latency_cycles,
+        proposed: proposed_curve,
+        baseline: baseline_curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkVariant;
+    use noc_traffic::SeedMode;
+
+    #[test]
+    fn curve_detects_saturation_with_the_3x_rule() {
+        let points = vec![
+            SweepPoint {
+                injection_rate: 0.01,
+                latency_cycles: 10.0,
+                received_gbps: 100.0,
+                received_flits_per_cycle: 1.5,
+                bypass_fraction: 0.9,
+            },
+            SweepPoint {
+                injection_rate: 0.05,
+                latency_cycles: 14.0,
+                received_gbps: 400.0,
+                received_flits_per_cycle: 6.0,
+                bypass_fraction: 0.8,
+            },
+            SweepPoint {
+                injection_rate: 0.07,
+                latency_cycles: 35.0,
+                received_gbps: 700.0,
+                received_flits_per_cycle: 11.0,
+                bypass_fraction: 0.6,
+            },
+        ];
+        let curve = SweepCurve::from_points(points);
+        assert_eq!(curve.zero_load_latency_cycles, 10.0);
+        assert_eq!(curve.saturation_gbps, 700.0);
+        assert_eq!(curve.saturation_rate, 0.07);
+    }
+
+    #[test]
+    fn curve_without_saturation_uses_the_last_point() {
+        let points = vec![
+            SweepPoint {
+                injection_rate: 0.01,
+                latency_cycles: 10.0,
+                received_gbps: 100.0,
+                received_flits_per_cycle: 1.5,
+                bypass_fraction: 0.9,
+            },
+            SweepPoint {
+                injection_rate: 0.02,
+                latency_cycles: 12.0,
+                received_gbps: 200.0,
+                received_flits_per_cycle: 3.0,
+                bypass_fraction: 0.85,
+            },
+        ];
+        let curve = SweepCurve::from_points(points);
+        assert_eq!(curve.saturation_gbps, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_sweep_panics() {
+        let _ = SweepCurve::from_points(Vec::new());
+    }
+
+    #[test]
+    fn small_comparison_shows_the_proposed_network_ahead() {
+        // A deliberately small sweep so the test stays fast; the full-size
+        // sweeps live in the bench harness.
+        let proposed = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let baseline = NocConfig::variant(NetworkVariant::FullSwingUnicast)
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let rates = [0.02, 0.12, 0.3];
+        let comparison = compare(proposed, baseline, &rates, 200, 800).unwrap();
+        assert!(comparison.latency_reduction > 0.2);
+        assert!(comparison.throughput_improvement > 1.0);
+        assert!(comparison.fraction_of_theoretical_limit <= 1.0);
+        assert!(comparison.theoretical_limit_gbps == 1024.0);
+    }
+}

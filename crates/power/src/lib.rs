@@ -1,0 +1,87 @@
+//! # noc-power
+//!
+//! Energy and power accounting for the DAC 2012 mesh NoC reproduction.
+//!
+//! The paper's power story has three layers, and this crate models all of
+//! them:
+//!
+//! * **Per-event energies** ([`EnergyParams`]): how much a buffer write, a
+//!   crossbar traversal, a link traversal, an arbitration, a lookahead or a
+//!   cycle of clocking/VC-state/leakage costs, for a full-swing and for a
+//!   low-swing datapath. The constants are calibrated against the chip's
+//!   measured component breakdown.
+//! * **Breakdowns** ([`PowerBreakdown`]): multiply the per-event energies by
+//!   the [`noc_sim::ActivityCounters`] a simulation produced and divide by
+//!   time. Groupings match Fig. 6 (clocking / router logic & buffers /
+//!   datapath) and the §4.1 zero-load analysis.
+//! * **Estimation methodologies** ([`PowerEstimator`]): the same activity can
+//!   be priced with the measured-silicon calibration
+//!   ([`MeasuredPowerModel`]), an ORION-2.0-style architectural model
+//!   ([`OrionPowerModel`], ~5× absolute overestimate but relatively
+//!   accurate) or a post-layout-style model ([`PostLayoutPowerModel`],
+//!   within ±6–13%), reproducing the Fig. 8 comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_power::{EnergyParams, MeasuredPowerModel, PowerEstimator};
+//! use noc_sim::ActivityCounters;
+//!
+//! let mut counters = ActivityCounters::new();
+//! counters.routers = 16;
+//! counters.cycles = 16_000; // 1000 cycles on each of 16 routers
+//! counters.crossbar_traversals = 5_000;
+//! counters.link_traversals = 4_000;
+//! let model = MeasuredPowerModel::new(EnergyParams::chip_low_swing());
+//! let power = model.estimate(&counters, 1_000, 1.0);
+//! assert!(power.total_mw() > 0.0);
+//! assert!(power.datapath_mw > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod breakdown;
+mod energy;
+mod model;
+
+pub use breakdown::PowerBreakdown;
+pub use energy::EnergyParams;
+pub use model::{
+    MeasuredPowerModel, ModelKind, OrionPowerModel, PostLayoutPowerModel, PowerEstimator,
+};
+
+/// Reference numbers quoted in the paper's text, used by benches and tests to
+/// compare reproduction output against the publication.
+pub mod reference {
+    /// Measured chip power at 653 Gb/s broadcast delivery (mW), Table 2.
+    pub const CHIP_POWER_AT_653_GBPS_MW: f64 = 427.3;
+    /// Measured chip power at 892 Gb/s mixed traffic (mW), abstract.
+    pub const CHIP_POWER_AT_892_GBPS_MW: f64 = 531.4;
+    /// Measured chip leakage power (mW), §4.1.
+    pub const CHIP_LEAKAGE_MW: f64 = 76.7;
+    /// Theoretical per-router power limit at near-zero load (mW), §4.1.
+    pub const ZERO_LOAD_ROUTER_LIMIT_MW: f64 = 5.6;
+    /// Measured per-router power at near-zero load (mW), §4.1.
+    pub const ZERO_LOAD_ROUTER_MEASURED_MW: f64 = 13.2;
+    /// Zero-load VC bookkeeping power per router (mW), §4.1.
+    pub const ZERO_LOAD_VC_STATE_MW: f64 = 1.9;
+    /// Zero-load buffer power per router (mW), §4.1.
+    pub const ZERO_LOAD_BUFFERS_MW: f64 = 2.0;
+    /// Zero-load allocator power per router (mW), §4.1.
+    pub const ZERO_LOAD_ALLOCATORS_MW: f64 = 0.7;
+    /// Zero-load lookahead power per router (mW), §4.1.
+    pub const ZERO_LOAD_LOOKAHEAD_MW: f64 = 0.2;
+    /// Datapath power reduction from low-swing signaling (Fig. 6).
+    pub const DATAPATH_REDUCTION: f64 = 0.483;
+    /// Router-logic power reduction from router-level broadcast support (Fig. 6).
+    pub const ROUTER_LOGIC_REDUCTION: f64 = 0.139;
+    /// Buffer power reduction from multicast buffer bypass (Fig. 6).
+    pub const BUFFER_REDUCTION: f64 = 0.322;
+    /// Total power reduction of the proposed NoC over the baseline (Fig. 6).
+    pub const TOTAL_REDUCTION: f64 = 0.382;
+    /// ORION 2.0 absolute overestimation range (Fig. 8).
+    pub const ORION_OVERESTIMATE: (f64, f64) = (4.8, 5.3);
+    /// Post-layout estimation error range (Fig. 8).
+    pub const POST_LAYOUT_ERROR: (f64, f64) = (0.06, 0.13);
+}

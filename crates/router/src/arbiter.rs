@@ -1,0 +1,228 @@
+//! Arbiters used by the separable switch allocator.
+//!
+//! The chip uses a round-robin circuit for the first allocation stage
+//! (mSA-I: each input port picks one of its VCs' output-port requests) and a
+//! matrix arbiter for the second stage (mSA-II: each output port grants the
+//! crossbar to one input port). Both are starvation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// A round-robin arbiter over `n` requestors.
+///
+/// The winner of each arbitration becomes the *lowest* priority for the next
+/// one, guaranteeing fairness and starvation freedom.
+///
+/// # Examples
+///
+/// ```
+/// use noc_router::RoundRobinArbiter;
+///
+/// let mut arb = RoundRobinArbiter::new(4);
+/// assert_eq!(arb.arbitrate(&[true, false, true, false]), Some(0));
+/// // 0 just won, so 2 now has priority.
+/// assert_eq!(arb.arbitrate(&[true, false, true, false]), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobinArbiter {
+    size: usize,
+    /// Index with the highest priority in the next arbitration.
+    next_priority: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `size` requestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "arbiter must have at least one requestor");
+        Self {
+            size,
+            next_priority: 0,
+        }
+    }
+
+    /// Number of requestors.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Picks a winner among the asserted requests, or `None` when no request
+    /// is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter size.
+    pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.size, "request vector size mismatch");
+        for offset in 0..self.size {
+            let candidate = (self.next_priority + offset) % self.size;
+            if requests[candidate] {
+                self.next_priority = (candidate + 1) % self.size;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Peeks at the winner without updating the priority pointer.
+    #[must_use]
+    pub fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.size, "request vector size mismatch");
+        (0..self.size)
+            .map(|offset| (self.next_priority + offset) % self.size)
+            .find(|&candidate| requests[candidate])
+    }
+}
+
+/// A matrix arbiter over `n` requestors (least-recently-served priority).
+///
+/// `priority[i][j] == true` means requestor `i` currently beats requestor
+/// `j`. After `i` wins, every other requestor gains priority over `i`.
+/// This is the arbiter the chip instantiates at each output port for mSA-II.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixArbiter {
+    size: usize,
+    priority: Vec<bool>,
+}
+
+impl MatrixArbiter {
+    /// Creates a matrix arbiter over `size` requestors with an initial
+    /// priority ordering 0 > 1 > … > n-1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "arbiter must have at least one requestor");
+        let mut priority = vec![false; size * size];
+        for i in 0..size {
+            for j in (i + 1)..size {
+                priority[i * size + j] = true;
+            }
+        }
+        Self { size, priority }
+    }
+
+    /// Number of requestors.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn beats(&self, i: usize, j: usize) -> bool {
+        self.priority[i * self.size + j]
+    }
+
+    /// Picks the requestor that beats all other asserted requestors, updating
+    /// the priority matrix so the winner drops to lowest priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter size.
+    pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        let winner = self.peek(requests)?;
+        // Winner loses priority against everyone else.
+        for j in 0..self.size {
+            if j != winner {
+                self.priority[winner * self.size + j] = false;
+                self.priority[j * self.size + winner] = true;
+            }
+        }
+        Some(winner)
+    }
+
+    /// Peeks at the winner without updating the priority matrix.
+    #[must_use]
+    pub fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.size, "request vector size mismatch");
+        (0..self.size).find(|&i| {
+            requests[i]
+                && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_priority() {
+        let mut arb = RoundRobinArbiter::new(3);
+        let all = [true, true, true];
+        assert_eq!(arb.arbitrate(&all), Some(0));
+        assert_eq!(arb.arbitrate(&all), Some(1));
+        assert_eq!(arb.arbitrate(&all), Some(2));
+        assert_eq!(arb.arbitrate(&all), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_idle_requestors() {
+        let mut arb = RoundRobinArbiter::new(4);
+        assert_eq!(arb.arbitrate(&[false, false, true, false]), Some(2));
+        assert_eq!(arb.arbitrate(&[true, false, false, false]), Some(0));
+        assert_eq!(arb.arbitrate(&[false; 4]), None);
+    }
+
+    #[test]
+    fn round_robin_is_starvation_free() {
+        let mut arb = RoundRobinArbiter::new(4);
+        let mut wins = [0u32; 4];
+        for _ in 0..400 {
+            let w = arb.arbitrate(&[true, true, true, true]).unwrap();
+            wins[w] += 1;
+        }
+        assert!(wins.iter().all(|&w| w == 100), "wins = {wins:?}");
+    }
+
+    #[test]
+    fn peek_does_not_change_state() {
+        let arb = RoundRobinArbiter::new(2);
+        assert_eq!(arb.peek(&[false, true]), Some(1));
+        assert_eq!(arb.peek(&[false, true]), Some(1));
+    }
+
+    #[test]
+    fn matrix_initial_priority_is_index_order() {
+        let mut arb = MatrixArbiter::new(3);
+        assert_eq!(arb.arbitrate(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn matrix_winner_drops_to_lowest_priority() {
+        let mut arb = MatrixArbiter::new(3);
+        assert_eq!(arb.arbitrate(&[true, true, true]), Some(0));
+        assert_eq!(arb.arbitrate(&[true, true, true]), Some(1));
+        assert_eq!(arb.arbitrate(&[true, true, true]), Some(2));
+        assert_eq!(arb.arbitrate(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn matrix_is_fair_under_sustained_load() {
+        let mut arb = MatrixArbiter::new(5);
+        let mut wins = [0u32; 5];
+        for _ in 0..500 {
+            let w = arb.arbitrate(&[true; 5]).unwrap();
+            wins[w] += 1;
+        }
+        assert!(wins.iter().all(|&w| w == 100), "wins = {wins:?}");
+    }
+
+    #[test]
+    fn matrix_handles_single_and_no_request() {
+        let mut arb = MatrixArbiter::new(4);
+        assert_eq!(arb.arbitrate(&[false, false, false, true]), Some(3));
+        assert_eq!(arb.arbitrate(&[false; 4]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requestor")]
+    fn zero_size_panics() {
+        let _ = RoundRobinArbiter::new(0);
+    }
+}

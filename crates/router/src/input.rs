@@ -1,0 +1,297 @@
+//! Input ports and their virtual-channel buffers.
+
+use std::collections::VecDeque;
+
+use noc_types::{Cycle, Flit, MessageClass, Port, VcId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RouterConfig;
+
+/// Route state of the packet currently occupying a virtual channel.
+///
+/// Set when the packet's head flit traverses the router (whether buffered or
+/// bypassed) and cleared when the tail flit leaves, so that body and tail
+/// flits inherit the output port and downstream VC chosen for the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcRoute {
+    /// Output port granted to the packet's head flit.
+    pub out_port: Port,
+    /// Downstream virtual channel allocated to the packet.
+    pub out_vc: VcId,
+}
+
+/// One virtual-channel buffer of an input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcBuffer {
+    class: MessageClass,
+    id: VcId,
+    depth: usize,
+    /// Buffered flits with the earliest cycle each may compete for the switch.
+    flits: VecDeque<(Flit, Cycle)>,
+    /// Route state of the in-flight packet using this VC (if any).
+    route: Option<VcRoute>,
+}
+
+impl VcBuffer {
+    fn new(class: MessageClass, id: VcId, depth: usize) -> Self {
+        Self {
+            class,
+            id,
+            depth,
+            flits: VecDeque::with_capacity(depth),
+            route: None,
+        }
+    }
+
+    /// Message class of this VC.
+    #[must_use]
+    pub fn class(&self) -> MessageClass {
+        self.class
+    }
+
+    /// VC identifier within its message class.
+    #[must_use]
+    pub fn id(&self) -> VcId {
+        self.id
+    }
+
+    /// Buffer depth in flits.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of flits currently buffered.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` when no flit is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Route state of the packet currently using this VC.
+    #[must_use]
+    pub fn route(&self) -> Option<VcRoute> {
+        self.route
+    }
+
+    /// Sets the route state (called when a head flit traverses).
+    pub fn set_route(&mut self, route: VcRoute) {
+        self.route = Some(route);
+    }
+
+    /// Clears the route state (called when a tail flit traverses).
+    pub fn clear_route(&mut self) {
+        self.route = None;
+    }
+
+    /// Pushes a flit into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is already full — credit-based flow control must
+    /// prevent this; overflowing indicates a protocol bug.
+    pub fn push(&mut self, flit: Flit, ready_at: Cycle) {
+        assert!(
+            self.flits.len() < self.depth,
+            "VC buffer overflow: class {:?} vc {} depth {}",
+            self.class,
+            self.id,
+            self.depth
+        );
+        self.flits.push_back((flit, ready_at));
+    }
+
+    /// The flit at the head of the FIFO, if it is allowed to compete for the
+    /// switch at cycle `now`.
+    #[must_use]
+    pub fn eligible_head(&self, now: Cycle) -> Option<&Flit> {
+        self.flits
+            .front()
+            .filter(|(_, ready)| *ready <= now)
+            .map(|(f, _)| f)
+    }
+
+    /// The flit at the head of the FIFO regardless of readiness.
+    #[must_use]
+    pub fn head(&self) -> Option<&Flit> {
+        self.flits.front().map(|(f, _)| f)
+    }
+
+    /// Mutable access to the head flit (used to shrink a multicast flit's
+    /// remaining destination set after partial service).
+    pub fn head_mut(&mut self) -> Option<&mut Flit> {
+        self.flits.front_mut().map(|(f, _)| f)
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front().map(|(f, _)| f)
+    }
+}
+
+/// One of the five input ports of a router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputPort {
+    port: Port,
+    vcs: Vec<VcBuffer>,
+    request_count: usize,
+}
+
+impl InputPort {
+    /// Creates an input port with the VC provisioning of `config`.
+    #[must_use]
+    pub fn new(port: Port, config: &RouterConfig) -> Self {
+        let mut vcs = Vec::with_capacity(config.total_vcs());
+        for id in 0..config.request_vcs.count {
+            vcs.push(VcBuffer::new(
+                MessageClass::Request,
+                id,
+                usize::from(config.request_vcs.depth),
+            ));
+        }
+        for id in 0..config.response_vcs.count {
+            vcs.push(VcBuffer::new(
+                MessageClass::Response,
+                id,
+                usize::from(config.response_vcs.depth),
+            ));
+        }
+        Self {
+            port,
+            vcs,
+            request_count: usize::from(config.request_vcs.count),
+        }
+    }
+
+    /// Which router port this input belongs to.
+    #[must_use]
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Number of VCs across both message classes.
+    #[must_use]
+    pub fn vc_count(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Flattened VC index for `(class, vc)` — request VCs first, then
+    /// response VCs.
+    #[must_use]
+    pub fn flat_index(&self, class: MessageClass, vc: VcId) -> usize {
+        match class {
+            MessageClass::Request => usize::from(vc),
+            MessageClass::Response => self.request_count + usize::from(vc),
+        }
+    }
+
+    /// The VC buffer for `(class, vc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC does not exist in this configuration.
+    #[must_use]
+    pub fn vc(&self, class: MessageClass, vc: VcId) -> &VcBuffer {
+        &self.vcs[self.flat_index(class, vc)]
+    }
+
+    /// Mutable access to the VC buffer for `(class, vc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC does not exist in this configuration.
+    pub fn vc_mut(&mut self, class: MessageClass, vc: VcId) -> &mut VcBuffer {
+        let idx = self.flat_index(class, vc);
+        &mut self.vcs[idx]
+    }
+
+    /// The VC buffer at flattened index `idx`.
+    #[must_use]
+    pub fn vc_at(&self, idx: usize) -> &VcBuffer {
+        &self.vcs[idx]
+    }
+
+    /// Mutable access to the VC buffer at flattened index `idx`.
+    pub fn vc_at_mut(&mut self, idx: usize) -> &mut VcBuffer {
+        &mut self.vcs[idx]
+    }
+
+    /// Iterates over all VC buffers.
+    pub fn vcs(&self) -> impl Iterator<Item = &VcBuffer> {
+        self.vcs.iter()
+    }
+
+    /// Total flits buffered across all VCs of this port.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.vcs.iter().map(VcBuffer::occupancy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterConfig;
+    use noc_types::{DestinationSet, Packet, PacketKind};
+
+    fn request_flit(id: u64) -> Flit {
+        Packet::new(id, 0, DestinationSet::unicast(5), PacketKind::Request, 0)
+            .to_flits()
+            .remove(0)
+    }
+
+    #[test]
+    fn input_port_has_chip_vc_layout() {
+        let port = InputPort::new(Port::North, &RouterConfig::proposed(true));
+        assert_eq!(port.vc_count(), 6);
+        assert_eq!(port.vc(MessageClass::Request, 0).depth(), 1);
+        assert_eq!(port.vc(MessageClass::Response, 1).depth(), 3);
+        assert_eq!(port.flat_index(MessageClass::Response, 0), 4);
+    }
+
+    #[test]
+    fn vc_buffer_fifo_order_and_readiness() {
+        let mut vc = VcBuffer::new(MessageClass::Response, 0, 3);
+        vc.push(request_flit(1), 5);
+        vc.push(request_flit(2), 6);
+        assert_eq!(vc.occupancy(), 2);
+        assert!(vc.eligible_head(4).is_none());
+        assert_eq!(vc.eligible_head(5).unwrap().packet_id(), 1);
+        assert_eq!(vc.pop().unwrap().packet_id(), 1);
+        assert_eq!(vc.head().unwrap().packet_id(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn vc_buffer_overflow_panics() {
+        let mut vc = VcBuffer::new(MessageClass::Request, 0, 1);
+        vc.push(request_flit(1), 0);
+        vc.push(request_flit(2), 0);
+    }
+
+    #[test]
+    fn route_state_lifecycle() {
+        let mut vc = VcBuffer::new(MessageClass::Response, 1, 3);
+        assert!(vc.route().is_none());
+        vc.set_route(VcRoute {
+            out_port: Port::East,
+            out_vc: 1,
+        });
+        assert_eq!(vc.route().unwrap().out_port, Port::East);
+        vc.clear_route();
+        assert!(vc.route().is_none());
+    }
+
+    #[test]
+    fn occupancy_sums_across_vcs() {
+        let mut port = InputPort::new(Port::West, &RouterConfig::proposed(true));
+        port.vc_mut(MessageClass::Request, 0).push(request_flit(1), 0);
+        port.vc_mut(MessageClass::Request, 2).push(request_flit(2), 0);
+        assert_eq!(port.occupancy(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # noc-router
+//!
+//! Cycle-accurate router microarchitectures for the DAC 2012 mesh NoC
+//! reproduction.
+//!
+//! The crate models three router generations from the paper:
+//!
+//! * the **textbook baseline** (Fig. 1): an input-buffered virtual-channel
+//!   router with a 4-stage pipeline (BW → SA/VA → ST → LT) and no multicast
+//!   support,
+//! * the **aggressive baseline** used in the paper's measured comparisons
+//!   (Fig. 5): identical, but with ST and LT folded into a single cycle,
+//! * the **proposed router** (Fig. 3): a multicast-capable router with
+//!   separable switch allocation (per-input round-robin mSA-I, per-output
+//!   matrix mSA-II), XY-tree forking in the crossbar, and — optionally —
+//!   **virtual bypassing**: 15-bit lookaheads pre-allocate the crossbar of
+//!   the next router so that flits achieve a single-cycle router-and-link
+//!   latency per hop at all loads.
+//!
+//! Routers communicate exclusively through value types ([`Departure`],
+//! [`Lookahead`], [`noc_types::Credit`]) so that a network orchestrator (the
+//! `mesh-noc` crate) can wire any number of them together and advance them
+//! cycle by cycle.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_router::{Router, RouterConfig, RouterKind};
+//! use noc_topology::Mesh;
+//! use noc_types::Coord;
+//!
+//! let mesh = Mesh::new(4)?;
+//! let config = RouterConfig::proposed(true);
+//! let router = Router::new(&config, mesh, Coord::new(1, 1));
+//! assert_eq!(router.coord(), Coord::new(1, 1));
+//! assert!(matches!(config.kind, RouterKind::Proposed { bypass: true }));
+//! # Ok::<(), noc_types::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arbiter;
+mod config;
+mod input;
+mod lookahead;
+mod output;
+mod router;
+
+pub use arbiter::{MatrixArbiter, RoundRobinArbiter};
+pub use config::{RouterConfig, RouterKind, VcConfig};
+pub use input::{InputPort, VcBuffer};
+pub use lookahead::Lookahead;
+pub use output::{DownstreamVc, OutputPort};
+pub use router::{Departure, Router, RouterOutput};

@@ -1,0 +1,312 @@
+//! Output ports: downstream virtual-channel bookkeeping and credit tracking.
+//!
+//! Each output port mirrors the state of the *downstream* router's input
+//! port: which of its VCs are currently allocated to in-flight packets, how
+//! many buffer slots (credits) each has free, and whether the tail flit of
+//! the current packet has been sent. This is the state the chip's VA stage
+//! (free-VC queues) and credit counters maintain.
+
+use noc_types::{Credit, MessageClass, Port, VcId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RouterConfig;
+
+/// Bookkeeping for one virtual channel of the downstream input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DownstreamVc {
+    /// Free buffer slots at the downstream VC.
+    pub credits: u8,
+    /// Whether the VC is currently allocated to an in-flight packet.
+    pub allocated: bool,
+    /// Whether the tail flit of the current packet has been sent.
+    pub tail_sent: bool,
+    depth: u8,
+}
+
+impl DownstreamVc {
+    fn new(depth: u8) -> Self {
+        Self {
+            credits: depth,
+            allocated: false,
+            tail_sent: false,
+            depth,
+        }
+    }
+
+    /// Buffer depth of the downstream VC.
+    #[must_use]
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Returns `true` when the VC can be handed to a new packet.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        !self.allocated
+    }
+}
+
+/// One of the five output ports of a router.
+///
+/// The local (ejection) output port connects to the NIC, which is modelled as
+/// always able to sink one flit per cycle; it therefore skips VC and credit
+/// bookkeeping. All other ports track the downstream router's input VCs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputPort {
+    port: Port,
+    request: Vec<DownstreamVc>,
+    response: Vec<DownstreamVc>,
+}
+
+impl OutputPort {
+    /// Creates an output port whose downstream input port is provisioned per
+    /// `config`.
+    #[must_use]
+    pub fn new(port: Port, config: &RouterConfig) -> Self {
+        if port.is_local() {
+            return Self {
+                port,
+                request: Vec::new(),
+                response: Vec::new(),
+            };
+        }
+        Self {
+            port,
+            request: (0..config.request_vcs.count)
+                .map(|_| DownstreamVc::new(config.request_vcs.depth))
+                .collect(),
+            response: (0..config.response_vcs.count)
+                .map(|_| DownstreamVc::new(config.response_vcs.depth))
+                .collect(),
+        }
+    }
+
+    /// Creates the credit/VC tracker a NIC uses for the router input port it
+    /// injects into.
+    ///
+    /// The NIC sits upstream of the router's local input port exactly like a
+    /// neighbouring router sits upstream of a mesh input port, so it needs
+    /// the same bookkeeping; this constructor provides it with full VC and
+    /// credit tracking (unlike [`OutputPort::new`] with [`Port::Local`],
+    /// which models the *ejection* side where the NIC always sinks flits).
+    #[must_use]
+    pub fn for_injection(config: &RouterConfig) -> Self {
+        Self {
+            port: Port::Local,
+            request: (0..config.request_vcs.count)
+                .map(|_| DownstreamVc::new(config.request_vcs.depth))
+                .collect(),
+            response: (0..config.response_vcs.count)
+                .map(|_| DownstreamVc::new(config.response_vcs.depth))
+                .collect(),
+        }
+    }
+
+    /// Which router port this output drives.
+    #[must_use]
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Returns `true` for the ejection (NIC) port.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.port.is_local()
+    }
+
+    /// Returns `true` when this output performs no VC/credit tracking (the
+    /// ejection port, whose NIC always sinks one flit per cycle).
+    fn untracked(&self) -> bool {
+        self.request.is_empty() && self.response.is_empty()
+    }
+
+    fn class(&self, class: MessageClass) -> &Vec<DownstreamVc> {
+        match class {
+            MessageClass::Request => &self.request,
+            MessageClass::Response => &self.response,
+        }
+    }
+
+    fn class_mut(&mut self, class: MessageClass) -> &mut Vec<DownstreamVc> {
+        match class {
+            MessageClass::Request => &mut self.request,
+            MessageClass::Response => &mut self.response,
+        }
+    }
+
+    /// State of downstream VC `(class, vc)`, or `None` for the local port.
+    #[must_use]
+    pub fn downstream_vc(&self, class: MessageClass, vc: VcId) -> Option<&DownstreamVc> {
+        self.class(class).get(usize::from(vc))
+    }
+
+    /// Finds a free downstream VC with at least one credit, without
+    /// allocating it (the VA check performed before committing a grant).
+    ///
+    /// Always returns `Some(0)` for the local port, which needs no VC.
+    #[must_use]
+    pub fn peek_free_vc(&self, class: MessageClass) -> Option<VcId> {
+        if self.untracked() {
+            return Some(0);
+        }
+        self.class(class)
+            .iter()
+            .position(|vc| vc.is_free() && vc.credits > 0)
+            .map(|i| i as VcId)
+    }
+
+    /// Allocates downstream VC `vc` to a new packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already allocated (the caller must only commit
+    /// VCs returned by [`peek_free_vc`](Self::peek_free_vc) in the same
+    /// cycle).
+    pub fn allocate_vc(&mut self, class: MessageClass, vc: VcId) {
+        if self.untracked() {
+            return;
+        }
+        let slot = &mut self.class_mut(class)[usize::from(vc)];
+        assert!(slot.is_free(), "double allocation of downstream VC");
+        slot.allocated = true;
+        slot.tail_sent = false;
+    }
+
+    /// Returns `true` when downstream VC `(class, vc)` has a free buffer slot.
+    ///
+    /// Always `true` for the local port.
+    #[must_use]
+    pub fn has_credit(&self, class: MessageClass, vc: VcId) -> bool {
+        if self.untracked() {
+            return true;
+        }
+        self.class(class)
+            .get(usize::from(vc))
+            .is_some_and(|v| v.credits > 0)
+    }
+
+    /// Records the departure of a flit on downstream VC `(class, vc)`,
+    /// consuming one credit; `is_tail` marks the end of the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available (flow-control bug).
+    pub fn send_flit(&mut self, class: MessageClass, vc: VcId, is_tail: bool) {
+        if self.untracked() {
+            return;
+        }
+        let slot = &mut self.class_mut(class)[usize::from(vc)];
+        assert!(slot.credits > 0, "sent a flit without a credit");
+        slot.credits -= 1;
+        if is_tail {
+            slot.tail_sent = true;
+        }
+    }
+
+    /// Processes a credit returned by the downstream router.
+    ///
+    /// When the packet's tail has been sent and every buffer slot has been
+    /// returned, the VC goes back to the free pool — this is the VC
+    /// turnaround the paper sizes its buffers against (3 cycles with
+    /// single-cycle hops and bypassing).
+    pub fn on_credit(&mut self, credit: Credit) {
+        if self.untracked() {
+            return;
+        }
+        let depth;
+        let slot = &mut self.class_mut(credit.class)[usize::from(credit.vc)];
+        depth = slot.depth;
+        assert!(
+            slot.credits < depth,
+            "credit overflow on downstream VC (more credits than buffer slots)"
+        );
+        slot.credits += 1;
+        if slot.allocated && slot.tail_sent && slot.credits == depth {
+            slot.allocated = false;
+            slot.tail_sent = false;
+        }
+    }
+
+    /// Number of free VCs in `class` (for occupancy statistics).
+    #[must_use]
+    pub fn free_vcs(&self, class: MessageClass) -> usize {
+        self.class(class).iter().filter(|v| v.is_free()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterConfig;
+
+    fn output(port: Port) -> OutputPort {
+        OutputPort::new(port, &RouterConfig::proposed(true))
+    }
+
+    #[test]
+    fn local_port_is_always_available() {
+        let mut local = output(Port::Local);
+        assert!(local.is_local());
+        assert_eq!(local.peek_free_vc(MessageClass::Request), Some(0));
+        assert!(local.has_credit(MessageClass::Response, 0));
+        // These must be no-ops rather than panics.
+        local.allocate_vc(MessageClass::Request, 0);
+        local.send_flit(MessageClass::Request, 0, true);
+        local.on_credit(Credit::new(MessageClass::Request, 0));
+    }
+
+    #[test]
+    fn vc_allocation_lifecycle() {
+        let mut out = output(Port::East);
+        assert_eq!(out.free_vcs(MessageClass::Request), 4);
+        let vc = out.peek_free_vc(MessageClass::Request).unwrap();
+        out.allocate_vc(MessageClass::Request, vc);
+        assert_eq!(out.free_vcs(MessageClass::Request), 3);
+        out.send_flit(MessageClass::Request, vc, true);
+        assert!(!out.has_credit(MessageClass::Request, vc), "depth-1 VC exhausted");
+        // Credit comes back after the downstream router forwards the flit.
+        out.on_credit(Credit::new(MessageClass::Request, vc));
+        assert_eq!(out.free_vcs(MessageClass::Request), 4);
+        assert!(out.has_credit(MessageClass::Request, vc));
+    }
+
+    #[test]
+    fn multi_flit_packet_frees_vc_only_after_tail_and_all_credits() {
+        let mut out = output(Port::North);
+        let vc = out.peek_free_vc(MessageClass::Response).unwrap();
+        out.allocate_vc(MessageClass::Response, vc);
+        // Send three flits (head + 2 body) filling the 3-deep buffer.
+        out.send_flit(MessageClass::Response, vc, false);
+        out.send_flit(MessageClass::Response, vc, false);
+        out.send_flit(MessageClass::Response, vc, false);
+        assert!(!out.has_credit(MessageClass::Response, vc));
+        // Two credits return; send body + tail.
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        out.send_flit(MessageClass::Response, vc, false);
+        out.send_flit(MessageClass::Response, vc, true);
+        assert_eq!(out.free_vcs(MessageClass::Response), 1, "still allocated");
+        // All outstanding credits return: VC becomes free again.
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        assert_eq!(out.free_vcs(MessageClass::Response), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a credit")]
+    fn sending_without_credit_panics() {
+        let mut out = output(Port::South);
+        out.allocate_vc(MessageClass::Request, 0);
+        out.send_flit(MessageClass::Request, 0, false);
+        out.send_flit(MessageClass::Request, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn double_allocation_panics() {
+        let mut out = output(Port::West);
+        out.allocate_vc(MessageClass::Request, 1);
+        out.allocate_vc(MessageClass::Request, 1);
+    }
+}

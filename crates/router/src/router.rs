@@ -1,0 +1,799 @@
+//! The router model itself.
+
+use noc_sim::ActivityCounters;
+use noc_topology::routing::{self, RouteBranch};
+use noc_topology::Mesh;
+use noc_types::{
+    Coord, Credit, Cycle, DestinationSet, Flit, MessageClass, NodeId, Port, PortSet, VcId,
+    PORT_COUNT,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::{MatrixArbiter, RoundRobinArbiter};
+use crate::config::RouterConfig;
+use crate::input::{InputPort, VcRoute};
+use crate::lookahead::Lookahead;
+use crate::output::OutputPort;
+
+/// A flit leaving the router on one of its output ports during this cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Departure {
+    /// Output port the flit leaves on ([`Port::Local`] means ejection to the
+    /// NIC).
+    pub port: Port,
+    /// The departing flit; its destination set has already been narrowed to
+    /// the destinations served through `port`, and its `vc` field names the
+    /// virtual channel allocated at the downstream input port.
+    pub flit: Flit,
+    /// Lookahead to forward to the downstream router alongside the flit
+    /// (only present when virtual bypassing is enabled).
+    pub lookahead: Option<Lookahead>,
+}
+
+/// Everything a router produces in one cycle.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouterOutput {
+    /// Flits leaving on output ports.
+    pub departures: Vec<Departure>,
+    /// Credits to return upstream, tagged with the *input* port whose buffer
+    /// slot was freed.
+    pub credits: Vec<(Port, Credit)>,
+}
+
+/// Internal plan for one crossbar traversal branch.
+#[derive(Debug, Clone, Copy)]
+struct BranchPlan {
+    port: Port,
+    destinations: DestinationSet,
+    out_vc: VcId,
+    newly_allocated: bool,
+}
+
+/// A cycle-accurate model of one mesh router.
+///
+/// The router is driven by an external orchestrator in two phases per cycle:
+///
+/// 1. *Arrival phase*: the orchestrator delivers flits, lookaheads and
+///    credits produced by neighbours in the previous cycle via
+///    [`accept_flit`](Router::accept_flit),
+///    [`accept_lookahead`](Router::accept_lookahead) and
+///    [`accept_credit`](Router::accept_credit).
+/// 2. *Allocation/traversal phase*: [`step`](Router::step) performs switch
+///    allocation (with lookahead bypassing when enabled), moves flits through
+///    the crossbar, and returns the cycle's [`RouterOutput`].
+#[derive(Debug, Clone)]
+pub struct Router {
+    config: RouterConfig,
+    mesh: Mesh,
+    coord: Coord,
+    node_id: NodeId,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    msa1: Vec<RoundRobinArbiter>,
+    msa2: Vec<MatrixArbiter>,
+    counters: ActivityCounters,
+    arrived: Vec<Option<Flit>>,
+    arrived_lookaheads: Vec<Option<Lookahead>>,
+}
+
+impl Router {
+    /// Creates a router at `coord` of `mesh` with the given configuration.
+    #[must_use]
+    pub fn new(config: &RouterConfig, mesh: Mesh, coord: Coord) -> Self {
+        let inputs = Port::ALL
+            .into_iter()
+            .map(|p| InputPort::new(p, config))
+            .collect();
+        let outputs = Port::ALL
+            .into_iter()
+            .map(|p| OutputPort::new(p, config))
+            .collect();
+        let msa1 = (0..PORT_COUNT)
+            .map(|_| RoundRobinArbiter::new(config.total_vcs()))
+            .collect();
+        let msa2 = (0..PORT_COUNT).map(|_| MatrixArbiter::new(PORT_COUNT)).collect();
+        let mut counters = ActivityCounters::new();
+        counters.routers = 1;
+        Self {
+            config: *config,
+            mesh,
+            node_id: mesh.id_of(coord),
+            coord,
+            inputs,
+            outputs,
+            msa1,
+            msa2,
+            counters,
+            arrived: vec![None; PORT_COUNT],
+            arrived_lookaheads: vec![None; PORT_COUNT],
+        }
+    }
+
+    /// Position of the router in the mesh.
+    #[must_use]
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// Node id of the router.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Router configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Activity counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    /// Total flits buffered in the router's input ports.
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs.iter().map(InputPort::occupancy).sum()
+    }
+
+    /// State of one output port (used by NIC models and tests).
+    #[must_use]
+    pub fn output(&self, port: Port) -> &OutputPort {
+        &self.outputs[port.index()]
+    }
+
+    /// State of one input port (used by tests).
+    #[must_use]
+    pub fn input(&self, port: Port) -> &InputPort {
+        &self.inputs[port.index()]
+    }
+
+    /// Delivers a flit arriving on `port` this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flit has already arrived on `port` this cycle (links are
+    /// one flit wide) or if the flit does not carry its input VC assignment.
+    pub fn accept_flit(&mut self, port: Port, flit: Flit) {
+        assert!(
+            self.arrived[port.index()].is_none(),
+            "two flits delivered on the same link in one cycle"
+        );
+        assert!(flit.vc().is_some(), "arriving flit must carry its VC assignment");
+        self.arrived[port.index()] = Some(flit);
+    }
+
+    /// Delivers a lookahead arriving on `port` this cycle.
+    pub fn accept_lookahead(&mut self, port: Port, lookahead: Lookahead) {
+        self.arrived_lookaheads[port.index()] = Some(lookahead);
+    }
+
+    /// Delivers a credit returned by the downstream router attached to output
+    /// `port`.
+    pub fn accept_credit(&mut self, port: Port, credit: Credit) {
+        self.outputs[port.index()].on_credit(credit);
+    }
+
+    /// Runs one allocation/traversal cycle and returns the flits, lookaheads
+    /// and credits produced.
+    pub fn step(&mut self, now: Cycle) -> RouterOutput {
+        let mut out = RouterOutput::default();
+        self.counters.cycles += 1;
+        let mut output_used = [false; PORT_COUNT];
+
+        if self.config.kind.lookahead_enabled() {
+            self.bypass_phase(&mut out, &mut output_used);
+        }
+        self.buffered_phase(now, &mut out, &mut output_used);
+        self.write_arrivals(now);
+        out
+    }
+
+    // ----------------------------------------------------------------- bypass
+
+    fn bypass_phase(&mut self, out: &mut RouterOutput, output_used: &mut [bool; PORT_COUNT]) {
+        // Collect candidates: arriving flits accompanied by a matching
+        // lookahead whose input VC is empty (so bypassing cannot reorder a
+        // packet) and, for body/tail flits, whose VC has route state.
+        let mut candidates: [Option<PortSet>; PORT_COUNT] = [None; PORT_COUNT];
+        for i in 0..PORT_COUNT {
+            let (Some(flit), Some(la)) = (&self.arrived[i], &self.arrived_lookaheads[i]) else {
+                continue;
+            };
+            if la.flit_id != flit.id() {
+                continue;
+            }
+            let class = flit.message_class();
+            let vc = flit.vc().expect("arriving flit carries its VC");
+            let vcbuf = self.inputs[i].vc(class, vc);
+            if !vcbuf.is_empty() {
+                continue;
+            }
+            if !flit.kind().is_head() && vcbuf.route().is_none() {
+                continue;
+            }
+            let ports = routing::requested_ports(&self.mesh, self.coord, flit.destinations());
+            candidates[i] = Some(ports);
+        }
+
+        // mSA-II among lookahead requests (they take priority over buffered
+        // flits, which are arbitrated afterwards on the remaining ports).
+        let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
+        for p in 0..PORT_COUNT {
+            let port = Port::ALL[p];
+            let requests: Vec<bool> = (0..PORT_COUNT)
+                .map(|i| candidates[i].is_some_and(|ps| ps.contains(port)))
+                .collect();
+            if requests.iter().any(|&r| r) {
+                self.counters.sa_global_arbitrations += 1;
+                if let Some(w) = self.msa2[p].arbitrate(&requests) {
+                    granted[w][p] = true;
+                }
+            }
+        }
+
+        for i in 0..PORT_COUNT {
+            let Some(ports) = candidates[i] else { continue };
+            if !ports.iter().all(|p| granted[i][p.index()]) {
+                continue;
+            }
+            let flit = self.arrived[i].as_ref().expect("candidate has a flit").clone();
+            let class = flit.message_class();
+            let in_vc = flit.vc().expect("arriving flit carries its VC");
+            let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
+            let Some(plan) = self.plan_branches(&flit, class, i, in_vc, &branches, true) else {
+                continue;
+            };
+            // Commit the bypass: the flit crosses the switch and the link in
+            // this very cycle and its (never used) buffer slot is credited
+            // back immediately.
+            let flit = self.arrived[i].take().expect("candidate has a flit");
+            self.arrived_lookaheads[i] = None;
+            self.counters.bypasses += 1;
+            if flit.kind().is_head() {
+                self.counters.route_computations += 1;
+            }
+            self.execute_traversal(&flit, class, i, in_vc, &plan, true, out, output_used);
+            out.credits
+                .push((Port::ALL[i], Credit::new(class, in_vc)));
+        }
+    }
+
+    // --------------------------------------------------------------- buffered
+
+    fn buffered_phase(
+        &mut self,
+        now: Cycle,
+        out: &mut RouterOutput,
+        output_used: &mut [bool; PORT_COUNT],
+    ) {
+        // mSA-I: each input port picks one of its VCs with an eligible head.
+        // A head is only allowed to request the switch when it could actually
+        // move: head flits need a free downstream VC with a credit on at
+        // least one of their requested ports, body flits need a credit on
+        // their packet's allocated VC. This mirrors the chip, where the VA
+        // stage (free-VC queues) and credit counters gate the switch
+        // requests, and it prevents a resource-starved VC from phase-locking
+        // the round-robin and matrix arbiters against its neighbours.
+        let mut winners: [Option<usize>; PORT_COUNT] = [None; PORT_COUNT];
+        for i in 0..PORT_COUNT {
+            let n = self.inputs[i].vc_count();
+            let requests: Vec<bool> = (0..n)
+                .map(|v| {
+                    let vcbuf = self.inputs[i].vc_at(v);
+                    let Some(flit) = vcbuf.eligible_head(now) else {
+                        return false;
+                    };
+                    let class = flit.message_class();
+                    if flit.kind().is_head() {
+                        routing::multicast_branches(&self.mesh, self.coord, flit.destinations())
+                            .iter()
+                            .any(|b| {
+                                let op = &self.outputs[b.port.index()];
+                                b.port.is_local()
+                                    || op
+                                        .peek_free_vc(class)
+                                        .is_some_and(|vc| op.has_credit(class, vc))
+                            })
+                    } else {
+                        let route = vcbuf.route().expect("body flit must follow an allocated route");
+                        self.outputs[route.out_port.index()].has_credit(class, route.out_vc)
+                    }
+                })
+                .collect();
+            if requests.iter().any(|&r| r) {
+                self.counters.sa_local_arbitrations += 1;
+                winners[i] = self.msa1[i].arbitrate(&requests);
+            }
+        }
+
+        // Output-port requests of each mSA-I winner.
+        let mut requested: [Option<PortSet>; PORT_COUNT] = [None; PORT_COUNT];
+        for i in 0..PORT_COUNT {
+            let Some(v) = winners[i] else { continue };
+            let vcbuf = self.inputs[i].vc_at(v);
+            let flit = vcbuf.head().expect("winner has a head flit");
+            let ports = if flit.kind().is_head() {
+                routing::requested_ports(&self.mesh, self.coord, flit.destinations())
+            } else {
+                PortSet::single(
+                    vcbuf
+                        .route()
+                        .expect("body flit must follow an allocated route")
+                        .out_port,
+                )
+            };
+            requested[i] = Some(ports);
+        }
+
+        // mSA-II on the output ports not already taken by bypassing flits.
+        let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
+        for p in 0..PORT_COUNT {
+            if output_used[p] {
+                continue;
+            }
+            let port = Port::ALL[p];
+            let requests: Vec<bool> = (0..PORT_COUNT)
+                .map(|i| requested[i].is_some_and(|ps| ps.contains(port)))
+                .collect();
+            if requests.iter().any(|&r| r) {
+                self.counters.sa_global_arbitrations += 1;
+                if let Some(w) = self.msa2[p].arbitrate(&requests) {
+                    granted[w][p] = true;
+                }
+            }
+        }
+
+        // Traverse granted branches (possibly a subset of a multicast's
+        // branches — the rest of the destinations stay buffered and retry).
+        for i in 0..PORT_COUNT {
+            let Some(v) = winners[i] else { continue };
+            let Some(req_ports) = requested[i] else { continue };
+            let granted_ports: PortSet = req_ports
+                .iter()
+                .filter(|p| granted[i][p.index()])
+                .collect();
+            if granted_ports.is_empty() {
+                continue;
+            }
+            let flit = self.inputs[i].vc_at(v).head().expect("winner has a head flit").clone();
+            let class = flit.message_class();
+            let in_vc = flit.vc().expect("buffered flit carries its VC");
+            let branches: Vec<RouteBranch> = if flit.kind().is_head() {
+                routing::multicast_branches(&self.mesh, self.coord, flit.destinations())
+                    .into_iter()
+                    .filter(|b| granted_ports.contains(b.port))
+                    .collect()
+            } else {
+                vec![RouteBranch {
+                    port: self.inputs[i]
+                        .vc_at(v)
+                        .route()
+                        .expect("body flit must follow an allocated route")
+                        .out_port,
+                    destinations: *flit.destinations(),
+                }]
+            };
+            let Some(plan) = self.plan_branches(&flit, class, i, in_vc, &branches, false) else {
+                continue;
+            };
+            self.counters.buffer_reads += 1;
+            self.execute_traversal(&flit, class, i, in_vc, &plan, false, out, output_used);
+
+            // Update the buffer: multicast flits may have remaining
+            // destinations to serve on later cycles.
+            let served: DestinationSet = plan
+                .iter()
+                .fold(DestinationSet::empty(), |acc, b| acc.union(&b.destinations));
+            let remaining = flit.destinations().difference(&served);
+            if remaining.is_empty() {
+                let popped = self.inputs[i].vc_at_mut(v).pop();
+                debug_assert!(popped.is_some());
+                out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
+            } else {
+                self.inputs[i]
+                    .vc_at_mut(v)
+                    .head_mut()
+                    .expect("flit still buffered")
+                    .set_destinations(remaining);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ primitives
+
+    /// Checks resources (downstream VC and credit) for every branch and
+    /// returns the committed plan.
+    ///
+    /// With `all_or_nothing` (the bypass path, matching the chip: a flit that
+    /// cannot be fully served is buffered instead), any branch lacking
+    /// resources aborts the whole plan. Without it (the buffered path),
+    /// branches lacking resources are simply skipped so a multicast can be
+    /// served partially and retry the rest on later cycles.
+    fn plan_branches(
+        &self,
+        flit: &Flit,
+        class: MessageClass,
+        in_port: usize,
+        in_vc: VcId,
+        branches: &[RouteBranch],
+        all_or_nothing: bool,
+    ) -> Option<Vec<BranchPlan>> {
+        if branches.is_empty() {
+            return None;
+        }
+        let mut plan = Vec::with_capacity(branches.len());
+        for b in branches {
+            let op = &self.outputs[b.port.index()];
+            if b.port.is_local() {
+                plan.push(BranchPlan {
+                    port: b.port,
+                    destinations: b.destinations,
+                    out_vc: 0,
+                    newly_allocated: false,
+                });
+                continue;
+            }
+            if flit.kind().is_head() {
+                match op.peek_free_vc(class) {
+                    Some(vc) if op.has_credit(class, vc) => plan.push(BranchPlan {
+                        port: b.port,
+                        destinations: b.destinations,
+                        out_vc: vc,
+                        newly_allocated: true,
+                    }),
+                    _ if all_or_nothing => return None,
+                    _ => {}
+                }
+            } else {
+                let route = self.inputs[in_port]
+                    .vc(class, in_vc)
+                    .route()
+                    .expect("body flit must follow an allocated route");
+                if route.out_port == b.port && op.has_credit(class, route.out_vc) {
+                    plan.push(BranchPlan {
+                        port: b.port,
+                        destinations: b.destinations,
+                        out_vc: route.out_vc,
+                        newly_allocated: false,
+                    });
+                } else if all_or_nothing {
+                    return None;
+                }
+            }
+        }
+        if plan.is_empty() {
+            None
+        } else {
+            Some(plan)
+        }
+    }
+
+    /// Moves a flit through the crossbar onto every branch of `plan`.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_traversal(
+        &mut self,
+        flit: &Flit,
+        class: MessageClass,
+        in_port: usize,
+        in_vc: VcId,
+        plan: &[BranchPlan],
+        bypassed: bool,
+        out: &mut RouterOutput,
+        output_used: &mut [bool; PORT_COUNT],
+    ) {
+        if plan.len() > 1 {
+            self.counters.multicast_forks += 1;
+        }
+        for b in plan {
+            output_used[b.port.index()] = true;
+            let op = &mut self.outputs[b.port.index()];
+            if b.newly_allocated {
+                op.allocate_vc(class, b.out_vc);
+                self.counters.vc_allocations += 1;
+            }
+            op.send_flit(class, b.out_vc, flit.kind().is_tail());
+            self.counters.crossbar_traversals += 1;
+
+            let mut departing = flit.clone();
+            departing.set_destinations(b.destinations);
+            departing.set_vc(b.out_vc);
+
+            let lookahead = if self.config.kind.lookahead_enabled() && !b.port.is_local() {
+                let dir = b.port.direction().expect("non-local port has a direction");
+                let next = self
+                    .mesh
+                    .neighbor(self.coord, dir)
+                    .expect("routing never leaves the mesh");
+                let next_ports = routing::requested_ports(&self.mesh, next, &b.destinations);
+                self.counters.lookaheads_sent += 1;
+                Some(Lookahead::new(departing.id(), class, b.out_vc, next_ports))
+            } else {
+                None
+            };
+
+            if b.port.is_local() {
+                self.counters.local_link_traversals += 1;
+                if flit.kind().is_tail() {
+                    self.counters.ejections += 1;
+                }
+            } else {
+                self.counters.link_traversals += 1;
+                departing.record_hop(bypassed);
+            }
+
+            out.departures.push(Departure {
+                port: b.port,
+                flit: departing,
+                lookahead,
+            });
+        }
+
+        // Maintain per-VC route state so body/tail flits of multi-flit
+        // (unicast) packets follow their head.
+        if flit.kind().is_head() && !flit.kind().is_tail() {
+            let first = plan[0];
+            self.inputs[in_port].vc_mut(class, in_vc).set_route(VcRoute {
+                out_port: first.port,
+                out_vc: first.out_vc,
+            });
+        }
+        if flit.kind().is_tail() && !flit.kind().is_head() {
+            self.inputs[in_port].vc_mut(class, in_vc).clear_route();
+        }
+    }
+
+    /// Buffers every arrived flit that did not bypass.
+    fn write_arrivals(&mut self, now: Cycle) {
+        for i in 0..PORT_COUNT {
+            if let Some(flit) = self.arrived[i].take() {
+                let class = flit.message_class();
+                let vc = flit.vc().expect("arriving flit carries its VC");
+                if flit.kind().is_head() {
+                    self.counters.route_computations += 1;
+                }
+                self.counters.buffer_writes += 1;
+                let ready = now + self.config.kind.buffered_pipeline_delay();
+                self.inputs[i].vc_mut(class, vc).push(flit, ready);
+            }
+            self.arrived_lookaheads[i] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterConfig;
+    use noc_types::{Packet, PacketKind};
+
+    fn mesh4() -> Mesh {
+        Mesh::new(4).unwrap()
+    }
+
+    /// A unicast request flit from `src` to `dst`, pre-assigned to VC 0.
+    fn unicast_flit(id: u64, src: NodeId, dst: NodeId) -> Flit {
+        let p = Packet::new(id, src, DestinationSet::unicast(dst), PacketKind::Request, 0);
+        let mut f = p.to_flits().remove(0);
+        f.set_vc(0);
+        f
+    }
+
+    fn broadcast_flit(id: u64, src: NodeId) -> Flit {
+        let p = Packet::new(id, src, DestinationSet::broadcast(4, src), PacketKind::Request, 0);
+        let mut f = p.to_flits().remove(0);
+        f.set_vc(0);
+        f
+    }
+
+    fn lookahead_for(router: &Router, flit: &Flit) -> Lookahead {
+        let ports = routing::requested_ports(&Mesh::new(4).unwrap(), router.coord(), flit.destinations());
+        Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports)
+    }
+
+    #[test]
+    fn buffered_unicast_departs_after_pipeline_delay() {
+        // Aggressive baseline: arrive at t, depart at t+2 (3 cycles per hop
+        // counting the link the orchestrator adds).
+        let mut r = Router::new(&RouterConfig::aggressive_baseline(), mesh4(), Coord::new(1, 1));
+        let flit = unicast_flit(1, 0, 15); // needs to keep going East/North
+        r.accept_flit(Port::West, flit);
+        let out0 = r.step(10);
+        assert!(out0.departures.is_empty(), "flit is only being buffered at t");
+        let out1 = r.step(11);
+        assert!(out1.departures.is_empty(), "pipeline delay not yet elapsed");
+        let out2 = r.step(12);
+        assert_eq!(out2.departures.len(), 1);
+        assert_eq!(out2.departures[0].port, Port::East);
+        assert!(out2.departures[0].lookahead.is_none());
+        // The freed buffer slot is credited upstream.
+        assert_eq!(out2.credits.len(), 1);
+        assert_eq!(out2.credits[0].0, Port::West);
+    }
+
+    #[test]
+    fn bypassed_unicast_departs_in_its_arrival_cycle() {
+        let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
+        let flit = unicast_flit(1, 0, 7); // destination (3,1): continue East
+        let la = lookahead_for(&r, &flit);
+        r.accept_flit(Port::West, flit);
+        r.accept_lookahead(Port::West, la);
+        let out = r.step(10);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].port, Port::East);
+        assert_eq!(out.departures[0].flit.bypassed_hops(), 1);
+        assert!(out.departures[0].lookahead.is_some(), "bypass keeps pre-allocating downstream");
+        // Credit returned immediately because the buffer was never used.
+        assert_eq!(out.credits.len(), 1);
+        assert_eq!(r.counters().bypasses, 1);
+        assert_eq!(r.counters().buffer_writes, 0);
+    }
+
+    #[test]
+    fn without_lookahead_the_proposed_router_buffers() {
+        let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
+        let flit = unicast_flit(1, 0, 7);
+        r.accept_flit(Port::West, flit);
+        let out = r.step(10);
+        assert!(out.departures.is_empty());
+        assert_eq!(r.counters().buffer_writes, 1);
+        assert_eq!(r.buffered_flits(), 1);
+    }
+
+    #[test]
+    fn broadcast_flit_forks_in_the_crossbar() {
+        // Broadcast from node 5 = (1,1) observed at its source router: the
+        // XY-tree forks East, West, North and South.
+        let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
+        let flit = broadcast_flit(1, 5);
+        let la = lookahead_for(&r, &flit);
+        r.accept_flit(Port::Local, flit);
+        r.accept_lookahead(Port::Local, la);
+        let out = r.step(0);
+        assert_eq!(out.departures.len(), 4);
+        let ports: Vec<Port> = out.departures.iter().map(|d| d.port).collect();
+        assert!(ports.contains(&Port::East) && ports.contains(&Port::West));
+        assert!(ports.contains(&Port::North) && ports.contains(&Port::South));
+        assert_eq!(r.counters().multicast_forks, 1);
+        assert_eq!(r.counters().crossbar_traversals, 4);
+        // Destination subsets are disjoint and cover all 15 destinations.
+        let total: usize = out.departures.iter().map(|d| d.flit.destinations().len()).sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn ejection_goes_to_the_local_port() {
+        let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(2, 2));
+        let flit = unicast_flit(1, 0, 10); // node 10 == (2,2)
+        let la = lookahead_for(&r, &flit);
+        r.accept_flit(Port::West, flit);
+        r.accept_lookahead(Port::West, la);
+        let out = r.step(0);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].port, Port::Local);
+        assert!(out.departures[0].lookahead.is_none(), "no lookahead to a NIC");
+        assert_eq!(r.counters().ejections, 1);
+    }
+
+    #[test]
+    fn contending_lookaheads_buffer_the_loser() {
+        // Two flits arrive in the same cycle, both needing the East port.
+        let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
+        let f_a = unicast_flit(1, 0, 7);
+        let f_b = unicast_flit(2, 4, 7);
+        let la_a = lookahead_for(&r, &f_a);
+        let la_b = lookahead_for(&r, &f_b);
+        r.accept_flit(Port::West, f_a);
+        r.accept_lookahead(Port::West, la_a);
+        r.accept_flit(Port::South, f_b);
+        r.accept_lookahead(Port::South, la_b);
+        let out = r.step(0);
+        assert_eq!(out.departures.len(), 1, "only one flit can win the East port");
+        assert_eq!(r.counters().bypasses, 1);
+        assert_eq!(r.counters().buffer_writes, 1, "the loser is buffered");
+        assert_eq!(r.buffered_flits(), 1);
+    }
+
+    #[test]
+    fn credits_are_required_to_depart() {
+        // Exhaust the East output's request VCs, then check a flit stays put.
+        let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(1, 1));
+        for vc in 0..4 {
+            r.outputs[Port::East.index()].allocate_vc(MessageClass::Request, vc);
+            r.outputs[Port::East.index()].send_flit(MessageClass::Request, vc, true);
+        }
+        let flit = unicast_flit(9, 0, 7);
+        r.accept_flit(Port::West, flit);
+        r.step(0);
+        r.step(1);
+        let out = r.step(2);
+        assert!(out.departures.is_empty(), "no downstream VC/credit available");
+        assert_eq!(r.buffered_flits(), 1);
+        // Return one credit; the flit can now leave.
+        r.accept_credit(Port::East, Credit::new(MessageClass::Request, 0));
+        let out = r.step(3);
+        assert_eq!(out.departures.len(), 1);
+    }
+
+    #[test]
+    fn partial_multicast_service_keeps_remaining_destinations() {
+        // A broadcast needs East and North, but North has no free VCs: only
+        // the East branch is served and the rest stays buffered.
+        let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(0, 0));
+        for vc in 0..4 {
+            r.outputs[Port::North.index()].allocate_vc(MessageClass::Request, vc);
+            r.outputs[Port::North.index()].send_flit(MessageClass::Request, vc, true);
+        }
+        let flit = broadcast_flit(1, 0);
+        r.accept_flit(Port::Local, flit);
+        r.step(0);
+        r.step(1);
+        let out = r.step(2);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].port, Port::East);
+        assert!(out.credits.is_empty(), "flit still owns its buffer slot");
+        assert_eq!(r.buffered_flits(), 1);
+        let remaining = r
+            .input(Port::Local)
+            .vc(MessageClass::Request, 0)
+            .head()
+            .unwrap()
+            .destinations()
+            .len();
+        assert_eq!(remaining, 3, "only the own-column destinations remain");
+        // Free the North VCs: the remainder drains and the credit follows.
+        for vc in 0..4 {
+            r.accept_credit(Port::North, Credit::new(MessageClass::Request, vc));
+        }
+        let out = r.step(3);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].port, Port::North);
+        assert_eq!(out.credits.len(), 1);
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn five_flit_response_streams_in_order_on_one_vc() {
+        let mut r = Router::new(&RouterConfig::aggressive_baseline(), mesh4(), Coord::new(1, 1));
+        let packet = Packet::new(7, 0, DestinationSet::unicast(7), PacketKind::Response, 0);
+        let flits: Vec<Flit> = packet
+            .to_flits()
+            .into_iter()
+            .map(|mut f| {
+                f.set_vc(0);
+                f
+            })
+            .collect();
+        // Feed the first three flits (the downstream VC is 3 deep).
+        let mut received = Vec::new();
+        let mut cycle = 0;
+        let mut next_to_send = 0usize;
+        for _ in 0..30 {
+            if next_to_send < flits.len() && r.input(Port::West).vc(MessageClass::Response, 0).occupancy() < 3 {
+                r.accept_flit(Port::West, flits[next_to_send].clone());
+                next_to_send += 1;
+            }
+            let out = r.step(cycle);
+            for d in out.departures {
+                assert_eq!(d.port, Port::East);
+                received.push(d.flit.sequence());
+            }
+            // Model the downstream router always making room promptly.
+            for (_, credit) in out.credits {
+                let _ = credit;
+            }
+            // Return credits to the East output so the stream keeps moving.
+            if cycle % 1 == 0 {
+                let dvc = r.output(Port::East).downstream_vc(MessageClass::Response, 0).unwrap();
+                if dvc.credits < 3 && dvc.allocated {
+                    r.accept_credit(Port::East, Credit::new(MessageClass::Response, 0));
+                }
+            }
+            cycle += 1;
+        }
+        assert_eq!(received, vec![0, 1, 2, 3, 4], "flits must stay in order");
+    }
+}

@@ -1,0 +1,50 @@
+//! # noc-sim
+//!
+//! Cycle-driven simulation kernel for the DAC 2012 mesh NoC reproduction.
+//!
+//! The kernel is deliberately small: the paper's chip is a synchronous
+//! design clocked at 1 GHz, so a fixed-timestep, two-phase (compute /
+//! commit) cycle loop models it faithfully without the complexity of a
+//! general discrete-event engine. The crate provides:
+//!
+//! * [`Clock`] — the global cycle counter,
+//! * [`Lfsr`] and [`PrbsGenerator`] — the pseudo-random binary sequence
+//!   generators the chip's NICs use to produce traffic (including the
+//!   "identical seeds on every NIC" artifact the paper discusses),
+//! * [`LatencyStats`], [`ThroughputStats`] — measurement helpers for the
+//!   latency/throughput curves of Figs. 5 and 13,
+//! * [`ActivityCounters`] — per-component event counts (buffer reads/writes,
+//!   crossbar and link traversals, allocator arbitrations, lookaheads,
+//!   bypasses) that the power models in `noc-power` convert into energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_sim::{Clock, PrbsGenerator};
+//!
+//! let mut clock = Clock::new();
+//! let mut prbs = PrbsGenerator::new(0xACE1);
+//! let mut injected = 0;
+//! for _ in 0..1000 {
+//!     // Bernoulli injection at rate 0.25 flits/cycle.
+//!     if prbs.chance(0.25) {
+//!         injected += 1;
+//!     }
+//!     clock.tick();
+//! }
+//! assert_eq!(clock.now(), 1000);
+//! assert!(injected > 150 && injected < 350);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod counters;
+mod prbs;
+mod stats;
+
+pub use clock::Clock;
+pub use counters::ActivityCounters;
+pub use prbs::{Lfsr, PrbsGenerator};
+pub use stats::{LatencyStats, SweepPoint, ThroughputStats};

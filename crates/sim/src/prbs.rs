@@ -1,0 +1,207 @@
+//! Pseudo-random binary sequence (PRBS) generators.
+//!
+//! The fabricated chip generates traffic with on-chip PRBS generators inside
+//! each NIC. Crucially, *all NICs share the same seed* — an artifact the
+//! paper calls out because correlated destinations cause avoidable contention
+//! that limits bypassing even at low injection rates (§4.1). The simulator
+//! reproduces both behaviours: identical seeds (to match the measured chip)
+//! and per-node seeds (to match the "fixed RTL" results the paper quotes).
+
+use serde::{Deserialize, Serialize};
+
+/// A 16-bit maximal-length Fibonacci linear-feedback shift register
+/// (taps 16, 15, 13, 4 — the classic x^16 + x^15 + x^13 + x^4 + 1 polynomial).
+///
+/// The period is 2^16 - 1; the all-zero state is avoided by construction.
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::Lfsr;
+///
+/// let mut lfsr = Lfsr::new(0xACE1);
+/// let first = lfsr.next_bit();
+/// assert!(first == 0 || first == 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lfsr {
+    state: u16,
+}
+
+impl Lfsr {
+    /// Creates an LFSR from a seed. A zero seed is mapped to a fixed
+    /// non-zero state because the all-zero state is a fixed point.
+    #[must_use]
+    pub fn new(seed: u16) -> Self {
+        Self {
+            state: if seed == 0 { 0xACE1 } else { seed },
+        }
+    }
+
+    /// Current register state.
+    #[must_use]
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// Advances the register one step and returns the output bit.
+    pub fn next_bit(&mut self) -> u16 {
+        let bit = (self.state ^ (self.state >> 1) ^ (self.state >> 3) ^ (self.state >> 12)) & 1;
+        self.state = (self.state >> 1) | (bit << 15);
+        bit
+    }
+
+    /// Produces the next `n`-bit word (`n <= 16`) from successive output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn next_bits(&mut self, n: u32) -> u16 {
+        assert!(n <= 16, "an Lfsr word is at most 16 bits");
+        let mut word = 0u16;
+        for _ in 0..n {
+            word = (word << 1) | self.next_bit();
+        }
+        word
+    }
+}
+
+/// A PRBS-based traffic randomness source.
+///
+/// Combines two LFSRs (offset seeds) to produce uniform-ish integers and
+/// Bernoulli coin flips. This mirrors the hardware structure of the chip's
+/// traffic generators; it is intentionally *not* a cryptographic or even
+/// statistically strong RNG — matching the chip matters more than statistical
+/// perfection, and the identical-seed artifact is part of what we reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrbsGenerator {
+    dest_lfsr: Lfsr,
+    rate_lfsr: Lfsr,
+}
+
+impl PrbsGenerator {
+    /// Creates a generator from a 16-bit seed.
+    #[must_use]
+    pub fn new(seed: u16) -> Self {
+        Self {
+            dest_lfsr: Lfsr::new(seed),
+            rate_lfsr: Lfsr::new(seed.rotate_left(7) ^ 0x5A5A),
+        }
+    }
+
+    /// Returns `true` with probability `p` (a Bernoulli trial).
+    ///
+    /// The trial consumes 16 bits of the rate LFSR, giving a resolution of
+    /// 1/65535 on the injection rate — fine-grained enough for every rate
+    /// swept in the paper's figures.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * f64::from(u16::MAX)) as u32;
+        u32::from(self.rate_lfsr.next_bits(16)) < threshold
+    }
+
+    /// Returns a value in `0..bound` (used for uniform destination choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u16) -> u16 {
+        assert!(bound > 0, "bound must be positive");
+        self.dest_lfsr.next_bits(16) % bound
+    }
+
+    /// Returns the next raw 16-bit word of the destination LFSR.
+    pub fn next_word(&mut self) -> u16 {
+        self.dest_lfsr.next_bits(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lfsr_never_reaches_zero_and_has_long_period() {
+        let mut lfsr = Lfsr::new(1);
+        let mut seen = HashSet::new();
+        for _ in 0..65535 {
+            assert_ne!(lfsr.state(), 0);
+            seen.insert(lfsr.state());
+            lfsr.next_bit();
+        }
+        // A maximal 16-bit LFSR visits every non-zero state exactly once.
+        assert_eq!(seen.len(), 65535);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let lfsr = Lfsr::new(0);
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_sequences() {
+        let mut a = PrbsGenerator::new(0x1234);
+        let mut b = PrbsGenerator::new(0x1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_word(), b.next_word());
+            assert_eq!(a.chance(0.5), b.chance(0.5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = PrbsGenerator::new(0x1234);
+        let mut b = PrbsGenerator::new(0x4321);
+        let mut equal = 0;
+        for _ in 0..1000 {
+            if a.next_word() == b.next_word() {
+                equal += 1;
+            }
+        }
+        assert!(equal < 10, "sequences should rarely coincide, got {equal}");
+    }
+
+    #[test]
+    fn chance_respects_probability_roughly() {
+        let mut g = PrbsGenerator::new(0xBEEF);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if g.chance(0.3) {
+                hits += 1;
+            }
+        }
+        let ratio = f64::from(hits) / f64::from(trials);
+        assert!((ratio - 0.3).abs() < 0.03, "observed {ratio}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut g = PrbsGenerator::new(0xBEEF);
+        assert!(!g.chance(0.0));
+        // p = 1.0 maps to threshold u16::MAX which every sample is below,
+        // except the (rare) exact-max word; accept >99% hits.
+        let hits = (0..1000).filter(|_| g.chance(1.0)).count();
+        assert!(hits >= 990);
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_covers_values() {
+        let mut g = PrbsGenerator::new(0x7777);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let v = g.next_below(16);
+            assert!(v < 16);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 16, "all destinations should eventually appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_bound_panics() {
+        let mut g = PrbsGenerator::new(1);
+        let _ = g.next_below(0);
+    }
+}

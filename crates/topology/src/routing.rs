@@ -1,0 +1,290 @@
+//! Dimension-ordered XY routing and XY-tree multicast routing.
+//!
+//! The chip routes unicasts with deterministic XY (dimension-ordered)
+//! routing: a flit first travels along the X dimension until it reaches the
+//! destination column, then along Y. Multicasts and broadcasts use a
+//! *dimension-ordered XY-tree*: the flit travels as a single copy for as long
+//! as its remaining destinations share the next hop, and the router forks it
+//! (replicates it in the crossbar) only when destinations diverge. Because
+//! every branch of the tree is itself an XY route, the tree inherits XY's
+//! deadlock freedom.
+
+use noc_types::{Coord, DestinationSet, NodeId, Port, PortSet};
+
+use crate::mesh::Mesh;
+
+/// The output port a flit at `current` must take to make progress towards
+/// `dest` under XY routing, or [`Port::Local`] when it has arrived.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{routing, Mesh};
+/// use noc_types::{Coord, Port};
+///
+/// let mesh = Mesh::new(4)?;
+/// assert_eq!(routing::xy_next_port(&mesh, Coord::new(0, 0), Coord::new(2, 3)), Port::East);
+/// assert_eq!(routing::xy_next_port(&mesh, Coord::new(2, 0), Coord::new(2, 3)), Port::North);
+/// assert_eq!(routing::xy_next_port(&mesh, Coord::new(2, 3), Coord::new(2, 3)), Port::Local);
+/// # Ok::<(), noc_types::ConfigError>(())
+/// ```
+#[must_use]
+pub fn xy_next_port(mesh: &Mesh, current: Coord, dest: Coord) -> Port {
+    debug_assert!(mesh.contains(current) && mesh.contains(dest));
+    if dest.x > current.x {
+        Port::East
+    } else if dest.x < current.x {
+        Port::West
+    } else if dest.y > current.y {
+        Port::North
+    } else if dest.y < current.y {
+        Port::South
+    } else {
+        Port::Local
+    }
+}
+
+/// The full XY route from `from` to `to`, as the sequence of nodes visited
+/// (including both endpoints).
+#[must_use]
+pub fn xy_route(mesh: &Mesh, from: Coord, to: Coord) -> Vec<Coord> {
+    let mut route = vec![from];
+    let mut current = from;
+    while current != to {
+        let port = xy_next_port(mesh, current, to);
+        let dir = port
+            .direction()
+            .expect("xy_next_port only returns Local at the destination");
+        current = mesh
+            .neighbor(current, dir)
+            .expect("XY routing never walks off the mesh");
+        route.push(current);
+    }
+    route
+}
+
+/// One branch of a multicast fork: the output port to drive and the subset of
+/// destinations served through that port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteBranch {
+    /// Output port to replicate the flit onto.
+    pub port: Port,
+    /// Destinations reachable through `port` (for [`Port::Local`], the
+    /// current node itself).
+    pub destinations: DestinationSet,
+}
+
+/// Computes the set of output ports (and per-port destination subsets) a flit
+/// at `current` with destination set `dests` must be replicated onto, under
+/// dimension-ordered XY-tree routing.
+///
+/// Unicast flits always produce exactly one branch; broadcast flits produce
+/// up to five (the four directions plus local ejection).
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{routing, Mesh};
+/// use noc_types::{Coord, DestinationSet, Port};
+///
+/// let mesh = Mesh::new(4)?;
+/// // A broadcast from the node at (1, 1), observed at the source router:
+/// let dests = DestinationSet::broadcast(4, Coord::new(1, 1).node_id(4));
+/// let branches = routing::multicast_branches(&mesh, Coord::new(1, 1), &dests);
+/// // Forks East, West (to cover other columns) and North, South (own column).
+/// assert_eq!(branches.len(), 4);
+/// assert!(branches.iter().all(|b| b.port != Port::Local));
+/// # Ok::<(), noc_types::ConfigError>(())
+/// ```
+#[must_use]
+pub fn multicast_branches(
+    mesh: &Mesh,
+    current: Coord,
+    dests: &DestinationSet,
+) -> Vec<RouteBranch> {
+    let mut by_port: [DestinationSet; 5] = [DestinationSet::empty(); 5];
+    for dest_id in dests.iter() {
+        let dest = mesh.coord_of(dest_id);
+        let port = xy_next_port(mesh, current, dest);
+        by_port[port.index()].insert(dest_id);
+    }
+    Port::ALL
+        .into_iter()
+        .filter_map(|port| {
+            let destinations = by_port[port.index()];
+            if destinations.is_empty() {
+                None
+            } else {
+                Some(RouteBranch { port, destinations })
+            }
+        })
+        .collect()
+}
+
+/// The set of output ports requested by a flit at `current` with destination
+/// set `dests` (the 5-bit output-port request vector of mSA-I).
+#[must_use]
+pub fn requested_ports(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> PortSet {
+    multicast_branches(mesh, current, dests)
+        .into_iter()
+        .map(|b| b.port)
+        .collect()
+}
+
+/// Number of link traversals an XY-tree multicast from `source` to `dests`
+/// performs in total (used by the theoretical energy accounting and by tests
+/// that check the tree never re-visits a link).
+#[must_use]
+pub fn multicast_link_traversals(mesh: &Mesh, source: Coord, dests: &DestinationSet) -> usize {
+    // Walk the tree: breadth-first expansion of (node, remaining destinations).
+    let mut frontier = vec![(source, *dests)];
+    let mut traversals = 0usize;
+    while let Some((node, remaining)) = frontier.pop() {
+        for branch in multicast_branches(mesh, node, &remaining) {
+            match branch.port.direction() {
+                Some(dir) => {
+                    let next = mesh
+                        .neighbor(node, dir)
+                        .expect("XY-tree routing never walks off the mesh");
+                    traversals += 1;
+                    frontier.push((next, branch.destinations));
+                }
+                None => {
+                    // Local ejection: no router-to-router link traversal.
+                }
+            }
+        }
+    }
+    traversals
+}
+
+/// Nodes visited by the XY-tree rooted at `source` covering `dests`
+/// (including the source itself).
+#[must_use]
+pub fn multicast_tree_nodes(mesh: &Mesh, source: Coord, dests: &DestinationSet) -> Vec<NodeId> {
+    let mut visited = vec![mesh.id_of(source)];
+    let mut frontier = vec![(source, *dests)];
+    while let Some((node, remaining)) = frontier.pop() {
+        for branch in multicast_branches(mesh, node, &remaining) {
+            if let Some(dir) = branch.port.direction() {
+                let next = mesh
+                    .neighbor(node, dir)
+                    .expect("XY-tree routing never walks off the mesh");
+                let id = mesh.id_of(next);
+                if !visited.contains(&id) {
+                    visited.push(id);
+                }
+                frontier.push((next, branch.destinations));
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::new(4).unwrap()
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let mesh = mesh4();
+        let route = xy_route(&mesh, Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(
+            route,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Coord::new(2, 0),
+                Coord::new(2, 1),
+                Coord::new(2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn xy_route_length_is_manhattan_distance() {
+        let mesh = Mesh::new(6).unwrap();
+        for from in mesh.nodes() {
+            for to in mesh.nodes() {
+                let route = xy_route(&mesh, from, to);
+                assert_eq!(route.len() as u32 - 1, from.manhattan_distance(to));
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_has_single_branch() {
+        let mesh = mesh4();
+        let dests = DestinationSet::unicast(15);
+        let branches = multicast_branches(&mesh, Coord::new(0, 0), &dests);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].port, Port::East);
+        assert_eq!(branches[0].destinations, dests);
+    }
+
+    #[test]
+    fn arrived_unicast_requests_local_port() {
+        let mesh = mesh4();
+        let dests = DestinationSet::unicast(5);
+        let branches = multicast_branches(&mesh, mesh.coord_of(5), &dests);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].port, Port::Local);
+    }
+
+    #[test]
+    fn broadcast_from_corner_forks_east_and_north() {
+        let mesh = mesh4();
+        let source = Coord::new(0, 0);
+        let dests = DestinationSet::broadcast(4, mesh.id_of(source));
+        let ports = requested_ports(&mesh, source, &dests);
+        assert!(ports.contains(Port::East));
+        assert!(ports.contains(Port::North));
+        assert!(!ports.contains(Port::West));
+        assert!(!ports.contains(Port::South));
+        assert!(!ports.contains(Port::Local));
+    }
+
+    #[test]
+    fn broadcast_tree_visits_every_node_exactly_once_per_link() {
+        let mesh = mesh4();
+        for source in mesh.nodes() {
+            let dests = DestinationSet::broadcast(4, mesh.id_of(source));
+            let nodes = multicast_tree_nodes(&mesh, source, &dests);
+            assert_eq!(nodes.len(), 16, "tree from {source} must reach all nodes");
+            // A tree spanning 16 nodes uses exactly 15 link traversals.
+            assert_eq!(multicast_link_traversals(&mesh, source, &dests), 15);
+        }
+    }
+
+    #[test]
+    fn multicast_branches_partition_destinations() {
+        let mesh = mesh4();
+        let dests: DestinationSet = [0u16, 3, 12, 15, 5].into_iter().collect();
+        let current = Coord::new(1, 1);
+        let branches = multicast_branches(&mesh, current, &dests);
+        let mut covered = DestinationSet::empty();
+        let mut total = 0;
+        for b in &branches {
+            total += b.destinations.len();
+            covered = covered.union(&b.destinations);
+        }
+        assert_eq!(covered, dests, "branches must cover all destinations");
+        assert_eq!(total, dests.len(), "branches must not duplicate destinations");
+    }
+
+    #[test]
+    fn tree_link_count_matches_unicast_route_for_single_destination() {
+        let mesh = mesh4();
+        let source = Coord::new(0, 3);
+        let dest = Coord::new(3, 0);
+        let dests = DestinationSet::unicast(mesh.id_of(dest));
+        assert_eq!(
+            multicast_link_traversals(&mesh, source, &dests) as u32,
+            source.manhattan_distance(dest)
+        );
+    }
+}

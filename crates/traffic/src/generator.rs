@@ -1,0 +1,247 @@
+//! Per-node traffic generators.
+
+use noc_sim::PrbsGenerator;
+use noc_types::{Cycle, DestinationSet, NodeId, Packet, PacketId, PacketKind, TrafficKind};
+use serde::{Deserialize, Serialize};
+
+use crate::mix::TrafficMix;
+
+/// How the per-node PRBS generators are seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// Every NIC uses the same seed — the fabricated chip's artifact. All
+    /// nodes make correlated injection decisions and destination choices,
+    /// which causes avoidable contention and limits bypassing even at low
+    /// injection rates (§4.1 attributes ~1 cycle/hop of measured contention
+    /// latency to this).
+    Identical,
+    /// Each NIC derives its seed from its node id — the "fixed RTL"
+    /// behaviour whose simulated contention is only ~0.04 cycles/hop.
+    PerNode,
+}
+
+/// A Bernoulli packet source attached to one node.
+///
+/// Each cycle the generator flips a PRBS coin with probability
+/// `rate / expected_flits_per_packet` (so that `rate` is the *flit* injection
+/// rate the paper's throughput axes use), picks a packet kind from the
+/// configured [`TrafficMix`], and draws a uniform destination for unicasts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficGenerator {
+    node: NodeId,
+    k: u16,
+    mix: TrafficMix,
+    rate: f64,
+    prbs: PrbsGenerator,
+    next_packet_seq: u64,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for `node` of a k×k mesh injecting `rate`
+    /// flits/cycle on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or `k == 0`.
+    #[must_use]
+    pub fn new(node: NodeId, k: u16, mix: TrafficMix, seed_mode: SeedMode, rate: f64) -> Self {
+        assert!(rate >= 0.0, "injection rate must be non-negative");
+        assert!(k > 0, "mesh side length must be positive");
+        let seed = match seed_mode {
+            SeedMode::Identical => 0xACE1,
+            SeedMode::PerNode => 0xACE1 ^ (node.wrapping_mul(0x9E37) | 1),
+        };
+        Self {
+            node,
+            k,
+            mix,
+            rate,
+            prbs: PrbsGenerator::new(seed),
+            next_packet_seq: 0,
+        }
+    }
+
+    /// Node this generator injects from.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Configured flit injection rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Changes the injection rate (used by sweeps reusing one generator).
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate >= 0.0, "injection rate must be non-negative");
+        self.rate = rate;
+    }
+
+    /// Traffic mix.
+    #[must_use]
+    pub fn mix(&self) -> &TrafficMix {
+        &self.mix
+    }
+
+    /// Number of packets generated so far.
+    #[must_use]
+    pub fn generated_packets(&self) -> u64 {
+        self.next_packet_seq
+    }
+
+    /// Produces the packets this node creates at `cycle` (zero or one — the
+    /// chip's NICs inject at most one packet per cycle).
+    pub fn generate(&mut self, cycle: Cycle) -> Vec<Packet> {
+        let packet_probability = self.rate / self.mix.expected_flits_per_packet();
+        if !self.prbs.chance(packet_probability) {
+            return Vec::new();
+        }
+        let kind_sample = f64::from(self.prbs.next_word()) / f64::from(u16::MAX) ;
+        let kind = self.mix.pick(kind_sample.min(0.999_999));
+        let packet = self.build_packet(kind, cycle);
+        vec![packet]
+    }
+
+    /// Builds one packet of the given kind at `cycle` (also used by tests and
+    /// deterministic workloads that bypass the Bernoulli process).
+    pub fn build_packet(&mut self, kind: TrafficKind, cycle: Cycle) -> Packet {
+        let id = self.packet_id();
+        let nodes = self.k * self.k;
+        let (dests, packet_kind) = match kind {
+            TrafficKind::BroadcastRequest => {
+                (DestinationSet::broadcast(self.k, self.node), PacketKind::Request)
+            }
+            TrafficKind::UnicastRequest | TrafficKind::UnicastResponse => {
+                let mut dest = self.prbs.next_below(nodes);
+                if dest == self.node {
+                    dest = (dest + 1) % nodes;
+                }
+                let packet_kind = if kind == TrafficKind::UnicastRequest {
+                    PacketKind::Request
+                } else {
+                    PacketKind::Response
+                };
+                (DestinationSet::unicast(dest), packet_kind)
+            }
+        };
+        Packet::new(id, self.node, dests, packet_kind, cycle)
+    }
+
+    /// Globally unique packet id: the node id in the high bits, a per-node
+    /// sequence number in the low bits.
+    fn packet_id(&mut self) -> PacketId {
+        let id = (u64::from(self.node) << 40) | self.next_packet_seq;
+        self.next_packet_seq += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_packets(mut gen: TrafficGenerator, cycles: Cycle) -> u64 {
+        let mut n = 0;
+        for c in 0..cycles {
+            n += gen.generate(c).len() as u64;
+        }
+        n
+    }
+
+    #[test]
+    fn injection_rate_controls_packet_count() {
+        let low = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.05);
+        let high = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.5);
+        let n_low = total_packets(low, 10_000);
+        let n_high = total_packets(high, 10_000);
+        // Expected: 0.05/2 * 10k = 250 and 0.5/2 * 10k = 2500 packets.
+        assert!(n_low > 150 && n_low < 350, "low-rate packets: {n_low}");
+        assert!(n_high > 2200 && n_high < 2800, "high-rate packets: {n_high}");
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let gen = TrafficGenerator::new(3, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.0);
+        assert_eq!(total_packets(gen, 1000), 0);
+    }
+
+    #[test]
+    fn mixed_traffic_produces_all_three_kinds() {
+        let mut gen = TrafficGenerator::new(1, 4, TrafficMix::mixed(), SeedMode::PerNode, 1.0);
+        let mut bcast = 0;
+        let mut uni_req = 0;
+        let mut uni_resp = 0;
+        for c in 0..20_000 {
+            for p in gen.generate(c) {
+                if p.is_multicast() {
+                    bcast += 1;
+                } else if p.kind() == PacketKind::Request {
+                    uni_req += 1;
+                } else {
+                    uni_resp += 1;
+                }
+            }
+        }
+        let total = (bcast + uni_req + uni_resp) as f64;
+        assert!(total > 0.0);
+        assert!((f64::from(bcast) / total - 0.5).abs() < 0.05);
+        assert!((f64::from(uni_req) / total - 0.25).abs() < 0.05);
+        assert!((f64::from(uni_resp) / total - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn unicasts_never_target_their_own_node() {
+        let mut gen =
+            TrafficGenerator::new(5, 4, TrafficMix::unicast_only(), SeedMode::PerNode, 1.0);
+        for c in 0..5000 {
+            for p in gen.generate(c) {
+                assert!(!p.destinations().contains(5));
+                assert_eq!(p.destinations().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_only_targets_everyone_else() {
+        let mut gen =
+            TrafficGenerator::new(2, 4, TrafficMix::broadcast_only(), SeedMode::PerNode, 0.5);
+        for c in 0..1000 {
+            for p in gen.generate(c) {
+                assert_eq!(p.destinations().len(), 15);
+                assert!(!p.destinations().contains(2));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_correlate_injection_decisions() {
+        let mut a = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::Identical, 0.2);
+        let mut b = TrafficGenerator::new(9, 4, TrafficMix::mixed(), SeedMode::Identical, 0.2);
+        for c in 0..2000 {
+            // Both nodes decide to inject (or not) on exactly the same cycles.
+            assert_eq!(a.generate(c).len(), b.generate(c).len());
+        }
+        let mut a = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.2);
+        let mut b = TrafficGenerator::new(9, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.2);
+        let mut differs = false;
+        for c in 0..2000 {
+            if a.generate(c).len() != b.generate(c).len() {
+                differs = true;
+            }
+        }
+        assert!(differs, "per-node seeds must decorrelate the processes");
+    }
+
+    #[test]
+    fn packet_ids_are_unique_per_node() {
+        let mut gen = TrafficGenerator::new(7, 4, TrafficMix::mixed(), SeedMode::PerNode, 1.0);
+        let mut ids = std::collections::HashSet::new();
+        for c in 0..2000 {
+            for p in gen.generate(c) {
+                assert!(ids.insert(p.id()), "duplicate packet id {}", p.id());
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # noc-traffic
+//!
+//! Traffic generation for the DAC 2012 mesh NoC reproduction.
+//!
+//! The paper drives its chip with on-chip PRBS traffic generators and
+//! evaluates two patterns at 1 GHz:
+//!
+//! * **mixed traffic** — 50% broadcast requests, 25% unicast requests and
+//!   25% unicast responses (Fig. 5),
+//! * **broadcast-only traffic** — 100% broadcast requests (Fig. 13).
+//!
+//! This crate provides [`TrafficMix`] (the packet-kind distribution),
+//! [`SeedMode`] (identical seeds on every NIC — the chip artifact — or
+//! distinct per-node seeds) and [`TrafficGenerator`] (one per node, producing
+//! [`noc_types::Packet`]s as a Bernoulli process of a given flit injection
+//! rate).
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_traffic::{SeedMode, TrafficGenerator, TrafficMix};
+//!
+//! let mut gen = TrafficGenerator::new(5, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.1);
+//! let mut packets = 0;
+//! for cycle in 0..1000 {
+//!     packets += gen.generate(cycle).len();
+//! }
+//! assert!(packets > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod mix;
+
+pub use generator::{SeedMode, TrafficGenerator};
+pub use mix::TrafficMix;

@@ -1,0 +1,275 @@
+//! Packets: the unit of injection at the network interface.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::coord::NodeId;
+use crate::destset::DestinationSet;
+use crate::flit::{Flit, FlitKind, FLIT_BITS};
+use crate::message::MessageClass;
+use crate::Cycle;
+
+/// Globally unique packet identifier (assigned by the injecting NIC).
+pub type PacketId = u64;
+
+/// The two packet formats used by the fabricated chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Coherence request or acknowledgement: a single flit that is both head
+    /// and tail.
+    Request,
+    /// Cache-line data response: five flits (head + 3 body + tail).
+    Response,
+}
+
+impl PacketKind {
+    /// Number of flits a packet of this kind is segmented into.
+    #[must_use]
+    pub fn flit_count(self) -> usize {
+        match self {
+            PacketKind::Request => 1,
+            PacketKind::Response => 5,
+        }
+    }
+
+    /// Message class this packet kind travels in.
+    #[must_use]
+    pub fn message_class(self) -> MessageClass {
+        match self {
+            PacketKind::Request => MessageClass::Request,
+            PacketKind::Response => MessageClass::Response,
+        }
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketKind::Request => f.write_str("request"),
+            PacketKind::Response => f.write_str("response"),
+        }
+    }
+}
+
+/// A packet before segmentation into flits.
+///
+/// A packet carries its source, its destination set (one node for unicasts,
+/// all-but-source for broadcasts), its kind (which fixes the flit count and
+/// message class), an optional payload, and the cycle at which the NIC
+/// created it (used for end-to-end latency accounting).
+///
+/// # Examples
+///
+/// ```
+/// use noc_types::{DestinationSet, Packet, PacketKind};
+///
+/// let p = Packet::new(7, 0, DestinationSet::unicast(12), PacketKind::Response, 100);
+/// let flits = p.to_flits();
+/// assert_eq!(flits.len(), 5);
+/// assert!(flits[0].kind().is_head());
+/// assert!(flits[4].kind().is_tail());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    id: PacketId,
+    source: NodeId,
+    destinations: DestinationSet,
+    kind: PacketKind,
+    created_at: Cycle,
+    #[serde(skip)]
+    payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet.
+    ///
+    /// `created_at` is the cycle at which the source NIC generated the packet;
+    /// end-to-end latency is measured from this cycle until the last
+    /// destination NIC receives the tail flit.
+    #[must_use]
+    pub fn new(
+        id: PacketId,
+        source: NodeId,
+        destinations: DestinationSet,
+        kind: PacketKind,
+        created_at: Cycle,
+    ) -> Self {
+        Self {
+            id,
+            source,
+            destinations,
+            kind,
+            created_at,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Attaches an application payload to the packet.
+    ///
+    /// The payload is carried for end-to-end integrity checks in tests and
+    /// examples; it does not change the flit count (the chip's flit size is
+    /// fixed at 64 bits regardless of how much payload the protocol layer
+    /// actually uses).
+    #[must_use]
+    pub fn with_payload(mut self, payload: Bytes) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Packet identifier.
+    #[must_use]
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// Injecting node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Destination set.
+    #[must_use]
+    pub fn destinations(&self) -> &DestinationSet {
+        &self.destinations
+    }
+
+    /// Packet kind (request / response).
+    #[must_use]
+    pub fn kind(&self) -> PacketKind {
+        self.kind
+    }
+
+    /// Cycle at which the source NIC created the packet.
+    #[must_use]
+    pub fn created_at(&self) -> Cycle {
+        self.created_at
+    }
+
+    /// Application payload (possibly empty).
+    #[must_use]
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Message class the packet travels in.
+    #[must_use]
+    pub fn message_class(&self) -> MessageClass {
+        self.kind.message_class()
+    }
+
+    /// Number of flits the packet is segmented into.
+    #[must_use]
+    pub fn flit_count(&self) -> usize {
+        self.kind.flit_count()
+    }
+
+    /// Returns `true` if the packet targets more than one node.
+    #[must_use]
+    pub fn is_multicast(&self) -> bool {
+        self.destinations.is_multicast()
+    }
+
+    /// Total number of payload bits moved over a single link when the whole
+    /// packet crosses it.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.flit_count() as u64 * FLIT_BITS as u64
+    }
+
+    /// Segments the packet into its flits.
+    ///
+    /// The head flit carries the destination set; body and tail flits carry a
+    /// 64-bit slice of the payload. For single-flit packets the lone flit is
+    /// [`FlitKind::HeadTail`].
+    #[must_use]
+    pub fn to_flits(&self) -> Vec<Flit> {
+        let n = self.flit_count();
+        (0..n)
+            .map(|i| {
+                let kind = if n == 1 {
+                    FlitKind::HeadTail
+                } else if i == 0 {
+                    FlitKind::Head
+                } else if i == n - 1 {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                };
+                let word = payload_word(&self.payload, i);
+                Flit::new(self, i as u8, kind, word)
+            })
+            .collect()
+    }
+}
+
+/// Extracts the `i`-th 64-bit little-endian word of `payload`, zero-padded.
+fn payload_word(payload: &Bytes, i: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    let start = i * 8;
+    if start < payload.len() {
+        let end = (start + 8).min(payload.len());
+        buf[..end - start].copy_from_slice(&payload[start..end]);
+    }
+    u64::from_le_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_is_single_flit() {
+        let p = Packet::new(1, 0, DestinationSet::unicast(3), PacketKind::Request, 10);
+        assert_eq!(p.flit_count(), 1);
+        assert_eq!(p.bits(), 64);
+        let flits = p.to_flits();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind(), FlitKind::HeadTail);
+        assert_eq!(flits[0].packet_id(), 1);
+        assert_eq!(flits[0].created_at(), 10);
+    }
+
+    #[test]
+    fn response_is_five_flits() {
+        let p = Packet::new(2, 5, DestinationSet::unicast(9), PacketKind::Response, 0);
+        let flits = p.to_flits();
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind(), FlitKind::Head);
+        assert_eq!(flits[1].kind(), FlitKind::Body);
+        assert_eq!(flits[3].kind(), FlitKind::Body);
+        assert_eq!(flits[4].kind(), FlitKind::Tail);
+        assert!(flits.iter().all(|f| f.packet_id() == 2));
+        assert!(flits.iter().all(|f| f.source() == 5));
+    }
+
+    #[test]
+    fn payload_words_round_trip() {
+        let payload = Bytes::from_static(b"0123456789abcdef_tail");
+        let p = Packet::new(3, 0, DestinationSet::unicast(1), PacketKind::Response, 0)
+            .with_payload(payload.clone());
+        let flits = p.to_flits();
+        assert_eq!(flits[0].payload(), u64::from_le_bytes(*b"01234567"));
+        assert_eq!(flits[1].payload(), u64::from_le_bytes(*b"89abcdef"));
+        // Partial final word is zero padded.
+        let mut tail = [0u8; 8];
+        tail[..5].copy_from_slice(b"_tail");
+        assert_eq!(flits[2].payload(), u64::from_le_bytes(tail));
+        assert_eq!(flits[4].payload(), 0);
+    }
+
+    #[test]
+    fn broadcast_packet_is_multicast() {
+        let p = Packet::new(
+            4,
+            0,
+            DestinationSet::broadcast(4, 0),
+            PacketKind::Request,
+            0,
+        );
+        assert!(p.is_multicast());
+        assert_eq!(p.destinations().len(), 15);
+    }
+}

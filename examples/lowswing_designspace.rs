@@ -1,0 +1,82 @@
+//! Low-swing datapath design-space exploration (Figs. 7, 10, 11, 12 and
+//! Tables 3-4 territory).
+//!
+//! Sweeps the voltage swing against reliability and energy, the link length
+//! against the maximum single-cycle ST+LT frequency, and compares repeated
+//! versus repeaterless 2 mm spans — the circuit-level trade-offs the paper's
+//! case study discusses.
+//!
+//! Run with: `cargo run --release --example lowswing_designspace`
+
+use noc_repro::circuit::{
+    AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, SenseAmpVariation, Wire,
+};
+
+fn main() {
+    println!("== swing vs reliability vs energy (1000 Monte-Carlo samples per point) ==");
+    let variation = SenseAmpVariation::chip_45nm();
+    println!("{:>10} {:>14} {:>16} {:>16}", "swing mV", "sigma margin", "failure rate", "rel. energy");
+    for (swing, analytic, energy) in variation.fig10_sweep(&[0.15, 0.2, 0.25, 0.3, 0.4, 0.5]) {
+        let mc = variation.monte_carlo(swing, 1000, 7);
+        println!(
+            "{:>10.0} {:>14.1} {:>9.4} ({:.1e}) {:>16.2}",
+            swing * 1000.0,
+            variation.sigma_margin(swing),
+            mc.failure_rate(),
+            analytic,
+            energy
+        );
+    }
+
+    println!();
+    println!("== link length vs energy and maximum single-cycle ST+LT frequency ==");
+    println!("{:>10} {:>18} {:>18} {:>12}", "length mm", "low-swing fJ/bit", "full-swing fJ/bit", "max GHz");
+    for length in [0.5, 1.0, 1.5, 2.0, 3.0] {
+        let wire = Wire::link_45nm(length);
+        let low = LowSwingLink::new(wire, 0.3);
+        let full = LowSwingLink::full_swing_equivalent(wire);
+        println!(
+            "{:>10.1} {:>18.1} {:>18.1} {:>12.2}",
+            length,
+            low.energy_per_bit_fj(),
+            full.energy_per_bit_fj(),
+            low.max_frequency_ghz()
+        );
+    }
+
+    println!();
+    println!("== repeated vs repeaterless 2 mm span at 2.5 Gb/s ==");
+    for (name, analysis) in [
+        ("1 mm repeated", EyeAnalysis::repeated_2mm()),
+        ("2 mm repeaterless", EyeAnalysis::repeaterless_2mm()),
+    ] {
+        println!(
+            "{name:<18}: {} cycle(s), {:>6.1} fJ/bit, eye {:.0} mV nominal / {:.0} mV at +50% wire R",
+            analysis.latency_cycles(),
+            analysis.energy_per_bit_fj(),
+            analysis.eye_height_v(2.5, 1.0) * 1000.0,
+            analysis.eye_height_v(2.5, 1.5) * 1000.0
+        );
+    }
+
+    println!();
+    println!("== what the low-swing crossbar and bypassing cost ==");
+    let area = AreaModel::chip_45nm().table4();
+    println!(
+        "crossbar area : {:>8.0} -> {:>8.0} um^2 ({:.1}x)",
+        area.full_swing_crossbar_um2, area.low_swing_crossbar_um2, area.crossbar_overhead
+    );
+    println!(
+        "router area   : {:>8.0} -> {:>8.0} um^2 ({:.1}x)",
+        area.full_swing_router_um2, area.low_swing_router_um2, area.router_overhead
+    );
+    let timing = CriticalPathModel::chip_45nm().table3();
+    println!(
+        "critical path : {:.0} -> {:.0} ps post-layout ({:.2}x), measured {:.0} ps ({:.2} GHz)",
+        timing.baseline_post_layout_ps,
+        timing.proposed_post_layout_ps,
+        timing.post_layout_overhead,
+        timing.measured_ps,
+        timing.measured_frequency_ghz
+    );
+}

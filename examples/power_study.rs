@@ -1,0 +1,76 @@
+//! Power waterfall study (the scenario behind Figs. 6 and 8).
+//!
+//! Runs the four design variants A-D at the same delivered broadcast
+//! throughput and prices the resulting activity with the measured-silicon
+//! calibration, an ORION-style model and a post-layout-style model.
+//!
+//! Run with: `cargo run --release --example power_study`
+
+use noc_repro::noc::{NetworkVariant, NocConfig, Simulation};
+use noc_repro::power::{
+    MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator,
+};
+use noc_repro::traffic::TrafficMix;
+use noc_repro::types::NocError;
+
+fn main() -> Result<(), NocError> {
+    // One broadcast every ~23 cycles per node delivers ~650 Gb/s network-wide.
+    let rate = 0.0425;
+
+    println!("== power waterfall at ~650 Gb/s broadcast delivery ==");
+    println!(
+        "{:<38} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "clock mW", "logic mW", "dpath mW", "leak mW", "total mW"
+    );
+    let mut first_total = None;
+    for variant in NetworkVariant::FIG6 {
+        let config = NocConfig::variant(variant)?.with_mix(TrafficMix::broadcast_only());
+        let mut sim = Simulation::new(config)?;
+        let result = sim.run(rate, 1_000, 4_000)?;
+        let power = result.power(&config.energy_params());
+        println!(
+            "{:<38} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            format!("{:?}", variant),
+            power.clocking_group_mw(),
+            power.router_logic_and_buffer_mw(),
+            power.datapath_group_mw(),
+            power.leakage_mw,
+            power.total_mw()
+        );
+        let first = *first_total.get_or_insert(power.total_mw());
+        if power.total_mw() < first {
+            println!(
+                "{:<38} {:>54}",
+                "",
+                format!("(-{:.1}% vs variant A)", (1.0 - power.total_mw() / first) * 100.0)
+            );
+        }
+
+        // For the fabricated configuration, also show how the three
+        // estimation methodologies disagree (Fig. 8).
+        if variant == NetworkVariant::LowSwingBroadcastBypass {
+            let energy = config.energy_params();
+            let measured = MeasuredPowerModel::new(energy)
+                .estimate(&result.counters, result.total_cycles, result.frequency_ghz)
+                .total_mw();
+            let orion = OrionPowerModel::new(energy)
+                .estimate(&result.counters, result.total_cycles, result.frequency_ghz)
+                .total_mw();
+            let post = PostLayoutPowerModel::new(energy)
+                .estimate(&result.counters, result.total_cycles, result.frequency_ghz)
+                .total_mw();
+            println!();
+            println!("estimation methodologies for the fabricated variant:");
+            println!("  measured calibration : {measured:>8.1} mW");
+            println!(
+                "  ORION-style          : {orion:>8.1} mW ({:.1}x of measured; paper: 4.8-5.3x)",
+                orion / measured
+            );
+            println!(
+                "  post-layout-style    : {post:>8.1} mW ({:+.1}% of measured; paper: 6-13%)",
+                (post / measured - 1.0) * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Ablation: how the VC/buffer provisioning interacts with the single-cycle
+//! bypass pipeline.
+//!
+//! The chip chooses 4 one-flit request VCs and 2 three-flit response VCs per
+//! port because the bypassed pipeline's buffer turnaround time is 3 cycles.
+//! This example varies the request-class VC count and measures the effect on
+//! saturation throughput for broadcast traffic, and also turns bypassing off
+//! to show how a longer turnaround time wastes the same buffers.
+//!
+//! Run with: `cargo run --release --example vc_ablation`
+
+use noc_repro::noc::{NetworkVariant, NocConfig, Simulation};
+use noc_repro::router::VcConfig;
+use noc_repro::traffic::{SeedMode, TrafficMix};
+use noc_repro::types::NocError;
+
+fn saturation_throughput(config: NocConfig) -> Result<f64, NocError> {
+    // Offer well above the broadcast saturation point and report what the
+    // network actually delivers.
+    let mut sim = Simulation::new(config)?;
+    let result = sim.run(0.12, 500, 3_000)?;
+    Ok(result.received_gbps)
+}
+
+fn main() -> Result<(), NocError> {
+    println!("== request-class VC count vs delivered broadcast throughput ==");
+    println!("{:>12} {:>22} {:>22}", "request VCs", "with bypass (Gb/s)", "without bypass (Gb/s)");
+    for vcs in [1u8, 2, 3, 4, 6] {
+        let mut with_bypass = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)?
+            .with_mix(TrafficMix::broadcast_only())
+            .with_seed_mode(SeedMode::PerNode);
+        with_bypass.router.request_vcs = VcConfig::new(vcs, 1);
+        let mut without_bypass = NocConfig::variant(NetworkVariant::LowSwingBroadcastNoBypass)?
+            .with_mix(TrafficMix::broadcast_only())
+            .with_seed_mode(SeedMode::PerNode);
+        without_bypass.router.request_vcs = VcConfig::new(vcs, 1);
+        println!(
+            "{:>12} {:>22.0} {:>22.0}",
+            vcs,
+            saturation_throughput(with_bypass)?,
+            saturation_throughput(without_bypass)?
+        );
+    }
+    println!();
+    println!("the chip's choice (4 request VCs) saturates the bypassed pipeline: adding more VCs");
+    println!("buys little, while the 3-cycle-per-hop pipeline without bypassing needs more buffers");
+    println!("to reach the same throughput - the trade-off Section 3.3 describes.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # noc-repro
+//!
+//! Umbrella crate for the reproduction of *"Approaching the Theoretical
+//! Limits of a Mesh NoC with a 16-Node Chip Prototype in 45nm SOI"*
+//! (Park et al., DAC 2012).
+//!
+//! This crate re-exports the workspace members so that the examples in
+//! `examples/` and the integration tests in `tests/` can reach every layer of
+//! the system through a single dependency:
+//!
+//! * [`types`] — flits, packets, coordinates, ports, destination sets;
+//! * [`topology`] — the mesh, XY / XY-tree routing and the theoretical limits
+//!   of Table 1 (plus the Table 2 chip models);
+//! * [`sim`] — the cycle kernel, PRBS generators and statistics;
+//! * [`router`] — the baseline and virtually-bypassed multicast routers;
+//! * [`traffic`] — the mixed / broadcast-only / unicast traffic generators;
+//! * [`noc`] — the assembled network, simulations and sweeps (`mesh-noc`);
+//! * [`power`] — measured / ORION-style / post-layout-style power models;
+//! * [`circuit`] — the low-swing datapath, reliability, timing and area
+//!   models.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_repro::noc::{NocConfig, Simulation};
+//!
+//! let mut sim = Simulation::new(NocConfig::proposed_chip()?)?;
+//! let result = sim.run(0.02, 200, 500)?;
+//! assert!(result.average_latency_cycles > 0.0);
+//! # Ok::<(), noc_repro::types::NocError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use noc_circuit as circuit;
+pub use noc_power as power;
+pub use noc_router as router;
+pub use noc_sim as sim;
+pub use noc_topology as topology;
+pub use noc_traffic as traffic;
+pub use noc_types as types;
+
+/// The assembled mesh NoC (re-export of the `mesh-noc` crate).
+pub mod noc {
+    pub use mesh_noc::*;
+}

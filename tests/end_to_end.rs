@@ -1,0 +1,174 @@
+//! Integration tests spanning the whole stack: traffic generation, NICs,
+//! routers, network orchestration, statistics and power accounting.
+
+use noc_repro::noc::{sweep, NetworkVariant, Network, NocConfig, Simulation};
+use noc_repro::topology::limits::MeshLimits;
+use noc_repro::traffic::{SeedMode, TrafficMix};
+
+fn per_node(config: NocConfig) -> NocConfig {
+    config.with_seed_mode(SeedMode::PerNode)
+}
+
+#[test]
+fn proposed_network_latency_sits_near_the_theoretical_limit_at_low_load() {
+    let config = per_node(NocConfig::proposed_chip().unwrap());
+    let mut sim = Simulation::new(config).unwrap();
+    let result = sim.run(0.01, 500, 3_000).unwrap();
+    let limits = MeshLimits::new(4);
+    // Mixed traffic: mostly 1-flit broadcasts -> limit ~7.5-9 cycles/packet.
+    let limit = limits.packet_latency_limit(true, 2);
+    assert!(result.average_latency_cycles >= limit * 0.8);
+    assert!(
+        result.average_latency_cycles <= limit + 4.0,
+        "low-load latency {:.1} should be within a few cycles of the {:.1}-cycle limit",
+        result.average_latency_cycles,
+        limit
+    );
+}
+
+#[test]
+fn broadcast_throughput_approaches_the_ejection_limit() {
+    let config = per_node(NocConfig::proposed_chip().unwrap()).with_mix(TrafficMix::broadcast_only());
+    let mut sim = Simulation::new(config).unwrap();
+    let result = sim.run(0.1, 1_000, 4_000).unwrap();
+    // Theoretical limit: 16 flits/cycle = 1024 Gb/s. The paper reaches 91%;
+    // we accept anything beyond 70% and below 100%.
+    assert!(result.received_gbps <= 1024.0 + 1e-6);
+    assert!(
+        result.received_gbps >= 0.70 * 1024.0,
+        "saturation throughput {:.0} Gb/s is too far from the 1024 Gb/s limit",
+        result.received_gbps
+    );
+}
+
+#[test]
+fn baseline_network_saturates_much_earlier_than_the_proposed_one() {
+    // Broadcast-only traffic is where the gap is widest (the paper's 2.2x):
+    // the baseline NIC must serialise 15 unicast copies of every broadcast.
+    let rates = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07];
+    let comparison = sweep::compare(
+        per_node(NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap())
+            .with_mix(TrafficMix::broadcast_only()),
+        per_node(NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap())
+            .with_mix(TrafficMix::broadcast_only()),
+        &rates,
+        500,
+        2_000,
+    )
+    .unwrap();
+    assert!(
+        comparison.throughput_improvement > 1.3,
+        "expected a large saturation-throughput gain, got {:.2}x",
+        comparison.throughput_improvement
+    );
+    assert!(
+        comparison.latency_reduction > 0.4,
+        "expected a large low-load latency reduction, got {:.0}%",
+        comparison.latency_reduction * 100.0
+    );
+    assert!(
+        comparison.fraction_of_theoretical_limit > 0.6,
+        "the proposed network should approach the 1024 Gb/s limit, got {:.0}%",
+        comparison.fraction_of_theoretical_limit * 100.0
+    );
+}
+
+#[test]
+fn identical_seeds_cost_extra_contention_latency() {
+    let run = |seed_mode| {
+        let config = NocConfig::proposed_chip().unwrap().with_seed_mode(seed_mode);
+        let mut sim = Simulation::new(config).unwrap();
+        sim.run(0.03, 500, 3_000).unwrap().average_latency_cycles
+    };
+    let identical = run(SeedMode::Identical);
+    let per_node = run(SeedMode::PerNode);
+    assert!(
+        identical > per_node,
+        "the chip's identical-seed artifact must cost latency: identical {identical:.2} vs per-node {per_node:.2}"
+    );
+}
+
+#[test]
+fn textbook_baseline_is_slower_than_the_aggressive_baseline() {
+    let run = |variant| {
+        let config = per_node(NocConfig::variant(variant).unwrap())
+            .with_mix(TrafficMix::unicast_requests_only());
+        let mut sim = Simulation::new(config).unwrap();
+        sim.run(0.02, 300, 2_000).unwrap().average_latency_cycles
+    };
+    let textbook = run(NetworkVariant::TextbookBaseline);
+    let aggressive = run(NetworkVariant::FullSwingUnicast);
+    let proposed = run(NetworkVariant::LowSwingBroadcastBypass);
+    assert!(textbook > aggressive, "textbook {textbook:.1} vs aggressive {aggressive:.1}");
+    assert!(aggressive > proposed, "aggressive {aggressive:.1} vs proposed {proposed:.1}");
+}
+
+#[test]
+fn power_waterfall_matches_the_papers_direction() {
+    // A -> D must reduce total power, with the datapath falling at the A -> B
+    // step; the exact magnitudes are recorded in EXPERIMENTS.md.
+    let rate = 0.04;
+    let mut totals = Vec::new();
+    let mut datapaths = Vec::new();
+    for variant in NetworkVariant::FIG6 {
+        let config = NocConfig::variant(variant)
+            .unwrap()
+            .with_mix(TrafficMix::broadcast_only());
+        let mut sim = Simulation::new(config).unwrap();
+        let result = sim.run(rate, 500, 2_000).unwrap();
+        let power = result.power(&config.energy_params());
+        totals.push(power.total_mw());
+        datapaths.push(power.datapath_group_mw());
+    }
+    assert!(datapaths[1] < datapaths[0], "low-swing must cut datapath power");
+    assert!(totals[3] < totals[0], "the full waterfall must reduce total power");
+    let reduction = 1.0 - totals[3] / totals[0];
+    assert!(
+        (0.25..=0.70).contains(&reduction),
+        "A->D total reduction {:.0}% should be in the same ballpark as the paper's 38%",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn network_conserves_flits_across_variants() {
+    for variant in [
+        NetworkVariant::TextbookBaseline,
+        NetworkVariant::FullSwingUnicast,
+        NetworkVariant::LowSwingBroadcastNoBypass,
+        NetworkVariant::LowSwingBroadcastBypass,
+    ] {
+        let config = per_node(NocConfig::variant(variant).unwrap());
+        let mut network = Network::new(config, 0.06).unwrap();
+        network.set_measuring(true);
+        for _ in 0..1_200 {
+            network.step(true);
+        }
+        for _ in 0..4_000 {
+            network.step(false);
+        }
+        assert_eq!(
+            network.in_flight_flits(),
+            0,
+            "{variant:?}: network must drain completely"
+        );
+        assert_eq!(
+            network.outstanding_tracked_packets(),
+            0,
+            "{variant:?}: every packet must reach every destination"
+        );
+    }
+}
+
+#[test]
+fn bypass_fraction_decreases_with_load() {
+    let run = |rate| {
+        let config = per_node(NocConfig::proposed_chip().unwrap());
+        let mut sim = Simulation::new(config).unwrap();
+        sim.run(rate, 500, 2_000).unwrap().bypass_fraction
+    };
+    let low = run(0.01);
+    let high = run(0.2);
+    assert!(low > high, "bypassing gets harder under contention: {low:.2} vs {high:.2}");
+    assert!(low > 0.6, "at low load most hops should bypass, got {low:.2}");
+}

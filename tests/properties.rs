@@ -1,0 +1,225 @@
+//! Property-based tests over the core data structures and invariants.
+
+use noc_repro::router::{MatrixArbiter, RoundRobinArbiter};
+use noc_repro::sim::{Lfsr, PrbsGenerator};
+use noc_repro::topology::limits::MeshLimits;
+use noc_repro::topology::{routing, Mesh};
+use noc_repro::types::{Coord, DestinationSet, Packet, PacketKind, Port, PortSet};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------ coordinates
+
+    #[test]
+    fn coord_node_id_round_trips(k in 1u16..=16, x in 0u16..16, y in 0u16..16) {
+        let coord = Coord::new(x % k, y % k);
+        prop_assert_eq!(Coord::from_node_id(coord.node_id(k), k), coord);
+    }
+
+    #[test]
+    fn manhattan_distance_is_a_metric(ax in 0u16..8, ay in 0u16..8, bx in 0u16..8, by in 0u16..8, cx in 0u16..8, cy in 0u16..8) {
+        let (a, b, c) = (Coord::new(ax, ay), Coord::new(bx, by), Coord::new(cx, cy));
+        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        prop_assert_eq!(a.manhattan_distance(a), 0);
+        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
+    }
+
+    // ------------------------------------------------------------ destination sets
+
+    #[test]
+    fn destination_set_behaves_like_a_set(ids in proptest::collection::vec(0u16..256, 0..40)) {
+        let set: DestinationSet = ids.iter().copied().collect();
+        let unique: std::collections::BTreeSet<u16> = ids.iter().copied().collect();
+        prop_assert_eq!(set.len(), unique.len());
+        for id in &unique {
+            prop_assert!(set.contains(*id));
+        }
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), unique.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn destination_set_algebra_is_consistent(a in proptest::collection::vec(0u16..64, 0..20),
+                                             b in proptest::collection::vec(0u16..64, 0..20)) {
+        let sa: DestinationSet = a.into_iter().collect();
+        let sb: DestinationSet = b.into_iter().collect();
+        let union = sa.union(&sb);
+        let inter = sa.intersection(&sb);
+        let diff = sa.difference(&sb);
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        prop_assert_eq!(diff.len() + inter.len(), sa.len());
+        for id in inter.iter() {
+            prop_assert!(sa.contains(id) && sb.contains(id));
+        }
+        for id in diff.iter() {
+            prop_assert!(sa.contains(id) && !sb.contains(id));
+        }
+    }
+
+    // ------------------------------------------------------------ port sets
+
+    #[test]
+    fn port_set_round_trips(ports in proptest::collection::vec(0usize..5, 0..5)) {
+        let set: PortSet = ports.iter().filter_map(|&i| Port::from_index(i)).collect();
+        for i in 0..5 {
+            let port = Port::from_index(i).unwrap();
+            prop_assert_eq!(set.contains(port), ports.contains(&i));
+        }
+        prop_assert!(set.len() <= 5);
+    }
+
+    // ------------------------------------------------------------ packets and flits
+
+    #[test]
+    fn packets_segment_into_well_formed_flits(id in 0u64..1_000_000, src in 0u16..16, dst in 0u16..16,
+                                              kind in prop_oneof![Just(PacketKind::Request), Just(PacketKind::Response)]) {
+        let dst = if dst == src { (dst + 1) % 16 } else { dst };
+        let packet = Packet::new(id, src, DestinationSet::unicast(dst), kind, 42);
+        let flits = packet.to_flits();
+        prop_assert_eq!(flits.len(), kind.flit_count());
+        prop_assert!(flits[0].kind().is_head());
+        prop_assert!(flits[flits.len() - 1].kind().is_tail());
+        for (i, flit) in flits.iter().enumerate() {
+            prop_assert_eq!(flit.sequence() as usize, i);
+            prop_assert_eq!(flit.packet_id(), id);
+            prop_assert_eq!(flit.source(), src);
+            prop_assert_eq!(flit.created_at(), 42);
+            // Only the first and last flits may be head/tail.
+            if i != 0 { prop_assert!(!flit.kind().is_head()); }
+            if i != flits.len() - 1 { prop_assert!(!flit.kind().is_tail()); }
+        }
+    }
+
+    // ------------------------------------------------------------ routing
+
+    #[test]
+    fn xy_routes_are_minimal_and_stay_in_the_mesh(k in 2u16..=8, from in 0u16..64, to in 0u16..64) {
+        let mesh = Mesh::new(k).unwrap();
+        let from = Coord::from_node_id(from % (k * k), k);
+        let to = Coord::from_node_id(to % (k * k), k);
+        let route = routing::xy_route(&mesh, from, to);
+        prop_assert_eq!(route.len() as u32, from.manhattan_distance(to) + 1);
+        for hop in &route {
+            prop_assert!(mesh.contains(*hop));
+        }
+        // Dimension order: once the route starts moving in Y it never moves in X again.
+        let mut seen_y = false;
+        for pair in route.windows(2) {
+            let moved_x = pair[0].x != pair[1].x;
+            if seen_y {
+                prop_assert!(!moved_x, "route moved in X after moving in Y");
+            }
+            if pair[0].y != pair[1].y {
+                seen_y = true;
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_branches_partition_the_destinations(k in 2u16..=8,
+                                                     current in 0u16..64,
+                                                     dests in proptest::collection::vec(0u16..64, 1..20)) {
+        let mesh = Mesh::new(k).unwrap();
+        let nodes = k * k;
+        let current = Coord::from_node_id(current % nodes, k);
+        let dests: DestinationSet = dests.into_iter().map(|d| d % nodes).collect();
+        let branches = routing::multicast_branches(&mesh, current, &dests);
+        let mut covered = DestinationSet::empty();
+        let mut total = 0;
+        for branch in &branches {
+            total += branch.destinations.len();
+            covered = covered.union(&branch.destinations);
+        }
+        prop_assert_eq!(covered, dests);
+        prop_assert_eq!(total, dests.len());
+        prop_assert!(branches.len() <= 5);
+    }
+
+    #[test]
+    fn broadcast_tree_reaches_every_node_with_minimal_links(k in 2u16..=8, source in 0u16..64) {
+        let mesh = Mesh::new(k).unwrap();
+        let nodes = k * k;
+        let source = Coord::from_node_id(source % nodes, k);
+        let dests = DestinationSet::broadcast(k, mesh.id_of(source));
+        let visited = routing::multicast_tree_nodes(&mesh, source, &dests);
+        prop_assert_eq!(visited.len(), usize::from(nodes));
+        // A spanning tree of n nodes has exactly n-1 edges.
+        prop_assert_eq!(
+            routing::multicast_link_traversals(&mesh, source, &dests),
+            usize::from(nodes) - 1
+        );
+    }
+
+    // ------------------------------------------------------------ theoretical limits
+
+    #[test]
+    fn limits_are_monotone_in_mesh_size(k in 2u16..=15) {
+        let small = MeshLimits::new(k);
+        let large = MeshLimits::new(k + 1);
+        prop_assert!(large.unicast_average_hops() > small.unicast_average_hops());
+        prop_assert!(large.broadcast_average_hops() > small.broadcast_average_hops());
+        prop_assert!(large.broadcast_saturation_rate() < small.broadcast_saturation_rate());
+        prop_assert!(large.unicast_saturation_rate() <= small.unicast_saturation_rate());
+    }
+
+    #[test]
+    fn broadcast_channel_load_is_always_ejection_limited(k in 2u16..=16, rate in 0.0f64..1.0) {
+        let limits = MeshLimits::new(k);
+        prop_assert!(limits.broadcast_ejection_load(rate) >= limits.broadcast_bisection_load(rate));
+        prop_assert!((limits.broadcast_max_channel_load(rate) - limits.broadcast_ejection_load(rate)).abs() < 1e-12);
+    }
+
+    // ------------------------------------------------------------ arbiters
+
+    #[test]
+    fn round_robin_is_work_conserving_and_fair(requests in proptest::collection::vec(any::<bool>(), 1..8)) {
+        let mut arb = RoundRobinArbiter::new(requests.len());
+        match arb.arbitrate(&requests) {
+            Some(winner) => prop_assert!(requests[winner]),
+            None => prop_assert!(requests.iter().all(|&r| !r)),
+        }
+    }
+
+    #[test]
+    fn matrix_arbiter_is_work_conserving(requests in proptest::collection::vec(any::<bool>(), 1..8)) {
+        let mut arb = MatrixArbiter::new(requests.len());
+        match arb.arbitrate(&requests) {
+            Some(winner) => prop_assert!(requests[winner]),
+            None => prop_assert!(requests.iter().all(|&r| !r)),
+        }
+    }
+
+    #[test]
+    fn matrix_arbiter_never_starves_anyone(size in 2usize..6, rounds in 10usize..60) {
+        let mut arb = MatrixArbiter::new(size);
+        let mut wins = vec![0u32; size];
+        for _ in 0..rounds * size {
+            let winner = arb.arbitrate(&vec![true; size]).unwrap();
+            wins[winner] += 1;
+        }
+        let max = *wins.iter().max().unwrap();
+        let min = *wins.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "wins spread too wide: {wins:?}");
+    }
+
+    // ------------------------------------------------------------ PRBS
+
+    #[test]
+    fn lfsr_sequences_are_deterministic_and_nonzero(seed in 1u16.., steps in 1usize..500) {
+        let mut a = Lfsr::new(seed);
+        let mut b = Lfsr::new(seed);
+        for _ in 0..steps {
+            prop_assert_eq!(a.next_bit(), b.next_bit());
+            prop_assert_ne!(a.state(), 0);
+        }
+    }
+
+    #[test]
+    fn prbs_chance_is_monotone_in_probability(seed in 1u16.., p in 0.0f64..0.5) {
+        let trials = 4000;
+        let mut low = PrbsGenerator::new(seed);
+        let mut high = PrbsGenerator::new(seed);
+        let low_hits: u32 = (0..trials).map(|_| u32::from(low.chance(p))).sum();
+        let high_hits: u32 = (0..trials).map(|_| u32::from(high.chance(p + 0.4))).sum();
+        prop_assert!(high_hits >= low_hits);
+    }
+}

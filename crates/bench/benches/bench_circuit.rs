@@ -1,7 +1,9 @@
 //! Criterion bench: circuit-level models (Figs. 7, 10, 11, 12; Tables 3, 4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use noc_circuit::{AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, SenseAmpVariation, Wire};
+use noc_circuit::{
+    AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, SenseAmpVariation, Wire,
+};
 use std::hint::black_box;
 
 fn bench_link_models(c: &mut Criterion) {
@@ -35,5 +37,10 @@ fn bench_static_reports(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_link_models, bench_monte_carlo, bench_static_reports);
+criterion_group!(
+    benches,
+    bench_link_models,
+    bench_monte_carlo,
+    bench_static_reports
+);
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Criterion bench: power-model evaluation (Figs. 6 and 8 pricing path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use noc_power::{EnergyParams, MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator};
+use noc_power::{
+    EnergyParams, MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator,
+};
 use noc_sim::ActivityCounters;
 use std::hint::black_box;
 
@@ -33,7 +35,9 @@ fn bench_three_models(c: &mut Criterion) {
     let post = PostLayoutPowerModel::new(EnergyParams::chip_low_swing());
     c.bench_function("price_activity_with_three_models", |b| {
         b.iter(|| {
-            let m = measured.estimate(black_box(&counters), 10_000, 1.0).total_mw();
+            let m = measured
+                .estimate(black_box(&counters), 10_000, 1.0)
+                .total_mw();
             let o = orion.estimate(black_box(&counters), 10_000, 1.0).total_mw();
             let p = post.estimate(black_box(&counters), 10_000, 1.0).total_mw();
             black_box(m + o + p)

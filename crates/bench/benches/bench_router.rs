@@ -21,8 +21,10 @@ fn bench_bypass_hop(c: &mut Criterion) {
             |mut router| {
                 for i in 0..100u64 {
                     let flit = unicast_flit(i);
-                    let ports = routing::requested_ports(&mesh, router.coord(), flit.destinations());
-                    let la = Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports);
+                    let ports =
+                        routing::requested_ports(&mesh, router.coord(), flit.destinations());
+                    let la =
+                        Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports);
                     router.accept_flit(Port::West, flit);
                     router.accept_lookahead(Port::West, la);
                     let out = black_box(router.step(i));
@@ -31,7 +33,10 @@ fn bench_bypass_hop(c: &mut Criterion) {
                     // stalls the benchmark loop.
                     for departure in &out.departures {
                         if let Some(vc) = departure.flit.vc() {
-                            router.accept_credit(departure.port, Credit::new(MessageClass::Request, vc));
+                            router.accept_credit(
+                                departure.port,
+                                Credit::new(MessageClass::Request, vc),
+                            );
                         }
                     }
                 }
@@ -53,13 +58,20 @@ fn bench_buffered_hop(c: &mut Criterion) {
                     // as an upstream router limited by credits would.
                     let flit = unicast_flit(i);
                     let vc = flit.vc().unwrap();
-                    if router.input(Port::West).vc(MessageClass::Request, vc).is_empty() {
+                    if router
+                        .input(Port::West)
+                        .vc(MessageClass::Request, vc)
+                        .is_empty()
+                    {
                         router.accept_flit(Port::West, flit);
                     }
                     let out = black_box(router.step(i));
                     for departure in &out.departures {
                         if let Some(vc) = departure.flit.vc() {
-                            router.accept_credit(departure.port, Credit::new(MessageClass::Request, vc));
+                            router.accept_credit(
+                                departure.port,
+                                Credit::new(MessageClass::Request, vc),
+                            );
                         }
                     }
                 }

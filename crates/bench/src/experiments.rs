@@ -1,8 +1,10 @@
 //! One function per table / figure of the paper.
 
 use mesh_noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult};
-use noc_circuit::{AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
-    SenseAmpVariation, Wire};
+use noc_circuit::{
+    AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
+    SenseAmpVariation, Wire,
+};
 use noc_power::{
     reference, MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerBreakdown,
     PowerEstimator,
@@ -348,12 +350,13 @@ pub fn fig8_report(effort: Effort) -> String {
         "relative reduction",
         "ratio to measured (proposed)",
     ]);
-    let price = |estimator: &dyn PowerEstimator, result: &SimulationResult, energy_cfg: &NocConfig| {
-        let _ = energy_cfg;
-        estimator
-            .estimate(&result.counters, result.total_cycles, result.frequency_ghz)
-            .total_mw()
-    };
+    let price =
+        |estimator: &dyn PowerEstimator, result: &SimulationResult, energy_cfg: &NocConfig| {
+            let _ = energy_cfg;
+            estimator
+                .estimate(&result.counters, result.total_cycles, result.frequency_ghz)
+                .total_mw()
+        };
 
     let measured_baseline = MeasuredPowerModel::new(baseline_cfg.energy_params());
     let measured_proposed = MeasuredPowerModel::new(proposed_cfg.energy_params());
@@ -561,7 +564,11 @@ pub fn fig11_report() -> String {
     let mut out = String::from(
         "Figure 11 - Dynamic power of the tri-state RSD crossbar vs multicast count (1 mm, 5 Gb/s)\n\n",
     );
-    let mut table = Table::new(["multicast count", "dynamic power (mW)", "relative to unicast"]);
+    let mut table = Table::new([
+        "multicast count",
+        "dynamic power (mW)",
+        "relative to unicast",
+    ]);
     let points = MulticastPowerPoint::sweep(1.0, 0.3, 5.0);
     let unicast = points[0].power_mw;
     for p in &points {
@@ -690,8 +697,16 @@ pub fn headline_report(effort: Effort) -> String {
     let limits = MeshLimits::new(4);
     let low_rate = 0.02;
     for (label, seed_mode, paper) in [
-        ("identical PRBS seeds (chip artifact)", SeedMode::Identical, "1.03 cycles/hop (mixed)"),
-        ("per-node PRBS seeds (fixed RTL)", SeedMode::PerNode, "0.04 cycles/hop (mixed)"),
+        (
+            "identical PRBS seeds (chip artifact)",
+            SeedMode::Identical,
+            "1.03 cycles/hop (mixed)",
+        ),
+        (
+            "per-node PRBS seeds (fixed RTL)",
+            SeedMode::PerNode,
+            "0.04 cycles/hop (mixed)",
+        ),
     ] {
         let config = NocConfig::proposed_chip()
             .expect("valid preset")

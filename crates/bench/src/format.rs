@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn number_formatting() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(pct(0.483), "48.3%");
     }
 }

@@ -61,7 +61,10 @@ mod tests {
             let report = run_experiment(name, Effort::Quick)
                 .unwrap_or_else(|| panic!("experiment {name} missing"));
             assert!(!report.is_empty(), "{name} produced an empty report");
-            assert!(report.contains('|') || report.contains(':'), "{name} report looks empty");
+            assert!(
+                report.contains('|') || report.contains(':'),
+                "{name} report looks empty"
+            );
         }
     }
 

@@ -56,7 +56,11 @@ impl EyeAnalysis {
     /// The paper's repeated configuration: 2 mm covered as 1 mm + 1 mm.
     #[must_use]
     pub fn repeated_2mm() -> Self {
-        Self::new(2.0, params::DEFAULT_SWING, LinkTopology::Repeated { segments: 2 })
+        Self::new(
+            2.0,
+            params::DEFAULT_SWING,
+            LinkTopology::Repeated { segments: 2 },
+        )
     }
 
     /// The paper's repeaterless configuration: a single 2 mm drive.

@@ -137,7 +137,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x_abs * x_abs).exp();
     let erf = if sign_negative { -erf } else { erf };
     1.0 - erf
@@ -163,7 +164,10 @@ mod tests {
         let p_mid = model.failure_probability(0.3);
         let p_high = model.failure_probability(0.5);
         assert!(p_low > p_mid && p_mid > p_high);
-        assert!(p_low > 0.1, "half the margin should fail often, got {p_low}");
+        assert!(
+            p_low > 0.1,
+            "half the margin should fail often, got {p_low}"
+        );
     }
 
     #[test]

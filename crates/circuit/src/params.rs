@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn supplies_are_ordered() {
-        assert!(DEFAULT_SWING < LVDD);
-        assert!(LVDD < VDD);
+        const { assert!(DEFAULT_SWING < LVDD) };
+        const { assert!(LVDD < VDD) };
     }
 }

@@ -78,8 +78,7 @@ impl Wire {
         let c_total = self.capacitance_ff() + fixed_cap_ff;
         // fF * Ohm = 1e-15 F * Ohm = 1e-15 s = 1e-3 ps.
         let driver_term = params::ELMORE_DRIVER * drive_resistance * c_total * 1e-3;
-        let wire_term =
-            params::ELMORE_WIRE * self.resistance_ohm() * self.capacitance_ff() * 1e-3;
+        let wire_term = params::ELMORE_WIRE * self.resistance_ohm() * self.capacitance_ff() * 1e-3;
         driver_term + wire_term
     }
 }
@@ -100,8 +99,14 @@ mod tests {
     fn elmore_delay_grows_superlinearly_with_length() {
         let d1 = Wire::link_45nm(1.0).elmore_delay_ps(params::RSD_DRIVE_RES, 30.0);
         let d2 = Wire::link_45nm(2.0).elmore_delay_ps(params::RSD_DRIVE_RES, 30.0);
-        assert!(d2 > 2.0 * d1 * 0.9, "wire RC term must make delay superlinear-ish");
-        assert!(d2 < 4.0 * d1, "but far from pure quadratic at these lengths");
+        assert!(
+            d2 > 2.0 * d1 * 0.9,
+            "wire RC term must make delay superlinear-ish"
+        );
+        assert!(
+            d2 < 4.0 * d1,
+            "but far from pure quadratic at these lengths"
+        );
     }
 
     #[test]

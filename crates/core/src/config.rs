@@ -259,7 +259,9 @@ mod tests {
         assert_eq!(t.link_delay_cycles(), 2);
         assert!(matches!(
             t.router.kind,
-            noc_router::RouterKind::Baseline { combined_st_lt: false }
+            noc_router::RouterKind::Baseline {
+                combined_st_lt: false
+            }
         ));
     }
 

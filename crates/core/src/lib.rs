@@ -47,6 +47,6 @@ pub mod sweep;
 
 pub use config::{DatapathKind, NetworkVariant, NocConfig};
 pub use network::Network;
-pub use nic::Nic;
+pub use nic::{Nic, Reception};
 pub use result::SimulationResult;
 pub use simulation::Simulation;

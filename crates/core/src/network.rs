@@ -168,7 +168,12 @@ impl Network {
             .pending
             .values()
             .flatten()
-            .filter(|d| matches!(d, Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }))
+            .filter(|d| {
+                matches!(
+                    d,
+                    Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }
+                )
+            })
             .count();
         buffered + queued + on_links
     }
@@ -303,7 +308,12 @@ impl Network {
         for node in 0..self.routers.len() {
             let output = self.routers[node].step(now);
             let coord = self.mesh.coord_of(node as NodeId);
-            for Departure { port, flit, lookahead } in output.departures {
+            for Departure {
+                port,
+                flit,
+                lookahead,
+            } in output.departures
+            {
                 if port.is_local() {
                     self.schedule(
                         now + 1,
@@ -378,9 +388,8 @@ impl Network {
 
     fn register_packet(&mut self, registration: PacketRegistration) {
         if self.measuring {
-            self.throughput.record_injection(u64::from(
-                registration.flits_per_reception,
-            ));
+            self.throughput
+                .record_injection(u64::from(registration.flits_per_reception));
         }
         self.scoreboard.insert(
             registration.id,
@@ -397,7 +406,11 @@ impl Network {
             Delivery::FlitToRouter { node, port, flit } => {
                 self.routers[usize::from(node)].accept_flit(port, flit);
             }
-            Delivery::LookaheadToRouter { node, port, lookahead } => {
+            Delivery::LookaheadToRouter {
+                node,
+                port,
+                lookahead,
+            } => {
                 self.routers[usize::from(node)].accept_lookahead(port, lookahead);
             }
             Delivery::CreditToRouter { node, port, credit } => {
@@ -412,7 +425,8 @@ impl Network {
                         self.throughput.record_reception(u64::from(reception.flits));
                     }
                     if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
-                        tracked.remaining_receptions = tracked.remaining_receptions.saturating_sub(1);
+                        tracked.remaining_receptions =
+                            tracked.remaining_receptions.saturating_sub(1);
                         if tracked.remaining_receptions == 0 {
                             if tracked.track_latency {
                                 self.latency.record(now - tracked.created_at);
@@ -499,8 +513,7 @@ mod tests {
     }
 
     #[test]
-    fn bypassing_actually_happens_on_the_proposed_network()
-    {
+    fn bypassing_actually_happens_on_the_proposed_network() {
         let config = NocConfig::proposed_chip()
             .unwrap()
             .with_seed_mode(noc_traffic::SeedMode::PerNode);
@@ -508,7 +521,10 @@ mod tests {
         run_cycles(&mut network, 1000, true);
         let counters = network.counters();
         assert!(counters.bypasses > 0, "lookahead bypassing must occur");
-        assert!(counters.bypass_fraction() > 0.5, "most hops should bypass at low load");
+        assert!(
+            counters.bypass_fraction() > 0.5,
+            "most hops should bypass at low load"
+        );
         // The baseline never bypasses.
         let baseline = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
         let mut baseline_net = Network::new(baseline, 0.02).unwrap();

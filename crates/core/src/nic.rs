@@ -11,8 +11,8 @@ use std::collections::VecDeque;
 use noc_router::{Lookahead, OutputPort};
 use noc_sim::ActivityCounters;
 use noc_topology::{routing, Mesh};
-use noc_types::{Coord, Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
 use noc_traffic::TrafficGenerator;
+use noc_types::{Coord, Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
 
 use crate::config::NocConfig;
 
@@ -76,8 +76,7 @@ impl Nic {
     /// `rate` flits/cycle.
     #[must_use]
     pub fn new(config: &NocConfig, mesh: Mesh, node: NodeId, rate: f64) -> Self {
-        let generator =
-            TrafficGenerator::new(node, config.k, config.mix, config.seed_mode, rate);
+        let generator = TrafficGenerator::new(node, config.k, config.mix, config.seed_mode, rate);
         Self {
             node,
             coord: mesh.coord_of(node),
@@ -141,7 +140,11 @@ impl Nic {
     ///
     /// Returns the injection (if any) and the registrations of any packets
     /// created this cycle.
-    pub fn tick(&mut self, now: Cycle, inject: bool) -> (Option<NicInjection>, Vec<PacketRegistration>) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        inject: bool,
+    ) -> (Option<NicInjection>, Vec<PacketRegistration>) {
         let mut registrations = Vec::new();
         if inject {
             for packet in self.generator.generate(now) {
@@ -280,7 +283,13 @@ mod tests {
     fn baseline_nic_duplicates_broadcasts() {
         let config = NocConfig::variant(NetworkVariant::FullSwingUnicast).unwrap();
         let mut nic = Nic::new(&config, mesh4(), 0, 0.0);
-        let bcast = Packet::new(9, 0, DestinationSet::broadcast(4, 0), PacketKind::Request, 0);
+        let bcast = Packet::new(
+            9,
+            0,
+            DestinationSet::broadcast(4, 0),
+            PacketKind::Request,
+            0,
+        );
         let reg = nic.enqueue_packet(bcast);
         assert_eq!(reg.expected_receptions, 15);
         // 15 unicast copies of a single-flit request.
@@ -293,7 +302,13 @@ mod tests {
     #[test]
     fn proposed_nic_keeps_broadcasts_as_one_flit() {
         let mut nic = chip_nic(0.0);
-        let bcast = Packet::new(9, 5, DestinationSet::broadcast(4, 5), PacketKind::Request, 0);
+        let bcast = Packet::new(
+            9,
+            5,
+            DestinationSet::broadcast(4, 5),
+            PacketKind::Request,
+            0,
+        );
         let reg = nic.enqueue_packet(bcast);
         assert_eq!(reg.expected_receptions, 15);
         assert_eq!(nic.queued_flits(), 1);
@@ -312,7 +327,13 @@ mod tests {
                 0,
             ));
         }
-        nic.enqueue_packet(Packet::new(99, 5, DestinationSet::unicast(2), PacketKind::Request, 0));
+        nic.enqueue_packet(Packet::new(
+            99,
+            5,
+            DestinationSet::unicast(2),
+            PacketKind::Request,
+            0,
+        ));
         for cycle in 0..4 {
             assert!(nic.tick(cycle, false).0.is_some());
         }
@@ -328,7 +349,13 @@ mod tests {
     #[test]
     fn five_flit_responses_inject_on_one_vc_in_order() {
         let mut nic = chip_nic(0.0);
-        nic.enqueue_packet(Packet::new(3, 5, DestinationSet::unicast(2), PacketKind::Response, 0));
+        nic.enqueue_packet(Packet::new(
+            3,
+            5,
+            DestinationSet::unicast(2),
+            PacketKind::Response,
+            0,
+        ));
         let mut sequences = Vec::new();
         let mut vcs = Vec::new();
         // Credits come back two cycles after each injection, as the router

@@ -80,7 +80,9 @@ impl Simulation {
             self.network.step(true);
         }
         self.network.set_measuring(false);
-        self.network.throughput_mut().set_measured_cycles(measure_cycles);
+        self.network
+            .throughput_mut()
+            .set_measured_cycles(measure_cycles);
 
         // Drain.
         let drain_limit = 4 * measure_cycles + 2000;

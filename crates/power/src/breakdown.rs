@@ -102,7 +102,11 @@ impl PowerBreakdown {
     /// allocators, route computation and lookaheads.
     #[must_use]
     pub fn router_logic_and_buffer_mw(&self) -> f64 {
-        self.buffers_mw + self.vc_state_mw + self.allocators_mw + self.routing_mw + self.lookahead_mw
+        self.buffers_mw
+            + self.vc_state_mw
+            + self.allocators_mw
+            + self.routing_mw
+            + self.lookahead_mw
     }
 
     /// Fig. 6's "Data path (crossbar + link)" segment, including the NIC
@@ -196,8 +200,10 @@ mod tests {
             1.0,
             &EnergyParams::chip_low_swing(),
         );
-        let grouped =
-            b.clocking_group_mw() + b.router_logic_and_buffer_mw() + b.datapath_group_mw() + b.leakage_mw;
+        let grouped = b.clocking_group_mw()
+            + b.router_logic_and_buffer_mw()
+            + b.datapath_group_mw()
+            + b.leakage_mw;
         assert!((grouped - b.total_mw()).abs() < 1e-9);
     }
 
@@ -220,8 +226,10 @@ mod tests {
     #[test]
     fn full_swing_datapath_costs_more_than_low_swing() {
         let counters = sample_counters();
-        let fs = PowerBreakdown::from_activity(&counters, 1000, 1.0, &EnergyParams::chip_full_swing());
-        let ls = PowerBreakdown::from_activity(&counters, 1000, 1.0, &EnergyParams::chip_low_swing());
+        let fs =
+            PowerBreakdown::from_activity(&counters, 1000, 1.0, &EnergyParams::chip_full_swing());
+        let ls =
+            PowerBreakdown::from_activity(&counters, 1000, 1.0, &EnergyParams::chip_low_swing());
         assert!(fs.datapath_group_mw() > ls.datapath_group_mw());
         assert!((fs.buffers_mw - ls.buffers_mw).abs() < 1e-12);
         let reduction = 1.0 - ls.datapath_group_mw() / fs.datapath_group_mw();

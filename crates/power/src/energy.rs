@@ -88,12 +88,7 @@ impl EnergyParams {
     /// ORION-style and post-layout-style models from the measured
     /// calibration.
     #[must_use]
-    pub fn scaled(
-        &self,
-        dynamic_factor: f64,
-        clock_factor: f64,
-        leakage_factor: f64,
-    ) -> Self {
+    pub fn scaled(&self, dynamic_factor: f64, clock_factor: f64, leakage_factor: f64) -> Self {
         Self {
             buffer_write_pj: self.buffer_write_pj * dynamic_factor,
             buffer_read_pj: self.buffer_read_pj * dynamic_factor,

@@ -225,14 +225,17 @@ mod tests {
         let m = measured.estimate(&counters, 1000, 1.0).total_mw();
         let p = post.estimate(&counters, 1000, 1.0).total_mw();
         let error = (p - m).abs() / m;
-        assert!(error <= 0.13, "post-layout error should be <= 13%, got {error:.3}");
+        assert!(
+            error <= 0.13,
+            "post-layout error should be <= 13%, got {error:.3}"
+        );
     }
 
     #[test]
     fn post_layout_error_signs_match_the_paper() {
         let counters = busy_counters();
-        let measured = MeasuredPowerModel::new(EnergyParams::chip_low_swing())
-            .estimate(&counters, 1000, 1.0);
+        let measured =
+            MeasuredPowerModel::new(EnergyParams::chip_low_swing()).estimate(&counters, 1000, 1.0);
         let post = PostLayoutPowerModel::new(EnergyParams::chip_low_swing())
             .estimate(&counters, 1000, 1.0);
         assert!(post.buffers_mw < measured.buffers_mw);
@@ -280,7 +283,13 @@ mod tests {
         let r_m = rel(&measured);
         let r_o = rel(&orion);
         let r_p = rel(&post);
-        assert!((r_m - r_o).abs() < 0.05, "measured {r_m:.3} vs orion {r_o:.3}");
-        assert!((r_m - r_p).abs() < 0.03, "measured {r_m:.3} vs post-layout {r_p:.3}");
+        assert!(
+            (r_m - r_o).abs() < 0.05,
+            "measured {r_m:.3} vs orion {r_o:.3}"
+        );
+        assert!(
+            (r_m - r_p).abs() < 0.03,
+            "measured {r_m:.3} vs post-layout {r_p:.3}"
+        );
     }
 }

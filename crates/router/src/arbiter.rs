@@ -141,8 +141,7 @@ impl MatrixArbiter {
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.size, "request vector size mismatch");
         (0..self.size).find(|&i| {
-            requests[i]
-                && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
+            requests[i] && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
         })
     }
 }

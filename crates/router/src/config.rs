@@ -169,7 +169,10 @@ impl RouterConfig {
     /// Returns [`ConfigError::InvalidVcConfig`] when either message class has
     /// zero VCs or zero-depth buffers.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        for (name, vc) in [("request", self.request_vcs), ("response", self.response_vcs)] {
+        for (name, vc) in [
+            ("request", self.request_vcs),
+            ("response", self.response_vcs),
+        ] {
             if vc.count == 0 || vc.depth == 0 {
                 return Err(ConfigError::InvalidVcConfig {
                     reason: format!("{name} class must have at least one VC of depth >= 1"),
@@ -202,15 +205,24 @@ mod tests {
     fn kinds_expose_their_capabilities() {
         assert!(RouterKind::Proposed { bypass: true }.multicast_support());
         assert!(RouterKind::Proposed { bypass: false }.multicast_support());
-        assert!(!RouterKind::Baseline { combined_st_lt: true }.multicast_support());
+        assert!(!RouterKind::Baseline {
+            combined_st_lt: true
+        }
+        .multicast_support());
         assert!(RouterKind::Proposed { bypass: true }.lookahead_enabled());
         assert!(!RouterKind::Proposed { bypass: false }.lookahead_enabled());
         assert_eq!(
-            RouterKind::Baseline { combined_st_lt: false }.separate_lt_cycles(),
+            RouterKind::Baseline {
+                combined_st_lt: false
+            }
+            .separate_lt_cycles(),
             1
         );
         assert_eq!(
-            RouterKind::Baseline { combined_st_lt: true }.separate_lt_cycles(),
+            RouterKind::Baseline {
+                combined_st_lt: true
+            }
+            .separate_lt_cycles(),
             0
         );
     }

@@ -290,8 +290,10 @@ mod tests {
     #[test]
     fn occupancy_sums_across_vcs() {
         let mut port = InputPort::new(Port::West, &RouterConfig::proposed(true));
-        port.vc_mut(MessageClass::Request, 0).push(request_flit(1), 0);
-        port.vc_mut(MessageClass::Request, 2).push(request_flit(2), 0);
+        port.vc_mut(MessageClass::Request, 0)
+            .push(request_flit(1), 0);
+        port.vc_mut(MessageClass::Request, 2)
+            .push(request_flit(2), 0);
         assert_eq!(port.occupancy(), 2);
     }
 }

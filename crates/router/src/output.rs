@@ -213,9 +213,8 @@ impl OutputPort {
         if self.untracked() {
             return;
         }
-        let depth;
         let slot = &mut self.class_mut(credit.class)[usize::from(credit.vc)];
-        depth = slot.depth;
+        let depth = slot.depth;
         assert!(
             slot.credits < depth,
             "credit overflow on downstream VC (more credits than buffer slots)"
@@ -263,7 +262,10 @@ mod tests {
         out.allocate_vc(MessageClass::Request, vc);
         assert_eq!(out.free_vcs(MessageClass::Request), 3);
         out.send_flit(MessageClass::Request, vc, true);
-        assert!(!out.has_credit(MessageClass::Request, vc), "depth-1 VC exhausted");
+        assert!(
+            !out.has_credit(MessageClass::Request, vc),
+            "depth-1 VC exhausted"
+        );
         // Credit comes back after the downstream router forwards the flit.
         out.on_credit(Credit::new(MessageClass::Request, vc));
         assert_eq!(out.free_vcs(MessageClass::Request), 4);

@@ -91,7 +91,9 @@ impl Router {
         let msa1 = (0..PORT_COUNT)
             .map(|_| RoundRobinArbiter::new(config.total_vcs()))
             .collect();
-        let msa2 = (0..PORT_COUNT).map(|_| MatrixArbiter::new(PORT_COUNT)).collect();
+        let msa2 = (0..PORT_COUNT)
+            .map(|_| MatrixArbiter::new(PORT_COUNT))
+            .collect();
         let mut counters = ActivityCounters::new();
         counters.routers = 1;
         Self {
@@ -162,7 +164,10 @@ impl Router {
             self.arrived[port.index()].is_none(),
             "two flits delivered on the same link in one cycle"
         );
-        assert!(flit.vc().is_some(), "arriving flit must carry its VC assignment");
+        assert!(
+            flit.vc().is_some(),
+            "arriving flit must carry its VC assignment"
+        );
         self.arrived[port.index()] = Some(flit);
     }
 
@@ -199,7 +204,7 @@ impl Router {
         // lookahead whose input VC is empty (so bypassing cannot reorder a
         // packet) and, for body/tail flits, whose VC has route state.
         let mut candidates: [Option<PortSet>; PORT_COUNT] = [None; PORT_COUNT];
-        for i in 0..PORT_COUNT {
+        for (i, candidate) in candidates.iter_mut().enumerate() {
             let (Some(flit), Some(la)) = (&self.arrived[i], &self.arrived_lookaheads[i]) else {
                 continue;
             };
@@ -216,14 +221,13 @@ impl Router {
                 continue;
             }
             let ports = routing::requested_ports(&self.mesh, self.coord, flit.destinations());
-            candidates[i] = Some(ports);
+            *candidate = Some(ports);
         }
 
         // mSA-II among lookahead requests (they take priority over buffered
         // flits, which are arbitrated afterwards on the remaining ports).
         let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
-        for p in 0..PORT_COUNT {
-            let port = Port::ALL[p];
+        for (p, &port) in Port::ALL.iter().enumerate() {
             let requests: Vec<bool> = (0..PORT_COUNT)
                 .map(|i| candidates[i].is_some_and(|ps| ps.contains(port)))
                 .collect();
@@ -240,7 +244,10 @@ impl Router {
             if !ports.iter().all(|p| granted[i][p.index()]) {
                 continue;
             }
-            let flit = self.arrived[i].as_ref().expect("candidate has a flit").clone();
+            let flit = self.arrived[i]
+                .as_ref()
+                .expect("candidate has a flit")
+                .clone();
             let class = flit.message_class();
             let in_vc = flit.vc().expect("arriving flit carries its VC");
             let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
@@ -257,8 +264,7 @@ impl Router {
                 self.counters.route_computations += 1;
             }
             self.execute_traversal(&flit, class, i, in_vc, &plan, true, out, output_used);
-            out.credits
-                .push((Port::ALL[i], Credit::new(class, in_vc)));
+            out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
         }
     }
 
@@ -279,7 +285,7 @@ impl Router {
         // requests, and it prevents a resource-starved VC from phase-locking
         // the round-robin and matrix arbiters against its neighbours.
         let mut winners: [Option<usize>; PORT_COUNT] = [None; PORT_COUNT];
-        for i in 0..PORT_COUNT {
+        for (i, winner) in winners.iter_mut().enumerate() {
             let n = self.inputs[i].vc_count();
             let requests: Vec<bool> = (0..n)
                 .map(|v| {
@@ -299,14 +305,16 @@ impl Router {
                                         .is_some_and(|vc| op.has_credit(class, vc))
                             })
                     } else {
-                        let route = vcbuf.route().expect("body flit must follow an allocated route");
+                        let route = vcbuf
+                            .route()
+                            .expect("body flit must follow an allocated route");
                         self.outputs[route.out_port.index()].has_credit(class, route.out_vc)
                     }
                 })
                 .collect();
             if requests.iter().any(|&r| r) {
                 self.counters.sa_local_arbitrations += 1;
-                winners[i] = self.msa1[i].arbitrate(&requests);
+                *winner = self.msa1[i].arbitrate(&requests);
             }
         }
 
@@ -351,15 +359,19 @@ impl Router {
         // branches — the rest of the destinations stay buffered and retry).
         for i in 0..PORT_COUNT {
             let Some(v) = winners[i] else { continue };
-            let Some(req_ports) = requested[i] else { continue };
-            let granted_ports: PortSet = req_ports
-                .iter()
-                .filter(|p| granted[i][p.index()])
-                .collect();
+            let Some(req_ports) = requested[i] else {
+                continue;
+            };
+            let granted_ports: PortSet =
+                req_ports.iter().filter(|p| granted[i][p.index()]).collect();
             if granted_ports.is_empty() {
                 continue;
             }
-            let flit = self.inputs[i].vc_at(v).head().expect("winner has a head flit").clone();
+            let flit = self.inputs[i]
+                .vc_at(v)
+                .head()
+                .expect("winner has a head flit")
+                .clone();
             let class = flit.message_class();
             let in_vc = flit.vc().expect("buffered flit carries its VC");
             let branches: Vec<RouteBranch> = if flit.kind().is_head() {
@@ -536,10 +548,12 @@ impl Router {
         // (unicast) packets follow their head.
         if flit.kind().is_head() && !flit.kind().is_tail() {
             let first = plan[0];
-            self.inputs[in_port].vc_mut(class, in_vc).set_route(VcRoute {
-                out_port: first.port,
-                out_vc: first.out_vc,
-            });
+            self.inputs[in_port]
+                .vc_mut(class, in_vc)
+                .set_route(VcRoute {
+                    out_port: first.port,
+                    out_vc: first.out_vc,
+                });
         }
         if flit.kind().is_tail() && !flit.kind().is_head() {
             self.inputs[in_port].vc_mut(class, in_vc).clear_route();
@@ -576,21 +590,34 @@ mod tests {
 
     /// A unicast request flit from `src` to `dst`, pre-assigned to VC 0.
     fn unicast_flit(id: u64, src: NodeId, dst: NodeId) -> Flit {
-        let p = Packet::new(id, src, DestinationSet::unicast(dst), PacketKind::Request, 0);
+        let p = Packet::new(
+            id,
+            src,
+            DestinationSet::unicast(dst),
+            PacketKind::Request,
+            0,
+        );
         let mut f = p.to_flits().remove(0);
         f.set_vc(0);
         f
     }
 
     fn broadcast_flit(id: u64, src: NodeId) -> Flit {
-        let p = Packet::new(id, src, DestinationSet::broadcast(4, src), PacketKind::Request, 0);
+        let p = Packet::new(
+            id,
+            src,
+            DestinationSet::broadcast(4, src),
+            PacketKind::Request,
+            0,
+        );
         let mut f = p.to_flits().remove(0);
         f.set_vc(0);
         f
     }
 
     fn lookahead_for(router: &Router, flit: &Flit) -> Lookahead {
-        let ports = routing::requested_ports(&Mesh::new(4).unwrap(), router.coord(), flit.destinations());
+        let ports =
+            routing::requested_ports(&Mesh::new(4).unwrap(), router.coord(), flit.destinations());
         Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports)
     }
 
@@ -598,11 +625,18 @@ mod tests {
     fn buffered_unicast_departs_after_pipeline_delay() {
         // Aggressive baseline: arrive at t, depart at t+2 (3 cycles per hop
         // counting the link the orchestrator adds).
-        let mut r = Router::new(&RouterConfig::aggressive_baseline(), mesh4(), Coord::new(1, 1));
+        let mut r = Router::new(
+            &RouterConfig::aggressive_baseline(),
+            mesh4(),
+            Coord::new(1, 1),
+        );
         let flit = unicast_flit(1, 0, 15); // needs to keep going East/North
         r.accept_flit(Port::West, flit);
         let out0 = r.step(10);
-        assert!(out0.departures.is_empty(), "flit is only being buffered at t");
+        assert!(
+            out0.departures.is_empty(),
+            "flit is only being buffered at t"
+        );
         let out1 = r.step(11);
         assert!(out1.departures.is_empty(), "pipeline delay not yet elapsed");
         let out2 = r.step(12);
@@ -625,7 +659,10 @@ mod tests {
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::East);
         assert_eq!(out.departures[0].flit.bypassed_hops(), 1);
-        assert!(out.departures[0].lookahead.is_some(), "bypass keeps pre-allocating downstream");
+        assert!(
+            out.departures[0].lookahead.is_some(),
+            "bypass keeps pre-allocating downstream"
+        );
         // Credit returned immediately because the buffer was never used.
         assert_eq!(out.credits.len(), 1);
         assert_eq!(r.counters().bypasses, 1);
@@ -660,7 +697,11 @@ mod tests {
         assert_eq!(r.counters().multicast_forks, 1);
         assert_eq!(r.counters().crossbar_traversals, 4);
         // Destination subsets are disjoint and cover all 15 destinations.
-        let total: usize = out.departures.iter().map(|d| d.flit.destinations().len()).sum();
+        let total: usize = out
+            .departures
+            .iter()
+            .map(|d| d.flit.destinations().len())
+            .sum();
         assert_eq!(total, 15);
     }
 
@@ -674,7 +715,10 @@ mod tests {
         let out = r.step(0);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::Local);
-        assert!(out.departures[0].lookahead.is_none(), "no lookahead to a NIC");
+        assert!(
+            out.departures[0].lookahead.is_none(),
+            "no lookahead to a NIC"
+        );
         assert_eq!(r.counters().ejections, 1);
     }
 
@@ -691,7 +735,11 @@ mod tests {
         r.accept_flit(Port::South, f_b);
         r.accept_lookahead(Port::South, la_b);
         let out = r.step(0);
-        assert_eq!(out.departures.len(), 1, "only one flit can win the East port");
+        assert_eq!(
+            out.departures.len(),
+            1,
+            "only one flit can win the East port"
+        );
         assert_eq!(r.counters().bypasses, 1);
         assert_eq!(r.counters().buffer_writes, 1, "the loser is buffered");
         assert_eq!(r.buffered_flits(), 1);
@@ -710,7 +758,10 @@ mod tests {
         r.step(0);
         r.step(1);
         let out = r.step(2);
-        assert!(out.departures.is_empty(), "no downstream VC/credit available");
+        assert!(
+            out.departures.is_empty(),
+            "no downstream VC/credit available"
+        );
         assert_eq!(r.buffered_flits(), 1);
         // Return one credit; the flit can now leave.
         r.accept_credit(Port::East, Credit::new(MessageClass::Request, 0));
@@ -757,7 +808,11 @@ mod tests {
 
     #[test]
     fn five_flit_response_streams_in_order_on_one_vc() {
-        let mut r = Router::new(&RouterConfig::aggressive_baseline(), mesh4(), Coord::new(1, 1));
+        let mut r = Router::new(
+            &RouterConfig::aggressive_baseline(),
+            mesh4(),
+            Coord::new(1, 1),
+        );
         let packet = Packet::new(7, 0, DestinationSet::unicast(7), PacketKind::Response, 0);
         let flits: Vec<Flit> = packet
             .to_flits()
@@ -769,10 +824,14 @@ mod tests {
             .collect();
         // Feed the first three flits (the downstream VC is 3 deep).
         let mut received = Vec::new();
-        let mut cycle = 0;
         let mut next_to_send = 0usize;
-        for _ in 0..30 {
-            if next_to_send < flits.len() && r.input(Port::West).vc(MessageClass::Response, 0).occupancy() < 3 {
+        for cycle in 0..30 {
+            if next_to_send < flits.len()
+                && r.input(Port::West)
+                    .vc(MessageClass::Response, 0)
+                    .occupancy()
+                    < 3
+            {
                 r.accept_flit(Port::West, flits[next_to_send].clone());
                 next_to_send += 1;
             }
@@ -786,13 +845,13 @@ mod tests {
                 let _ = credit;
             }
             // Return credits to the East output so the stream keeps moving.
-            if cycle % 1 == 0 {
-                let dvc = r.output(Port::East).downstream_vc(MessageClass::Response, 0).unwrap();
-                if dvc.credits < 3 && dvc.allocated {
-                    r.accept_credit(Port::East, Credit::new(MessageClass::Response, 0));
-                }
+            let dvc = r
+                .output(Port::East)
+                .downstream_vc(MessageClass::Response, 0)
+                .unwrap();
+            if dvc.credits < 3 && dvc.allocated {
+                r.accept_credit(Port::East, Credit::new(MessageClass::Response, 0));
             }
-            cycle += 1;
         }
         assert_eq!(received, vec![0, 1, 2, 3, 4], "flits must stay in order");
     }

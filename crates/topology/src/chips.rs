@@ -311,7 +311,11 @@ mod tests {
         assert!(close(c8.bisection_bandwidth_gbps(), 512.0, 1e-9));
 
         let c4 = ChipModel::this_work_4x4();
-        assert!(close(c4.unicast_zero_load_latency_cycles(), 10.0 / 3.0, 1e-9));
+        assert!(close(
+            c4.unicast_zero_load_latency_cycles(),
+            10.0 / 3.0,
+            1e-9
+        ));
         assert!(close(c4.broadcast_zero_load_latency_cycles(), 5.5, 1e-9));
         assert!(close(c4.unicast_channel_load_factor(), 16.0, 1e-9));
         assert!(close(c4.broadcast_channel_load_factor(), 16.0, 1e-9));

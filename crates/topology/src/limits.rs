@@ -104,7 +104,7 @@ impl MeshLimits {
     #[must_use]
     pub fn broadcast_average_hops(&self) -> f64 {
         let k = f64::from(self.k);
-        if self.k % 2 == 0 {
+        if self.k.is_multiple_of(2) {
             (3.0 * k - 1.0) / 2.0
         } else {
             (k - 1.0) * (3.0 * k + 1.0) / (2.0 * k)
@@ -229,7 +229,12 @@ impl MeshLimits {
 
     /// Theoretical received-throughput limit converted to Gb/s.
     #[must_use]
-    pub fn throughput_limit_gbps(&self, broadcast: bool, flit_bits: u32, frequency_ghz: f64) -> f64 {
+    pub fn throughput_limit_gbps(
+        &self,
+        broadcast: bool,
+        flit_bits: u32,
+        frequency_ghz: f64,
+    ) -> f64 {
         let flits = if broadcast {
             self.broadcast_throughput_limit_flits_per_cycle()
         } else {

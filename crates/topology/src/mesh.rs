@@ -163,7 +163,10 @@ impl Mesh {
         frequency_ghz: f64,
         networks: u32,
     ) -> f64 {
-        self.bisection_links() as f64 * f64::from(channel_bits) * frequency_ghz * f64::from(networks)
+        self.bisection_links() as f64
+            * f64::from(channel_bits)
+            * frequency_ghz
+            * f64::from(networks)
     }
 
     /// Manhattan hop count between two nodes.
@@ -199,8 +202,14 @@ mod tests {
         let corner = Coord::new(0, 0);
         assert_eq!(mesh.neighbor(corner, Direction::South), None);
         assert_eq!(mesh.neighbor(corner, Direction::West), None);
-        assert_eq!(mesh.neighbor(corner, Direction::North), Some(Coord::new(0, 1)));
-        assert_eq!(mesh.neighbor(corner, Direction::East), Some(Coord::new(1, 0)));
+        assert_eq!(
+            mesh.neighbor(corner, Direction::North),
+            Some(Coord::new(0, 1))
+        );
+        assert_eq!(
+            mesh.neighbor(corner, Direction::East),
+            Some(Coord::new(1, 0))
+        );
         let opposite = Coord::new(3, 3);
         assert_eq!(mesh.neighbor(opposite, Direction::North), None);
         assert_eq!(mesh.neighbor(opposite, Direction::East), None);

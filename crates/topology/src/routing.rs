@@ -97,11 +97,7 @@ pub struct RouteBranch {
 /// # Ok::<(), noc_types::ConfigError>(())
 /// ```
 #[must_use]
-pub fn multicast_branches(
-    mesh: &Mesh,
-    current: Coord,
-    dests: &DestinationSet,
-) -> Vec<RouteBranch> {
+pub fn multicast_branches(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> Vec<RouteBranch> {
     let mut by_port: [DestinationSet; 5] = [DestinationSet::empty(); 5];
     for dest_id in dests.iter() {
         let dest = mesh.coord_of(dest_id);
@@ -273,7 +269,11 @@ mod tests {
             covered = covered.union(&b.destinations);
         }
         assert_eq!(covered, dests, "branches must cover all destinations");
-        assert_eq!(total, dests.len(), "branches must not duplicate destinations");
+        assert_eq!(
+            total,
+            dests.len(),
+            "branches must not duplicate destinations"
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl TrafficGenerator {
         if !self.prbs.chance(packet_probability) {
             return Vec::new();
         }
-        let kind_sample = f64::from(self.prbs.next_word()) / f64::from(u16::MAX) ;
+        let kind_sample = f64::from(self.prbs.next_word()) / f64::from(u16::MAX);
         let kind = self.mix.pick(kind_sample.min(0.999_999));
         let packet = self.build_packet(kind, cycle);
         vec![packet]
@@ -110,9 +110,10 @@ impl TrafficGenerator {
         let id = self.packet_id();
         let nodes = self.k * self.k;
         let (dests, packet_kind) = match kind {
-            TrafficKind::BroadcastRequest => {
-                (DestinationSet::broadcast(self.k, self.node), PacketKind::Request)
-            }
+            TrafficKind::BroadcastRequest => (
+                DestinationSet::broadcast(self.k, self.node),
+                PacketKind::Request,
+            ),
             TrafficKind::UnicastRequest | TrafficKind::UnicastResponse => {
                 let mut dest = self.prbs.next_below(nodes);
                 if dest == self.node {
@@ -158,7 +159,10 @@ mod tests {
         let n_high = total_packets(high, 10_000);
         // Expected: 0.05/2 * 10k = 250 and 0.5/2 * 10k = 2500 packets.
         assert!(n_low > 150 && n_low < 350, "low-rate packets: {n_low}");
-        assert!(n_high > 2200 && n_high < 2800, "high-rate packets: {n_high}");
+        assert!(
+            n_high > 2200 && n_high < 2800,
+            "high-rate packets: {n_high}"
+        );
     }
 
     #[test]

@@ -91,7 +91,13 @@ pub enum Port {
 
 impl Port {
     /// All five ports in index order (N, E, S, W, Local).
-    pub const ALL: [Port; PORT_COUNT] = [Port::North, Port::East, Port::South, Port::West, Port::Local];
+    pub const ALL: [Port; PORT_COUNT] = [
+        Port::North,
+        Port::East,
+        Port::South,
+        Port::West,
+        Port::Local,
+    ];
 
     /// Stable index of the port, `0..PORT_COUNT`.
     #[must_use]

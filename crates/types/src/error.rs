@@ -33,13 +33,19 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::InvalidMeshSide { k } => {
-                write!(f, "mesh side length {k} is outside the supported range 1..=16")
+                write!(
+                    f,
+                    "mesh side length {k} is outside the supported range 1..=16"
+                )
             }
             ConfigError::InvalidVcConfig { reason } => {
                 write!(f, "invalid virtual channel configuration: {reason}")
             }
             ConfigError::InvalidInjectionRate { rate } => {
-                write!(f, "injection rate {rate} is outside [0, 1] flits/node/cycle")
+                write!(
+                    f,
+                    "injection rate {rate} is outside [0, 1] flits/node/cycle"
+                )
             }
             ConfigError::InvalidTrafficMix { sum } => {
                 write!(f, "traffic mix fractions sum to {sum}, expected 1.0")

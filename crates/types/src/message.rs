@@ -130,6 +130,9 @@ mod tests {
     #[test]
     fn display_strings() {
         assert_eq!(MessageClass::Request.to_string(), "request");
-        assert_eq!(TrafficKind::BroadcastRequest.to_string(), "broadcast-request");
+        assert_eq!(
+            TrafficKind::BroadcastRequest.to_string(),
+            "broadcast-request"
+        );
     }
 }

@@ -20,8 +20,13 @@ fn main() -> Result<(), NocError> {
         .with_mix(TrafficMix::broadcast_only())
         .with_seed_mode(SeedMode::PerNode);
 
-    println!("== broadcast storm: proposed (router-level multicast) vs baseline (NIC duplication) ==");
-    println!("{:>8} {:>22} {:>22}", "rate", "baseline lat/thru", "proposed lat/thru");
+    println!(
+        "== broadcast storm: proposed (router-level multicast) vs baseline (NIC duplication) =="
+    );
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "rate", "baseline lat/thru", "proposed lat/thru"
+    );
     let comparison = sweep::compare(proposed, baseline, &rates, 500, 3_000)?;
     for (b, p) in comparison
         .baseline

@@ -15,7 +15,10 @@ use noc_repro::circuit::{
 fn main() {
     println!("== swing vs reliability vs energy (1000 Monte-Carlo samples per point) ==");
     let variation = SenseAmpVariation::chip_45nm();
-    println!("{:>10} {:>14} {:>16} {:>16}", "swing mV", "sigma margin", "failure rate", "rel. energy");
+    println!(
+        "{:>10} {:>14} {:>16} {:>16}",
+        "swing mV", "sigma margin", "failure rate", "rel. energy"
+    );
     for (swing, analytic, energy) in variation.fig10_sweep(&[0.15, 0.2, 0.25, 0.3, 0.4, 0.5]) {
         let mc = variation.monte_carlo(swing, 1000, 7);
         println!(
@@ -30,7 +33,10 @@ fn main() {
 
     println!();
     println!("== link length vs energy and maximum single-cycle ST+LT frequency ==");
-    println!("{:>10} {:>18} {:>18} {:>12}", "length mm", "low-swing fJ/bit", "full-swing fJ/bit", "max GHz");
+    println!(
+        "{:>10} {:>18} {:>18} {:>12}",
+        "length mm", "low-swing fJ/bit", "full-swing fJ/bit", "max GHz"
+    );
     for length in [0.5, 1.0, 1.5, 2.0, 3.0] {
         let wire = Wire::link_45nm(length);
         let low = LowSwingLink::new(wire, 0.3);

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example power_study`
 
 use noc_repro::noc::{NetworkVariant, NocConfig, Simulation};
-use noc_repro::power::{
-    MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator,
-};
+use noc_repro::power::{MeasuredPowerModel, OrionPowerModel, PostLayoutPowerModel, PowerEstimator};
 use noc_repro::traffic::TrafficMix;
 use noc_repro::types::NocError;
 
@@ -42,7 +40,10 @@ fn main() -> Result<(), NocError> {
             println!(
                 "{:<38} {:>54}",
                 "",
-                format!("(-{:.1}% vs variant A)", (1.0 - power.total_mw() / first) * 100.0)
+                format!(
+                    "(-{:.1}% vs variant A)",
+                    (1.0 - power.total_mw() / first) * 100.0
+                )
             );
         }
 

@@ -20,9 +20,18 @@ fn main() -> Result<(), NocError> {
 
     let limits = MeshLimits::new(4);
     println!("== quickstart: the proposed 16-node mesh NoC ==");
-    println!("offered load          : {:.3} flits/node/cycle", result.injection_rate);
-    println!("average packet latency: {:.1} cycles", result.average_latency_cycles);
-    println!("p95 packet latency    : {:.1} cycles", result.p95_latency_cycles);
+    println!(
+        "offered load          : {:.3} flits/node/cycle",
+        result.injection_rate
+    );
+    println!(
+        "average packet latency: {:.1} cycles",
+        result.average_latency_cycles
+    );
+    println!(
+        "p95 packet latency    : {:.1} cycles",
+        result.p95_latency_cycles
+    );
     println!(
         "received throughput   : {:.0} Gb/s ({:.1} flits/cycle)",
         result.received_gbps, result.received_flits_per_cycle
@@ -32,7 +41,10 @@ fn main() -> Result<(), NocError> {
         limits.throughput_limit_gbps(true, 64, 1.0),
         limits.broadcast_throughput_limit_flits_per_cycle()
     );
-    println!("bypass fraction       : {:.0}%", result.bypass_fraction * 100.0);
+    println!(
+        "bypass fraction       : {:.0}%",
+        result.bypass_fraction * 100.0
+    );
 
     let power = result.power(&config.energy_params());
     println!("estimated power       : {:.0} mW", power.total_mw());

@@ -24,7 +24,10 @@ fn saturation_throughput(config: NocConfig) -> Result<f64, NocError> {
 
 fn main() -> Result<(), NocError> {
     println!("== request-class VC count vs delivered broadcast throughput ==");
-    println!("{:>12} {:>22} {:>22}", "request VCs", "with bypass (Gb/s)", "without bypass (Gb/s)");
+    println!(
+        "{:>12} {:>22} {:>22}",
+        "request VCs", "with bypass (Gb/s)", "without bypass (Gb/s)"
+    );
     for vcs in [1u8, 2, 3, 4, 6] {
         let mut with_bypass = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)?
             .with_mix(TrafficMix::broadcast_only())
@@ -43,7 +46,9 @@ fn main() -> Result<(), NocError> {
     }
     println!();
     println!("the chip's choice (4 request VCs) saturates the bypassed pipeline: adding more VCs");
-    println!("buys little, while the 3-cycle-per-hop pipeline without bypassing needs more buffers");
+    println!(
+        "buys little, while the 3-cycle-per-hop pipeline without bypassing needs more buffers"
+    );
     println!("to reach the same throughput - the trade-off Section 3.3 describes.");
     Ok(())
 }

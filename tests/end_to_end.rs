@@ -1,7 +1,7 @@
 //! Integration tests spanning the whole stack: traffic generation, NICs,
 //! routers, network orchestration, statistics and power accounting.
 
-use noc_repro::noc::{sweep, NetworkVariant, Network, NocConfig, Simulation};
+use noc_repro::noc::{sweep, Network, NetworkVariant, NocConfig, Simulation};
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::traffic::{SeedMode, TrafficMix};
 
@@ -28,7 +28,8 @@ fn proposed_network_latency_sits_near_the_theoretical_limit_at_low_load() {
 
 #[test]
 fn broadcast_throughput_approaches_the_ejection_limit() {
-    let config = per_node(NocConfig::proposed_chip().unwrap()).with_mix(TrafficMix::broadcast_only());
+    let config =
+        per_node(NocConfig::proposed_chip().unwrap()).with_mix(TrafficMix::broadcast_only());
     let mut sim = Simulation::new(config).unwrap();
     let result = sim.run(0.1, 1_000, 4_000).unwrap();
     // Theoretical limit: 16 flits/cycle = 1024 Gb/s. The paper reaches 91%;
@@ -76,7 +77,9 @@ fn baseline_network_saturates_much_earlier_than_the_proposed_one() {
 #[test]
 fn identical_seeds_cost_extra_contention_latency() {
     let run = |seed_mode| {
-        let config = NocConfig::proposed_chip().unwrap().with_seed_mode(seed_mode);
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(seed_mode);
         let mut sim = Simulation::new(config).unwrap();
         sim.run(0.03, 500, 3_000).unwrap().average_latency_cycles
     };
@@ -99,8 +102,14 @@ fn textbook_baseline_is_slower_than_the_aggressive_baseline() {
     let textbook = run(NetworkVariant::TextbookBaseline);
     let aggressive = run(NetworkVariant::FullSwingUnicast);
     let proposed = run(NetworkVariant::LowSwingBroadcastBypass);
-    assert!(textbook > aggressive, "textbook {textbook:.1} vs aggressive {aggressive:.1}");
-    assert!(aggressive > proposed, "aggressive {aggressive:.1} vs proposed {proposed:.1}");
+    assert!(
+        textbook > aggressive,
+        "textbook {textbook:.1} vs aggressive {aggressive:.1}"
+    );
+    assert!(
+        aggressive > proposed,
+        "aggressive {aggressive:.1} vs proposed {proposed:.1}"
+    );
 }
 
 #[test]
@@ -120,8 +129,14 @@ fn power_waterfall_matches_the_papers_direction() {
         totals.push(power.total_mw());
         datapaths.push(power.datapath_group_mw());
     }
-    assert!(datapaths[1] < datapaths[0], "low-swing must cut datapath power");
-    assert!(totals[3] < totals[0], "the full waterfall must reduce total power");
+    assert!(
+        datapaths[1] < datapaths[0],
+        "low-swing must cut datapath power"
+    );
+    assert!(
+        totals[3] < totals[0],
+        "the full waterfall must reduce total power"
+    );
     let reduction = 1.0 - totals[3] / totals[0];
     assert!(
         (0.25..=0.70).contains(&reduction),
@@ -160,6 +175,29 @@ fn network_conserves_flits_across_variants() {
     }
 }
 
+/// Workspace smoke canary (run on every CI push): the whole stack — config,
+/// traffic, NICs, routers, network, statistics — must assemble a 4x4
+/// `proposed_chip` and produce sane numbers from a short saturated run.
+#[test]
+fn workspace_smoke_canary() {
+    let config = per_node(NocConfig::proposed_chip().unwrap());
+    let mut sim = Simulation::new(config).unwrap();
+    // Drive the network well past saturation so the throughput reading is the
+    // saturation throughput, not the offered load.
+    let result = sim.run(0.5, 200, 800).unwrap();
+    assert!(
+        result.received_gbps > 0.0,
+        "saturation throughput must be positive, got {} Gb/s",
+        result.received_gbps
+    );
+    assert!(
+        result.average_latency_cycles.is_finite() && result.average_latency_cycles > 0.0,
+        "latency must be finite and positive, got {}",
+        result.average_latency_cycles
+    );
+    assert!(result.measured_packets > 0, "the run must measure packets");
+}
+
 #[test]
 fn bypass_fraction_decreases_with_load() {
     let run = |rate| {
@@ -169,6 +207,12 @@ fn bypass_fraction_decreases_with_load() {
     };
     let low = run(0.01);
     let high = run(0.2);
-    assert!(low > high, "bypassing gets harder under contention: {low:.2} vs {high:.2}");
-    assert!(low > 0.6, "at low load most hops should bypass, got {low:.2}");
+    assert!(
+        low > high,
+        "bypassing gets harder under contention: {low:.2} vs {high:.2}"
+    );
+    assert!(
+        low > 0.6,
+        "at low load most hops should bypass, got {low:.2}"
+    );
 }

@@ -1,0 +1,119 @@
+//! Offline shim for `bytes`: a cheaply cloneable immutable byte buffer.
+//!
+//! Only the surface the workspace uses is provided: construction
+//! (`new`, `from_static`, `From<Vec<u8>>`, `From<&'static [u8]>`),
+//! deref-to-slice access, and the std derives.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable chunk of contiguous memory.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<Cow<'static, [u8]>>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates `Bytes` from a static slice without copying.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self {
+            data: Arc::new(Cow::Borrowed(bytes)),
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self {
+            data: Arc::new(Cow::Owned(data)),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Self::from_static(data)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(data: &'static str) -> Self {
+        Self::from_static(data.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.as_slice() {
+            for escaped in std::ascii::escape_default(byte) {
+                write!(f, "{}", escaped as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let empty = Bytes::new();
+        assert!(empty.is_empty());
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(&s[1..3], b"el");
+        let owned = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(owned.as_slice(), &[1, 2, 3]);
+        assert_eq!(owned.clone(), owned);
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        let b = Bytes::from_static(b"a\n");
+        assert_eq!(format!("{b:?}"), "b\"a\\n\"");
+    }
+}

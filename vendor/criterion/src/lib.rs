@@ -1,0 +1,233 @@
+//! Offline shim for `criterion`: enough of the API surface to compile and run
+//! the workspace's five bench targets, with honest wall-clock measurement.
+//!
+//! Differences from real criterion, by design:
+//!
+//! * Reporting is a plain `name  time: <mean> ns/iter (<samples> samples)`
+//!   line per benchmark — no HTML, plots or statistical regression tests.
+//! * The measurement loop is a fixed warm-up plus `sample_size` timed
+//!   samples whose iteration count is calibrated to fill
+//!   `measurement_time / sample_size` each.
+//! * **Smoke profile:** setting `NOC_BENCH_SMOKE=1` caps warm-up and
+//!   measurement at a few milliseconds so CI can exercise every harness
+//!   end-to-end without multi-minute runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Environment variable that switches every benchmark to a milliseconds-long
+/// smoke run (used by CI).
+pub const SMOKE_ENV: &str = "NOC_BENCH_SMOKE";
+
+/// How a batched routine's per-iteration setup output is grouped. The shim
+/// runs one setup per routine call regardless, so the variants only exist for
+/// API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few routine calls per batch in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration of the last `iter`/`iter_batched` call.
+    last_mean_ns: f64,
+    samples_taken: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration for the report line.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: how many iterations fit one sample window?
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let sample_window = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_window / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += iters_per_sample;
+        }
+        self.last_mean_ns = total_ns / total_iters.max(1) as f64;
+        self.samples_taken = self.sample_size;
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up call, then `sample_size` timed calls (one setup each).
+        black_box(routine(setup()));
+        let mut total_ns = 0.0;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.last_mean_ns = total_ns / self.sample_size.max(1) as f64;
+        self.samples_taken = self.sample_size;
+    }
+}
+
+/// The benchmark manager (configuration + report sink).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::var_os(SMOKE_ENV).is_some_and(|v| v != "0" && !v.is_empty());
+        if smoke {
+            Self {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(2),
+                measurement_time: Duration::from_millis(10),
+            }
+        } else {
+            Self {
+                sample_size: 100,
+                warm_up_time: Duration::from_millis(500),
+                measurement_time: Duration::from_secs(2),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op for API compatibility with real criterion's CLI handling (the
+    /// shim ignores `cargo bench`'s extra arguments in `criterion_main!`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its report line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            last_mean_ns: f64::NAN,
+            samples_taken: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<50} time: {:>12.1} ns/iter ({} samples)",
+            bencher.last_mean_ns, bencher.samples_taken
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!` (both the plain and the
+/// `name = ...; config = ...; targets = ...` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+/// `cargo bench` passes flags such as `--bench`; the shim ignores them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("shim_self_test", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+        });
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        c.bench_function("shim_batched_self_test", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| black_box(v.iter().sum::<u64>()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline shim for `proptest`: a deterministic property-testing harness
+//! exposing the subset of proptest's API the workspace uses — the
+//! [`proptest!`] test macro, `prop_assert*!` / [`prop_oneof!`] macros, range
+//! strategies, [`strategy::Just`], `any::<T>()` and [`collection::vec`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index, the test's
+//!   derived seed and the assertion message; cases are deterministic per
+//!   test name, so a failure reproduces by re-running the test.
+//! * **Deterministic seeding.** The RNG seed is a hash of the test name, so
+//!   no `proptest-regressions/` persistence files are needed.
+//! * The number of cases per property honours the real crate's
+//!   `PROPTEST_CASES` environment variable (default 256).
+
+/// Default number of cases per property, as in real proptest.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Reads `PROPTEST_CASES`, falling back to [`DEFAULT_CASES`].
+#[must_use]
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Derives the deterministic RNG for a property from its test name.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the name gives a stable, well-mixed seed.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(hash)
+}
+
+/// Deterministic PRNG (SplitMix64) driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        self.next_u64() % bound
+    }
+}
+
+pub mod test_runner {
+    //! Error type threaded out of `prop_assert*!` macros.
+
+    use std::fmt;
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result of one property case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `choices` is empty.
+        #[must_use]
+        pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(
+                !choices.is_empty(),
+                "prop_oneof! needs at least one strategy"
+            );
+            Self { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.choices.len() as u64) as usize;
+            self.choices[index].sample(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} choices)", self.choices.len())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    start + rng.below((end - start) as u64 + 1) as $t
+                }
+            }
+
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX - self.start) as u64;
+                    if span == u64::MAX {
+                        // Whole 64-bit domain; `span + 1` would overflow.
+                        return rng.next_u64() as $t;
+                    }
+                    self.start + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategies!(u8, u16, u32, usize);
+
+    // u64 spans can overflow the `below` bound, so it gets a direct impl.
+    impl Strategy for Range<u64> {
+        type Value = u64;
+
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — strategies derived from a type alone.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.length.end - self.length.start) as u64;
+            let len = self.length.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors whose length falls in `length`, with elements from `element` —
+    /// mirrors `proptest::collection::vec`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        assert!(length.start < length.end, "empty length range");
+        VecStrategy { element, length }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`: each function's
+/// arguments are drawn from the strategy after `in`, and the body runs once
+/// per case with `prop_assert*!` failures reported with case context.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases_from_env();
+                let mut rng = $crate::rng_for(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    // The closure is what gives `prop_assert*!` its early
+                    // `return Err(..)` semantics, so it is structurally
+                    // required even when a body never fails.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        ::std::panic!(
+                            "property {} failed at case {}/{} (seeded from the test name): {}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            error
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let choices: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(choices)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u16..10, y in 5u16..=5, z in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert_eq!(y, 5);
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn oneof_draws_every_choice(picks in crate::collection::vec(prop_oneof![Just(1u16), Just(2u16)], 64..65)) {
+            prop_assert!(picks.iter().all(|&p| p == 1 || p == 2));
+            prop_assert_ne!(picks.len(), 0);
+        }
+
+        #[test]
+        fn whole_domain_range_from_does_not_overflow(x in 0usize.., y in 0u8..) {
+            let _ = (x, y);
+        }
+
+        #[test]
+        fn any_bool_is_drawable(flag in any::<bool>()) {
+            let as_int = u8::from(flag);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn failures_carry_case_context() {
+        proptest! {
+            fn always_fails(x in 0u16..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let result = std::panic::catch_unwind(always_fails);
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("always_fails"), "got: {message}");
+        assert!(message.contains("case 1/"), "got: {message}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        let mut a = crate::rng_for("some_test");
+        let mut b = crate::rng_for("some_test");
+        let mut c = crate::rng_for("other_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

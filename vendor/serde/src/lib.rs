@@ -1,0 +1,19 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! Nothing in this workspace serializes at run time (there is no
+//! `serde_json`/`bincode` in the environment), so `Serialize` and
+//! `Deserialize` only need to exist as trait bounds and derive targets.
+//! Both traits are blanket-implemented for every type, which makes any
+//! `T: Serialize` bound in the workspace hold trivially.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,72 @@
+//! Criterion bench: ns per `Network::step` call on steady-state workloads.
+//!
+//! This is the perf-trajectory anchor for the simulation core: the 4×4
+//! saturated mixed-traffic point is the hottest configuration behind the
+//! latency-throughput sweeps of Figs. 5 and 13, and the k=8 point tracks how
+//! stepping scales with mesh size. The network is driven into steady state
+//! before measurement so the numbers reflect the per-cycle cost (event
+//! scheduling, router allocation, flit movement) rather than cold-start
+//! behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh_noc::{Network, NetworkVariant, NocConfig};
+use noc_traffic::SeedMode;
+use std::hint::black_box;
+
+/// Builds a network at `rate` and steps it into steady state.
+fn warmed_network(config: NocConfig, rate: f64, warmup: u64) -> Network {
+    let mut network = Network::new(config, rate).unwrap();
+    for _ in 0..warmup {
+        network.step(true);
+    }
+    network
+}
+
+fn bench_step_4x4_saturated(c: &mut Criterion) {
+    // 0.28 flits/node/cycle of mixed traffic is past the proposed network's
+    // saturation point: every cycle moves flits on most links.
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let mut network = warmed_network(config, 0.28, 1_000);
+    c.bench_function("step_4x4_saturated_mixed", |b| {
+        b.iter(|| {
+            network.step(true);
+            black_box(network.now())
+        });
+    });
+}
+
+fn bench_step_4x4_baseline_saturated(c: &mut Criterion) {
+    let config = NocConfig::variant(NetworkVariant::FullSwingUnicast)
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let mut network = warmed_network(config, 0.28, 1_000);
+    c.bench_function("step_4x4_saturated_baseline", |b| {
+        b.iter(|| {
+            network.step(true);
+            black_box(network.now())
+        });
+    });
+}
+
+fn bench_step_8x8_saturated(c: &mut Criterion) {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_side(8)
+        .with_seed_mode(SeedMode::PerNode);
+    let mut network = warmed_network(config, 0.28, 1_000);
+    c.bench_function("step_8x8_saturated_mixed", |b| {
+        b.iter(|| {
+            network.step(true);
+            black_box(network.now())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step_4x4_saturated, bench_step_4x4_baseline_saturated, bench_step_8x8_saturated
+}
+criterion_main!(benches);

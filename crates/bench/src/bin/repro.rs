@@ -3,22 +3,43 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] <experiment>...   # e.g. repro table1 fig5
-//! repro [--quick] all               # every experiment in paper order
-//! repro list                        # list experiment names
+//! repro [--quick] [--jobs N] <experiment>...   # e.g. repro table1 fig5
+//! repro [--quick] [--jobs N] all               # every experiment in order
+//! repro list                                   # list experiment names
 //! ```
+//!
+//! `--jobs N` runs sweep-backed experiments (`fig5`, `fig13`, `stress8`)
+//! with N worker threads; results are bit-identical for any N. Whenever a
+//! run produces sweep data, a machine-readable `BENCH_sweep.json` (per-point
+//! rates, latencies, throughputs and wall-clock times) is written next to
+//! the printed tables.
 
 use std::process::ExitCode;
 
-use noc_bench::{run_experiment, Effort, EXPERIMENTS};
+use noc_bench::{run_experiment_full, sweep_records_json, Effort, SweepRecord, EXPERIMENTS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
+    let mut jobs: usize = 1;
     let mut names: Vec<String> = Vec::new();
-    for arg in args {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "-q" => effort = Effort::Quick,
+            "--jobs" | "-j" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--jobs needs a thread count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "list" => {
                 for name in EXPERIMENTS {
                     println!("{name}");
@@ -30,18 +51,30 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        eprintln!("usage: repro [--quick] <experiment>... | all | list");
+        eprintln!("usage: repro [--quick] [--jobs N] <experiment>... | all | list");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         return ExitCode::FAILURE;
     }
+    let mut sweeps: Vec<SweepRecord> = Vec::new();
     for name in names {
-        match run_experiment(&name, effort) {
-            Some(report) => {
+        match run_experiment_full(&name, effort, jobs) {
+            Some(output) => {
                 println!("==================================================================");
-                println!("{report}");
+                println!("{}", output.report);
+                sweeps.extend(output.sweeps);
             }
             None => {
                 eprintln!("unknown experiment '{name}'; try `repro list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !sweeps.is_empty() {
+        let path = "BENCH_sweep.json";
+        match std::fs::write(path, sweep_records_json(&sweeps)) {
+            Ok(()) => println!("wrote {path} ({} sweep(s))", sweeps.len()),
+            Err(err) => {
+                eprintln!("failed to write {path}: {err}");
                 return ExitCode::FAILURE;
             }
         }

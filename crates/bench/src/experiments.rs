@@ -1,6 +1,6 @@
 //! One function per table / figure of the paper.
 
-use mesh_noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult};
+use mesh_noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
 use noc_circuit::{
     AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
     SenseAmpVariation, Wire,
@@ -14,6 +14,7 @@ use noc_topology::limits::{DatapathEnergy, MeshLimits};
 use noc_traffic::{SeedMode, TrafficMix};
 
 use crate::format::{num, pct, Table};
+use crate::record::SweepRecord;
 
 /// How much simulation time to spend on the simulation-backed experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,12 +137,14 @@ pub fn table2_report() -> String {
 
 // ------------------------------------------------------------- Figs. 5 and 13
 
-fn latency_throughput_report(
+fn latency_throughput_full(
+    experiment: &str,
     title: &str,
     mix: TrafficMix,
     rates: &[f64],
     effort: Effort,
-) -> String {
+    jobs: usize,
+) -> (String, Vec<SweepRecord>) {
     let proposed_cfg = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
         .expect("valid preset")
         .with_mix(mix);
@@ -149,14 +152,34 @@ fn latency_throughput_report(
         .expect("valid preset")
         .with_mix(mix);
     let rates = effort.thin(rates);
-    let comparison = sweep::compare(
-        proposed_cfg,
-        baseline_cfg,
-        &rates,
-        effort.warmup(),
-        effort.measure(),
-    )
-    .expect("built-in sweep configuration is valid");
+    let runner = SweepRunner::new(jobs).with_windows(effort.warmup(), effort.measure());
+    let proposed_outcome = runner
+        .run(proposed_cfg, &rates)
+        .expect("built-in sweep configuration is valid");
+    let baseline_outcome = runner
+        .run(baseline_cfg, &rates)
+        .expect("built-in sweep configuration is valid");
+    let records = vec![
+        SweepRecord::from_outcome(
+            experiment,
+            "proposed",
+            proposed_cfg.k,
+            runner.jobs(),
+            &proposed_outcome,
+        ),
+        SweepRecord::from_outcome(
+            experiment,
+            "baseline",
+            baseline_cfg.k,
+            runner.jobs(),
+            &baseline_outcome,
+        ),
+    ];
+    let comparison = sweep::comparison_from_curves(
+        &proposed_cfg,
+        proposed_outcome.curve,
+        baseline_outcome.curve,
+    );
 
     let mut out = format!("{title}\n\n");
     let mut table = Table::new([
@@ -204,32 +227,112 @@ fn latency_throughput_report(
         "proposed saturation = {} of the theoretical limit (paper: 87% mixed / 91% bcast)\n",
         pct(comparison.fraction_of_theoretical_limit)
     ));
-    out
+    out.push_str(&format!(
+        "sweep wall-clock: proposed {:.0} ms, baseline {:.0} ms ({} thread{})\n",
+        records[0].total_wall_ms,
+        records[1].total_wall_ms,
+        runner.jobs(),
+        if runner.jobs() == 1 { "" } else { "s" }
+    ));
+    (out, records)
 }
 
 /// Fig. 5: latency versus throughput under mixed traffic (50% broadcast
 /// requests, 25% unicast requests, 25% unicast responses) at 1 GHz.
 #[must_use]
 pub fn fig5_report(effort: Effort) -> String {
+    fig5_full(effort, 1).0
+}
+
+/// [`fig5_report`] with a worker-thread count, also returning the
+/// machine-readable sweep records.
+#[must_use]
+pub fn fig5_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
     let rates = [0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28];
-    latency_throughput_report(
+    latency_throughput_full(
+        "fig5",
         "Figure 5 - Throughput-latency with mixed traffic at 1 GHz",
         TrafficMix::mixed(),
         &rates,
         effort,
+        jobs,
     )
 }
 
 /// Fig. 13: latency versus throughput under broadcast-only traffic.
 #[must_use]
 pub fn fig13_report(effort: Effort) -> String {
+    fig13_full(effort, 1).0
+}
+
+/// [`fig13_report`] with a worker-thread count, also returning the
+/// machine-readable sweep records.
+#[must_use]
+pub fn fig13_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
     let rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.075];
-    latency_throughput_report(
+    latency_throughput_full(
+        "fig13",
         "Figure 13 - Throughput-latency with broadcast-only traffic at 1 GHz",
         TrafficMix::broadcast_only(),
         &rates,
         effort,
+        jobs,
     )
+}
+
+// -------------------------------------------------------------------- stress8
+
+/// `stress8`: an 8×8-mesh mixed-traffic sweep across saturation — the
+/// end-to-end scaling stressor for the simulation core. Not a paper figure;
+/// it exists so `repro --jobs N stress8` makes the event-wheel core and the
+/// parallel [`SweepRunner`] measurable on a workload 4× the prototype's
+/// node count (the paper's own Table 2 models the chip as an 8×8 network).
+#[must_use]
+pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
+    let config = NocConfig::proposed_chip()
+        .expect("valid preset")
+        .with_side(8)
+        .with_seed_mode(SeedMode::PerNode);
+    let rates = effort.thin(&[0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]);
+    let runner = SweepRunner::new(jobs).with_windows(effort.warmup(), effort.measure());
+    let outcome = runner
+        .run(config, &rates)
+        .expect("built-in sweep configuration is valid");
+    let record =
+        SweepRecord::from_outcome("stress8", "proposed", config.k, runner.jobs(), &outcome);
+
+    let mut out = String::from("Stress 8x8 - proposed network, mixed traffic, per-node seeds\n\n");
+    let mut table = Table::new([
+        "offered rate (flits/node/cyc)",
+        "latency (cyc)",
+        "p95 (cyc)",
+        "thru (Gb/s)",
+        "bypass fraction",
+        "wall (ms)",
+    ]);
+    for p in &record.points {
+        table.row([
+            num(p.injection_rate, 3),
+            num(p.latency_cycles, 1),
+            num(p.p95_latency_cycles, 1),
+            num(p.received_gbps, 1),
+            num(p.bypass_fraction, 2),
+            num(p.wall_ms, 1),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "saturation throughput {:.0} Gb/s at rate {:.3}; zero-load latency {:.1} cycles\n",
+        record.saturation_gbps, record.saturation_rate, record.zero_load_latency_cycles
+    ));
+    out.push_str(&format!(
+        "total wall-clock {:.0} ms on {} thread{} (identical results for any thread count)\n",
+        record.total_wall_ms,
+        runner.jobs(),
+        if runner.jobs() == 1 { "" } else { "s" }
+    ));
+    (out, vec![record])
 }
 
 // ---------------------------------------------------------------------- Fig 6

@@ -15,40 +15,64 @@
 
 pub mod experiments;
 mod format;
+pub mod record;
 
 pub use experiments::Effort;
 pub use format::Table;
+pub use record::{sweep_records_json, SweepPointRecord, SweepRecord};
 
-/// Names of all experiments, in paper order, as accepted by the `repro`
-/// binary.
+/// Names of all experiments as accepted by the `repro` binary: the paper's
+/// tables and figures in paper order, then the simulator's own scaling
+/// scenarios.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "table2", "fig5", "fig6", "table3", "fig7", "table4", "fig8", "fig10", "fig11",
-    "fig12", "fig13", "zeroload", "headline",
+    "fig12", "fig13", "zeroload", "headline", "stress8",
 ];
+
+/// A finished experiment: the human-readable report and, for sweep-backed
+/// experiments, the machine-readable sweep records behind it.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The rendered report text.
+    pub report: String,
+    /// Machine-readable sweep data (empty for analytic experiments).
+    pub sweeps: Vec<SweepRecord>,
+}
 
 /// Runs one experiment by name and returns its report.
 ///
 /// Returns `None` when the name is unknown.
 #[must_use]
 pub fn run_experiment(name: &str, effort: Effort) -> Option<String> {
-    let report = match name {
-        "table1" => experiments::table1_report(),
-        "table2" => experiments::table2_report(),
-        "fig5" => experiments::fig5_report(effort),
-        "fig6" => experiments::fig6_report(effort),
-        "table3" => experiments::table3_report(),
-        "fig7" => experiments::fig7_report(),
-        "table4" => experiments::table4_report(),
-        "fig8" => experiments::fig8_report(effort),
-        "fig10" => experiments::fig10_report(),
-        "fig11" => experiments::fig11_report(),
-        "fig12" => experiments::fig12_report(),
-        "fig13" => experiments::fig13_report(effort),
-        "zeroload" => experiments::zero_load_report(effort),
-        "headline" => experiments::headline_report(effort),
+    run_experiment_full(name, effort, 1).map(|output| output.report)
+}
+
+/// Runs one experiment by name with `jobs` sweep worker threads, returning
+/// the report plus any machine-readable sweep records.
+///
+/// Returns `None` when the name is unknown. `jobs` only affects wall-clock
+/// time: sweep results are bit-identical for any thread count.
+#[must_use]
+pub fn run_experiment_full(name: &str, effort: Effort, jobs: usize) -> Option<ExperimentOutput> {
+    let (report, sweeps) = match name {
+        "table1" => (experiments::table1_report(), Vec::new()),
+        "table2" => (experiments::table2_report(), Vec::new()),
+        "fig5" => experiments::fig5_full(effort, jobs),
+        "fig6" => (experiments::fig6_report(effort), Vec::new()),
+        "table3" => (experiments::table3_report(), Vec::new()),
+        "fig7" => (experiments::fig7_report(), Vec::new()),
+        "table4" => (experiments::table4_report(), Vec::new()),
+        "fig8" => (experiments::fig8_report(effort), Vec::new()),
+        "fig10" => (experiments::fig10_report(), Vec::new()),
+        "fig11" => (experiments::fig11_report(), Vec::new()),
+        "fig12" => (experiments::fig12_report(), Vec::new()),
+        "fig13" => experiments::fig13_full(effort, jobs),
+        "zeroload" => (experiments::zero_load_report(effort), Vec::new()),
+        "headline" => (experiments::headline_report(effort), Vec::new()),
+        "stress8" => experiments::stress8_full(effort, jobs),
         _ => return None,
     };
-    Some(report)
+    Some(ExperimentOutput { report, sweeps })
 }
 
 #[cfg(test)]

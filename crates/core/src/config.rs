@@ -102,6 +102,11 @@ pub struct NocConfig {
     pub mix: TrafficMix,
     /// PRBS seeding discipline of the NICs.
     pub seed_mode: SeedMode,
+    /// Base seed the NIC PRBS generators boot from (combined with the node
+    /// id under [`SeedMode::PerNode`]). Sweep runners derive one base seed
+    /// per sweep point from this value so points stay reproducible and
+    /// order-independent.
+    pub base_seed: u16,
     /// Network clock in GHz (1.0 for the chip).
     pub frequency_ghz: f64,
     /// Flit width in bits (64 for the chip).
@@ -125,6 +130,7 @@ impl NocConfig {
             datapath: variant.datapath(),
             mix: TrafficMix::mixed(),
             seed_mode: SeedMode::Identical,
+            base_seed: noc_traffic::TrafficGenerator::DEFAULT_BASE_SEED,
             frequency_ghz: 1.0,
             flit_bits: 64,
             credit_delay_cycles: 2,
@@ -154,6 +160,13 @@ impl NocConfig {
     #[must_use]
     pub fn with_seed_mode(mut self, seed_mode: SeedMode) -> Self {
         self.seed_mode = seed_mode;
+        self
+    }
+
+    /// Replaces the base PRBS seed (see [`NocConfig::base_seed`]).
+    #[must_use]
+    pub fn with_base_seed(mut self, base_seed: u16) -> Self {
+        self.base_seed = base_seed;
         self
     }
 
@@ -208,6 +221,16 @@ impl NocConfig {
         if self.frequency_ghz <= 0.0 {
             return Err(ConfigError::InvalidVcConfig {
                 reason: "clock frequency must be positive".to_owned(),
+            }
+            .into());
+        }
+        if self.credit_delay_cycles == 0 {
+            // A zero-cycle credit return would have to be delivered in the
+            // cycle that produced it — the event wheel (rightly) rejects
+            // scheduling into the current cycle, so catch it here with a
+            // config error instead.
+            return Err(ConfigError::InvalidVcConfig {
+                reason: "credit delay must be at least one cycle".to_owned(),
             }
             .into());
         }
@@ -276,6 +299,12 @@ mod tests {
         let mut cfg = NocConfig::proposed_chip().unwrap();
         cfg.k = 17;
         assert!(cfg.validate().is_err());
+        let mut cfg = NocConfig::proposed_chip().unwrap();
+        cfg.credit_delay_cycles = 0;
+        assert!(
+            cfg.validate().is_err(),
+            "zero credit delay must be rejected"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   producing a [`SimulationResult`].
 //! * [`sweep`] — injection-rate sweeps, saturation detection and the summary
 //!   statistics (latency reduction, saturation-throughput gain, fraction of
-//!   the theoretical limit) the paper quotes in §4.1.
+//!   the theoretical limit) the paper quotes in §4.1; [`SweepRunner`] shards
+//!   sweep points across threads with bit-identical results for any thread
+//!   count.
 //!
 //! ## Quickstart
 //!
@@ -50,3 +52,4 @@ pub use network::Network;
 pub use nic::{Nic, Reception};
 pub use result::SimulationResult;
 pub use simulation::Simulation;
+pub use sweep::{SweepOutcome, SweepPointOutcome, SweepRunner};

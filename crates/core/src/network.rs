@@ -1,9 +1,16 @@
 //! The cycle-accurate network orchestrator.
+//!
+//! All inter-component messages (flits on links, lookaheads, returning
+//! credits) travel at most a few cycles, so they are scheduled through a
+//! fixed-horizon [`EventWheel`] instead of a general priority queue: the
+//! steady-state [`Network::step`] performs zero heap allocation — slot
+//! buffers, router outputs and NIC scratch space are all reused cycle after
+//! cycle.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
-use noc_router::{Departure, Lookahead, Router};
-use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
+use noc_router::{Departure, Lookahead, Router, RouterOutput};
+use noc_sim::{ActivityCounters, Clock, EventWheel, LatencyStats, ThroughputStats};
 use noc_topology::Mesh;
 use noc_types::{Credit, Cycle, Flit, NocError, NodeId, PacketId, Port};
 
@@ -59,7 +66,15 @@ pub struct Network {
     routers: Vec<Router>,
     nics: Vec<Nic>,
     clock: Clock,
-    pending: BTreeMap<Cycle, Vec<Delivery>>,
+    /// Calendar of in-flight messages, sized by the largest link/credit
+    /// delay; slot buffers are recycled so scheduling never allocates in
+    /// steady state.
+    pending: EventWheel<Delivery>,
+    /// Reused output buffer for [`Router::step_into`].
+    router_scratch: RouterOutput,
+    /// Flits currently scheduled on links (scoreboarded so
+    /// [`Network::in_flight_flits`] needs no wheel scan).
+    flits_on_links: usize,
     scoreboard: HashMap<PacketId, TrackedPacket>,
     latency: LatencyStats,
     throughput: ThroughputStats,
@@ -83,13 +98,22 @@ impl Network {
         let nics = (0..mesh.node_count() as NodeId)
             .map(|node| Nic::new(&config, mesh, node, rate))
             .collect();
+        // The wheel must cover the furthest any message is ever scheduled:
+        // NIC<->router traversals (1 cycle), link traversals and credit
+        // returns.
+        let horizon = config
+            .link_delay_cycles()
+            .max(config.credit_delay_cycles)
+            .max(1);
         Ok(Self {
             config,
             mesh,
             routers,
             nics,
             clock: Clock::new(),
-            pending: BTreeMap::new(),
+            pending: EventWheel::new(horizon),
+            router_scratch: RouterOutput::default(),
+            flits_on_links: 0,
             scoreboard: HashMap::new(),
             latency: LatencyStats::new(),
             throughput: ThroughputStats::new(),
@@ -164,18 +188,17 @@ impl Network {
     pub fn in_flight_flits(&self) -> usize {
         let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
         let queued: usize = self.nics.iter().map(Nic::queued_flits).sum();
-        let on_links: usize = self
-            .pending
-            .values()
-            .flatten()
-            .filter(|d| {
-                matches!(
+        debug_assert_eq!(
+            self.flits_on_links,
+            self.pending
+                .iter()
+                .filter(|d| matches!(
                     d,
                     Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }
-                )
-            })
-            .count();
-        buffered + queued + on_links
+                ))
+                .count()
+        );
+        buffered + queued + self.flits_on_links
     }
 
     /// Number of tracked packets that have not yet reached every destination.
@@ -266,17 +289,19 @@ impl Network {
     pub fn step(&mut self, inject: bool) {
         let now = self.clock.now();
 
-        // Phase A: deliver everything scheduled for this cycle.
-        if let Some(deliveries) = self.pending.remove(&now) {
-            for delivery in deliveries {
-                self.deliver(delivery, now);
-            }
+        // Phase A: deliver everything scheduled for this cycle. The due slot
+        // is detached from the wheel so deliveries can schedule follow-up
+        // events, then its (drained) buffer is recycled.
+        let mut due = self.pending.take_due(now);
+        while let Some(delivery) = due.pop_front() {
+            self.deliver(delivery, now);
         }
+        self.pending.restore(due);
 
         // Phase B1: NICs create and inject traffic.
         for node in 0..self.nics.len() {
-            let (injection, registrations) = self.nics[node].tick(now, inject);
-            for registration in registrations {
+            let (injection, registration) = self.nics[node].tick(now, inject);
+            if let Some(registration) = registration {
                 self.register_packet(registration);
             }
             if let Some(injection) = injection {
@@ -302,17 +327,19 @@ impl Network {
             }
         }
 
-        // Phase B2: routers allocate and traverse.
+        // Phase B2: routers allocate and traverse, all writing into the one
+        // reused output buffer.
         let link_delay = self.config.link_delay_cycles();
         let credit_delay = self.config.credit_delay_cycles;
+        let mut output = std::mem::take(&mut self.router_scratch);
         for node in 0..self.routers.len() {
-            let output = self.routers[node].step(now);
+            self.routers[node].step_into(now, &mut output);
             let coord = self.mesh.coord_of(node as NodeId);
             for Departure {
                 port,
                 flit,
                 lookahead,
-            } in output.departures
+            } in output.departures.drain(..)
             {
                 if port.is_local() {
                     self.schedule(
@@ -351,7 +378,7 @@ impl Network {
                     }
                 }
             }
-            for (in_port, credit) in output.credits {
+            for (in_port, credit) in output.credits.drain(..) {
                 let arrival = now + credit_delay;
                 if in_port.is_local() {
                     self.schedule(
@@ -378,12 +405,19 @@ impl Network {
                 }
             }
         }
+        self.router_scratch = output;
 
         self.clock.tick();
     }
 
     fn schedule(&mut self, at: Cycle, delivery: Delivery) {
-        self.pending.entry(at).or_default().push(delivery);
+        if matches!(
+            delivery,
+            Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }
+        ) {
+            self.flits_on_links += 1;
+        }
+        self.pending.schedule(at, delivery);
     }
 
     fn register_packet(&mut self, registration: PacketRegistration) {
@@ -404,6 +438,7 @@ impl Network {
     fn deliver(&mut self, delivery: Delivery, now: Cycle) {
         match delivery {
             Delivery::FlitToRouter { node, port, flit } => {
+                self.flits_on_links -= 1;
                 self.routers[usize::from(node)].accept_flit(port, flit);
             }
             Delivery::LookaheadToRouter {
@@ -420,6 +455,7 @@ impl Network {
                 self.nics[usize::from(node)].accept_credit(credit);
             }
             Delivery::FlitToNic { node, flit } => {
+                self.flits_on_links -= 1;
                 if let Some(reception) = self.nics[usize::from(node)].accept_flit(&flit, now) {
                     if self.measuring {
                         self.throughput.record_reception(u64::from(reception.flits));

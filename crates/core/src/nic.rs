@@ -5,11 +5,14 @@
 //! flow control, and sinks ejected flits. The NIC-to-router and router-to-NIC
 //! traversals each take one cycle — the "two extra cycles" the paper adds to
 //! its theoretical latency limits.
-
-use std::collections::VecDeque;
+//!
+//! The injection queue is a [`RingQueue`] — the same reusable slot-buffer
+//! type the network's event wheel is built from — and packets are segmented
+//! through a reused scratch buffer ([`noc_types::Packet::write_flits_into`]),
+//! so steady-state injection performs no heap allocation.
 
 use noc_router::{Lookahead, OutputPort};
-use noc_sim::ActivityCounters;
+use noc_sim::{ActivityCounters, RingQueue};
 use noc_topology::{routing, Mesh};
 use noc_traffic::TrafficGenerator;
 use noc_types::{Coord, Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
@@ -62,7 +65,10 @@ pub struct Nic {
     lookahead_enabled: bool,
     duplicate_broadcasts: bool,
     generator: TrafficGenerator,
-    inject_queue: VecDeque<Flit>,
+    inject_queue: RingQueue<Flit>,
+    /// Scratch buffer packets are segmented through before entering the
+    /// injection queue; reused across every packet this NIC ever creates.
+    flit_scratch: Vec<Flit>,
     upstream: OutputPort,
     current_vc: Option<(PacketId, VcId)>,
     counters: ActivityCounters,
@@ -76,7 +82,14 @@ impl Nic {
     /// `rate` flits/cycle.
     #[must_use]
     pub fn new(config: &NocConfig, mesh: Mesh, node: NodeId, rate: f64) -> Self {
-        let generator = TrafficGenerator::new(node, config.k, config.mix, config.seed_mode, rate);
+        let generator = TrafficGenerator::with_base_seed(
+            node,
+            config.k,
+            config.mix,
+            config.seed_mode,
+            rate,
+            config.base_seed,
+        );
         Self {
             node,
             coord: mesh.coord_of(node),
@@ -84,7 +97,8 @@ impl Nic {
             lookahead_enabled: config.lookahead_enabled(),
             duplicate_broadcasts: config.nic_duplicates_broadcasts(),
             generator,
-            inject_queue: VecDeque::new(),
+            inject_queue: RingQueue::with_capacity(16),
+            flit_scratch: Vec::new(),
             upstream: OutputPort::for_injection(&config.router),
             current_vc: None,
             counters: ActivityCounters::new(),
@@ -138,20 +152,20 @@ impl Nic {
     /// Runs one NIC cycle: possibly create a packet, and possibly inject one
     /// queued flit towards the router.
     ///
-    /// Returns the injection (if any) and the registrations of any packets
-    /// created this cycle.
+    /// Returns the injection (if any) and the registration of the packet
+    /// created this cycle, if one was (the chip's NICs create at most one
+    /// packet per cycle).
     pub fn tick(
         &mut self,
         now: Cycle,
         inject: bool,
-    ) -> (Option<NicInjection>, Vec<PacketRegistration>) {
-        let mut registrations = Vec::new();
-        if inject {
-            for packet in self.generator.generate(now) {
-                registrations.push(self.enqueue(packet));
-            }
-        }
-        (self.try_inject(now), registrations)
+    ) -> (Option<NicInjection>, Option<PacketRegistration>) {
+        let registration = if inject {
+            self.generator.generate(now).map(|p| self.enqueue(p))
+        } else {
+            None
+        };
+        (self.try_inject(now), registration)
     }
 
     /// Queues one externally built packet (used by deterministic workloads in
@@ -182,12 +196,22 @@ impl Nic {
                     packet.kind(),
                     packet.created_at(),
                 );
-                self.inject_queue.extend(copy.to_flits());
+                self.queue_flits_of(&copy);
             }
         } else {
-            self.inject_queue.extend(packet.to_flits());
+            self.queue_flits_of(&packet);
         }
         registration
+    }
+
+    /// Segments `packet` through the reused scratch buffer into the
+    /// injection ring.
+    fn queue_flits_of(&mut self, packet: &Packet) {
+        self.flit_scratch.clear();
+        packet.write_flits_into(&mut self.flit_scratch);
+        for flit in self.flit_scratch.drain(..) {
+            self.inject_queue.push_back(flit);
+        }
     }
 
     /// Attempts to send the flit at the head of the injection queue.
@@ -396,7 +420,7 @@ mod tests {
         let mut total = 0;
         for cycle in 0..200 {
             let (_, regs) = nic.tick(cycle, true);
-            total += regs.len();
+            total += usize::from(regs.is_some());
         }
         assert!(total > 0, "a rate-1.0 NIC must create packets");
         assert_eq!(nic.injected_packets(), total as u64);

@@ -6,6 +6,18 @@
 //! latency reduction before saturation, saturation-throughput improvement
 //! over the baseline, and fraction of the theoretical throughput limit
 //! reached. This module produces exactly those artefacts.
+//!
+//! ## Parallel sweeps
+//!
+//! Every sweep point is an independent simulation, so [`SweepRunner`] shards
+//! points across `std::thread` workers. Determinism is preserved by
+//! construction: each point's PRBS base seed is derived from the
+//! configuration's base seed and the *point index* (not from scheduling
+//! order), and results are stitched back together in index order — a sweep
+//! run with one thread and with N threads produces bit-identical
+//! [`SweepCurve`]s. See `tests/determinism.rs`.
+
+use std::time::Instant;
 
 use noc_topology::limits::MeshLimits;
 use noc_types::NocError;
@@ -108,7 +120,175 @@ pub struct SweepComparison {
     pub theoretical_latency_cycles: f64,
 }
 
-/// Runs a latency-throughput sweep of `config` over `rates`.
+/// One fully measured sweep point as produced by a [`SweepRunner`]: the
+/// complete simulation result plus the wall-clock time the point took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPointOutcome {
+    /// Offered injection rate of this point.
+    pub injection_rate: f64,
+    /// The point's full simulation result.
+    pub result: SimulationResult,
+    /// Wall-clock milliseconds spent simulating this point.
+    pub wall_ms: f64,
+}
+
+/// Everything a [`SweepRunner`] run produces: the curve, the per-point
+/// results/wall-clocks, and the total wall-clock time.
+///
+/// Wall-clock times live here — outside [`SweepCurve`] — so curves stay
+/// bit-comparable across runs with different thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The latency-throughput curve (bit-identical for any thread count).
+    pub curve: SweepCurve,
+    /// Per-point outcomes in injection-rate (input) order.
+    pub points: Vec<SweepPointOutcome>,
+    /// Total wall-clock milliseconds for the whole sweep.
+    pub total_wall_ms: f64,
+}
+
+/// Runs the points of an injection-rate sweep, optionally in parallel.
+///
+/// Each point owns an independent [`Simulation`] seeded from
+/// [`point_seed`](SweepRunner::point_seed), so points can execute on any
+/// thread in any order and still reproduce the sequential result exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    jobs: usize,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+}
+
+impl SweepRunner {
+    /// A runner distributing points over `jobs` worker threads (`0` is
+    /// treated as `1`), with default warmup/measurement windows of
+    /// 1000/5000 cycles.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            warmup_cycles: 1_000,
+            measure_cycles: 5_000,
+        }
+    }
+
+    /// Replaces the warmup and measurement windows (cycles).
+    #[must_use]
+    pub fn with_windows(mut self, warmup_cycles: u64, measure_cycles: u64) -> Self {
+        self.warmup_cycles = warmup_cycles;
+        self.measure_cycles = measure_cycles;
+        self
+    }
+
+    /// Number of worker threads this runner uses.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The PRBS base seed of sweep point `index` under `config`: a SplitMix64
+    /// finalizer over (configured base seed, index), truncated to the LFSR
+    /// width. Depends only on its inputs — never on thread count or
+    /// execution order.
+    #[must_use]
+    pub fn point_seed(config: &NocConfig, index: usize) -> u16 {
+        let mut z = (u64::from(config.base_seed) << 32) ^ (index as u64).wrapping_add(1);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // The LFSR remaps 0 to a fixed constant; fold to a non-zero seed
+        // ourselves so distinct points can never alias through that remap.
+        let seed = (z & 0xFFFF) as u16;
+        if seed == 0 {
+            0x1D0C
+        } else {
+            seed
+        }
+    }
+
+    /// Runs one sweep over `rates`, sharding points across the runner's
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the underlying simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or a worker thread panics.
+    pub fn run(&self, config: NocConfig, rates: &[f64]) -> Result<SweepOutcome, NocError> {
+        assert!(!rates.is_empty(), "a sweep needs at least one point");
+        let sweep_start = Instant::now();
+        let jobs = self.jobs.min(rates.len());
+        let mut outcomes: Vec<Option<SweepPointOutcome>> = vec![None; rates.len()];
+
+        if jobs <= 1 {
+            for (index, slot) in outcomes.iter_mut().enumerate() {
+                *slot = Some(self.run_point(config, rates, index)?);
+            }
+        } else {
+            // Round-robin sharding; each worker returns (index, outcome)
+            // pairs that are stitched back together in index order.
+            let results: Vec<Result<Vec<(usize, SweepPointOutcome)>, NocError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..jobs)
+                        .map(|worker| {
+                            scope.spawn(move || {
+                                let mut mine = Vec::new();
+                                for index in (worker..rates.len()).step_by(jobs) {
+                                    mine.push((index, self.run_point(config, rates, index)?));
+                                }
+                                Ok(mine)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sweep worker thread panicked"))
+                        .collect()
+                });
+            for worker_results in results {
+                for (index, outcome) in worker_results? {
+                    outcomes[index] = Some(outcome);
+                }
+            }
+        }
+
+        let points: Vec<SweepPointOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every sweep point was simulated"))
+            .collect();
+        let curve =
+            SweepCurve::from_points(points.iter().map(|p| SweepPoint::from(&p.result)).collect());
+        Ok(SweepOutcome {
+            curve,
+            points,
+            total_wall_ms: sweep_start.elapsed().as_secs_f64() * 1_000.0,
+        })
+    }
+
+    /// Simulates sweep point `index` of `rates`.
+    fn run_point(
+        &self,
+        config: NocConfig,
+        rates: &[f64],
+        index: usize,
+    ) -> Result<SweepPointOutcome, NocError> {
+        let start = Instant::now();
+        let point_config = config.with_base_seed(Self::point_seed(&config, index));
+        let mut sim = Simulation::new(point_config)?;
+        let result = sim.run(rates[index], self.warmup_cycles, self.measure_cycles)?;
+        Ok(SweepPointOutcome {
+            injection_rate: rates[index],
+            result,
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        })
+    }
+}
+
+/// Runs a latency-throughput sweep of `config` over `rates` on the calling
+/// thread (the sequential special case of [`SweepRunner`]).
 ///
 /// # Errors
 ///
@@ -119,13 +299,10 @@ pub fn sweep(
     warmup_cycles: u64,
     measure_cycles: u64,
 ) -> Result<SweepCurve, NocError> {
-    let mut points = Vec::with_capacity(rates.len());
-    for &rate in rates {
-        let mut sim = Simulation::new(config)?;
-        let result = sim.run(rate, warmup_cycles, measure_cycles)?;
-        points.push(SweepPoint::from(&result));
-    }
-    Ok(SweepCurve::from_points(points))
+    SweepRunner::new(1)
+        .with_windows(warmup_cycles, measure_cycles)
+        .run(config, rates)
+        .map(|outcome| outcome.curve)
 }
 
 /// Compares a proposed and a baseline configuration over the same rates and
@@ -146,25 +323,67 @@ pub fn compare(
     warmup_cycles: u64,
     measure_cycles: u64,
 ) -> Result<SweepComparison, NocError> {
-    let limits = MeshLimits::new(proposed.k);
-    let proposed_curve = sweep(proposed, rates, warmup_cycles, measure_cycles)?;
-    let baseline_curve = sweep(baseline, rates, warmup_cycles, measure_cycles)?;
-    let theoretical_limit_gbps =
-        limits.throughput_limit_gbps(true, proposed.flit_bits, proposed.frequency_ghz);
-    let broadcast_heavy = proposed.mix.broadcast_request() > 0.0;
-    let mean_flits = proposed.mix.expected_flits_per_packet() as usize;
+    compare_with(
+        &SweepRunner::new(1).with_windows(warmup_cycles, measure_cycles),
+        proposed,
+        baseline,
+        rates,
+    )
+}
+
+/// [`compare`], but sweeping both networks through `runner` (so the points
+/// of each curve run on the runner's worker threads). Results are identical
+/// to the sequential [`compare`] for any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the underlying simulations.
+pub fn compare_with(
+    runner: &SweepRunner,
+    proposed: NocConfig,
+    baseline: NocConfig,
+    rates: &[f64],
+) -> Result<SweepComparison, NocError> {
+    let proposed_curve = runner.run(proposed, rates)?.curve;
+    let baseline_curve = runner.run(baseline, rates)?.curve;
+    Ok(comparison_from_curves(
+        &proposed,
+        proposed_curve,
+        baseline_curve,
+    ))
+}
+
+/// Builds the §4.1 summary statistics from two already-swept curves
+/// (`proposed_config` supplies the theoretical-limit parameters).
+///
+/// Callers that need the sweeps' raw [`SweepOutcome`]s (e.g. for
+/// machine-readable reports) run the curves through a [`SweepRunner`]
+/// themselves and use this to derive the comparison.
+#[must_use]
+pub fn comparison_from_curves(
+    proposed_config: &NocConfig,
+    proposed: SweepCurve,
+    baseline: SweepCurve,
+) -> SweepComparison {
+    let limits = MeshLimits::new(proposed_config.k);
+    let theoretical_limit_gbps = limits.throughput_limit_gbps(
+        true,
+        proposed_config.flit_bits,
+        proposed_config.frequency_ghz,
+    );
+    let broadcast_heavy = proposed_config.mix.broadcast_request() > 0.0;
+    let mean_flits = proposed_config.mix.expected_flits_per_packet() as usize;
     let theoretical_latency_cycles =
         limits.packet_latency_limit(broadcast_heavy, mean_flits.max(1));
-    Ok(SweepComparison {
-        latency_reduction: 1.0
-            - proposed_curve.low_load_latency() / baseline_curve.low_load_latency(),
-        throughput_improvement: proposed_curve.saturation_gbps / baseline_curve.saturation_gbps,
-        fraction_of_theoretical_limit: proposed_curve.saturation_gbps / theoretical_limit_gbps,
+    SweepComparison {
+        latency_reduction: 1.0 - proposed.low_load_latency() / baseline.low_load_latency(),
+        throughput_improvement: proposed.saturation_gbps / baseline.saturation_gbps,
+        fraction_of_theoretical_limit: proposed.saturation_gbps / theoretical_limit_gbps,
         theoretical_limit_gbps,
         theoretical_latency_cycles,
-        proposed: proposed_curve,
-        baseline: baseline_curve,
-    })
+        proposed,
+        baseline,
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +449,46 @@ mod tests {
     #[should_panic(expected = "at least one point")]
     fn empty_sweep_panics() {
         let _ = SweepCurve::from_points(Vec::new());
+    }
+
+    #[test]
+    fn point_seeds_are_stable_and_distinct() {
+        let config = NocConfig::proposed_chip().unwrap();
+        let seeds: Vec<u16> = (0..16)
+            .map(|i| SweepRunner::point_seed(&config, i))
+            .collect();
+        // Deterministic.
+        let again: Vec<u16> = (0..16)
+            .map(|i| SweepRunner::point_seed(&config, i))
+            .collect();
+        assert_eq!(seeds, again);
+        // No zero seeds (the LFSR would remap them) and no adjacent aliases.
+        assert!(seeds.iter().all(|&s| s != 0));
+        let unique: std::collections::HashSet<u16> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "16 points must get 16 seeds");
+        // A different base seed moves every point seed.
+        let other = config.with_base_seed(0x1234);
+        assert_ne!(SweepRunner::point_seed(&other, 0), seeds[0]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runners_agree_exactly() {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let rates = [0.02, 0.08, 0.14, 0.2, 0.26];
+        let sequential = SweepRunner::new(1)
+            .with_windows(100, 400)
+            .run(config, &rates)
+            .unwrap();
+        let parallel = SweepRunner::new(4)
+            .with_windows(100, 400)
+            .run(config, &rates)
+            .unwrap();
+        assert_eq!(sequential.curve, parallel.curve);
+        for (s, p) in sequential.points.iter().zip(parallel.points.iter()) {
+            assert_eq!(s.result, p.result, "rate {} diverged", s.injection_rate);
+        }
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The router model itself.
 
 use noc_sim::ActivityCounters;
-use noc_topology::routing::{self, RouteBranch};
+use noc_topology::routing::{self, BranchList, RouteBranch};
 use noc_topology::Mesh;
 use noc_types::{
-    Coord, Credit, Cycle, DestinationSet, Flit, MessageClass, NodeId, Port, PortSet, VcId,
+    Coord, Credit, Cycle, DestinationSet, Flit, FlitId, MessageClass, NodeId, Port, PortSet, VcId,
     PORT_COUNT,
 };
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,16 @@ pub struct RouterOutput {
     pub credits: Vec<(Port, Credit)>,
 }
 
+impl RouterOutput {
+    /// Empties the output while keeping the buffers' capacity, so one
+    /// `RouterOutput` can be reused across routers and cycles
+    /// (see [`Router::step_into`]).
+    pub fn clear(&mut self) {
+        self.departures.clear();
+        self.credits.clear();
+    }
+}
+
 /// Internal plan for one crossbar traversal branch.
 #[derive(Debug, Clone, Copy)]
 struct BranchPlan {
@@ -47,6 +57,67 @@ struct BranchPlan {
     destinations: DestinationSet,
     out_vc: VcId,
     newly_allocated: bool,
+}
+
+/// The committed traversal plan of one flit, stored inline (at most one
+/// branch per output port).
+#[derive(Debug, Clone, Copy)]
+struct PlanList {
+    plans: [BranchPlan; PORT_COUNT],
+    len: usize,
+}
+
+impl PlanList {
+    fn new() -> Self {
+        Self {
+            plans: [BranchPlan {
+                port: Port::Local,
+                destinations: DestinationSet::empty(),
+                out_vc: 0,
+                newly_allocated: false,
+            }; PORT_COUNT],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, plan: BranchPlan) {
+        debug_assert!(self.len < PORT_COUNT);
+        self.plans[self.len] = plan;
+        self.len += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, BranchPlan> {
+        self.plans[..self.len].iter()
+    }
+}
+
+/// Cached XY-tree fork of the head flit of one input VC.
+///
+/// Buffered head flits sit in their VC for many cycles under load, and the
+/// router needs their fork (branches / requested ports) in switch-allocation
+/// eligibility, in the mSA-II request vector and again at traversal — all
+/// per cycle. The entry is keyed by flit id *and* remaining destination set,
+/// so it self-invalidates when the VC head changes or a partially served
+/// multicast shrinks its destinations; no explicit invalidation hooks exist.
+#[derive(Debug, Clone, Copy)]
+struct ForkCacheEntry {
+    flit_id: FlitId,
+    destinations: DestinationSet,
+    branches: BranchList,
+}
+
+impl ForkCacheEntry {
+    fn invalid() -> Self {
+        Self {
+            flit_id: FlitId::MAX,
+            destinations: DestinationSet::empty(),
+            branches: BranchList::new(),
+        }
+    }
 }
 
 /// A cycle-accurate model of one mesh router.
@@ -74,6 +145,10 @@ pub struct Router {
     counters: ActivityCounters,
     arrived: Vec<Option<Flit>>,
     arrived_lookaheads: Vec<Option<Lookahead>>,
+    /// Per-(input port, flat VC) cached fork of the buffered head flit.
+    fork_cache: Vec<ForkCacheEntry>,
+    /// Reusable mSA-I request vector (one slot per VC of one input port).
+    msa1_requests: Vec<bool>,
 }
 
 impl Router {
@@ -108,7 +183,36 @@ impl Router {
             counters,
             arrived: vec![None; PORT_COUNT],
             arrived_lookaheads: vec![None; PORT_COUNT],
+            fork_cache: vec![ForkCacheEntry::invalid(); PORT_COUNT * config.total_vcs()],
+            msa1_requests: vec![false; config.total_vcs()],
         }
+    }
+
+    /// The cached (or freshly computed) XY-tree fork of `flit`, assumed to be
+    /// the head of flat VC `vc_idx` of input port `in_port`.
+    ///
+    /// A free function over disjoint router fields so callers holding other
+    /// borrows of `self` can use it.
+    fn fork_of(
+        fork_cache: &mut [ForkCacheEntry],
+        mesh: &Mesh,
+        coord: Coord,
+        vc_count: usize,
+        in_port: usize,
+        vc_idx: usize,
+        flit: &Flit,
+    ) -> BranchList {
+        let entry = &mut fork_cache[in_port * vc_count + vc_idx];
+        if entry.flit_id == flit.id() && entry.destinations == *flit.destinations() {
+            return entry.branches;
+        }
+        let branches = routing::multicast_branches(mesh, coord, flit.destinations());
+        *entry = ForkCacheEntry {
+            flit_id: flit.id(),
+            destinations: *flit.destinations(),
+            branches,
+        };
+        branches
     }
 
     /// Position of the router in the mesh.
@@ -184,17 +288,30 @@ impl Router {
 
     /// Runs one allocation/traversal cycle and returns the flits, lookaheads
     /// and credits produced.
+    ///
+    /// Allocates a fresh [`RouterOutput`] per call; the orchestrator's hot
+    /// loop uses [`step_into`](Router::step_into) with a reused buffer
+    /// instead.
     pub fn step(&mut self, now: Cycle) -> RouterOutput {
         let mut out = RouterOutput::default();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Runs one allocation/traversal cycle, writing the produced flits,
+    /// lookaheads and credits into `out` (cleared first). Reusing one
+    /// `RouterOutput` across calls keeps the steady-state step free of heap
+    /// allocation.
+    pub fn step_into(&mut self, now: Cycle, out: &mut RouterOutput) {
+        out.clear();
         self.counters.cycles += 1;
         let mut output_used = [false; PORT_COUNT];
 
         if self.config.kind.lookahead_enabled() {
-            self.bypass_phase(&mut out, &mut output_used);
+            self.bypass_phase(out, &mut output_used);
         }
-        self.buffered_phase(now, &mut out, &mut output_used);
+        self.buffered_phase(now, out, &mut output_used);
         self.write_arrivals(now);
-        out
     }
 
     // ----------------------------------------------------------------- bypass
@@ -202,8 +319,10 @@ impl Router {
     fn bypass_phase(&mut self, out: &mut RouterOutput, output_used: &mut [bool; PORT_COUNT]) {
         // Collect candidates: arriving flits accompanied by a matching
         // lookahead whose input VC is empty (so bypassing cannot reorder a
-        // packet) and, for body/tail flits, whose VC has route state.
-        let mut candidates: [Option<PortSet>; PORT_COUNT] = [None; PORT_COUNT];
+        // packet) and, for body/tail flits, whose VC has route state. The
+        // fork is computed once per candidate and reused for the request
+        // vector and the traversal plan.
+        let mut candidates: [Option<(PortSet, BranchList)>; PORT_COUNT] = [None; PORT_COUNT];
         for (i, candidate) in candidates.iter_mut().enumerate() {
             let (Some(flit), Some(la)) = (&self.arrived[i], &self.arrived_lookaheads[i]) else {
                 continue;
@@ -220,18 +339,21 @@ impl Router {
             if !flit.kind().is_head() && vcbuf.route().is_none() {
                 continue;
             }
-            let ports = routing::requested_ports(&self.mesh, self.coord, flit.destinations());
-            *candidate = Some(ports);
+            let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
+            *candidate = Some((branches.ports(), branches));
         }
 
         // mSA-II among lookahead requests (they take priority over buffered
         // flits, which are arbitrated afterwards on the remaining ports).
         let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
         for (p, &port) in Port::ALL.iter().enumerate() {
-            let requests: Vec<bool> = (0..PORT_COUNT)
-                .map(|i| candidates[i].is_some_and(|ps| ps.contains(port)))
-                .collect();
-            if requests.iter().any(|&r| r) {
+            let mut requests = [false; PORT_COUNT];
+            let mut any = false;
+            for (i, request) in requests.iter_mut().enumerate() {
+                *request = candidates[i].is_some_and(|(ps, _)| ps.contains(port));
+                any |= *request;
+            }
+            if any {
                 self.counters.sa_global_arbitrations += 1;
                 if let Some(w) = self.msa2[p].arbitrate(&requests) {
                     granted[w][p] = true;
@@ -240,30 +362,31 @@ impl Router {
         }
 
         for i in 0..PORT_COUNT {
-            let Some(ports) = candidates[i] else { continue };
+            let Some((ports, branches)) = candidates[i] else {
+                continue;
+            };
             if !ports.iter().all(|p| granted[i][p.index()]) {
                 continue;
             }
-            let flit = self.arrived[i]
-                .as_ref()
-                .expect("candidate has a flit")
-                .clone();
+            let flit = self.arrived[i].take().expect("candidate has a flit");
             let class = flit.message_class();
             let in_vc = flit.vc().expect("arriving flit carries its VC");
-            let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
-            let Some(plan) = self.plan_branches(&flit, class, i, in_vc, &branches, true) else {
+            let is_head = flit.kind().is_head();
+            let Some(plan) = self.plan_branches(class, i, in_vc, is_head, &branches, true) else {
+                // No resources: put the flit back so it is buffered normally
+                // by `write_arrivals`.
+                self.arrived[i] = Some(flit);
                 continue;
             };
             // Commit the bypass: the flit crosses the switch and the link in
             // this very cycle and its (never used) buffer slot is credited
             // back immediately.
-            let flit = self.arrived[i].take().expect("candidate has a flit");
             self.arrived_lookaheads[i] = None;
             self.counters.bypasses += 1;
-            if flit.kind().is_head() {
+            if is_head {
                 self.counters.route_computations += 1;
             }
-            self.execute_traversal(&flit, class, i, in_vc, &plan, true, out, output_used);
+            self.execute_traversal(flit, class, i, in_vc, &plan, true, out, output_used);
             out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
         }
     }
@@ -284,18 +407,28 @@ impl Router {
         // stage (free-VC queues) and credit counters gate the switch
         // requests, and it prevents a resource-starved VC from phase-locking
         // the round-robin and matrix arbiters against its neighbours.
+        let vc_count = self.inputs[0].vc_count();
         let mut winners: [Option<usize>; PORT_COUNT] = [None; PORT_COUNT];
         for (i, winner) in winners.iter_mut().enumerate() {
             let n = self.inputs[i].vc_count();
-            let requests: Vec<bool> = (0..n)
-                .map(|v| {
-                    let vcbuf = self.inputs[i].vc_at(v);
-                    let Some(flit) = vcbuf.eligible_head(now) else {
-                        return false;
-                    };
-                    let class = flit.message_class();
-                    if flit.kind().is_head() {
-                        routing::multicast_branches(&self.mesh, self.coord, flit.destinations())
+            self.msa1_requests.clear();
+            let mut any = false;
+            for v in 0..n {
+                let vcbuf = self.inputs[i].vc_at(v);
+                let eligible = match vcbuf.eligible_head(now) {
+                    None => false,
+                    Some(flit) => {
+                        let class = flit.message_class();
+                        if flit.kind().is_head() {
+                            Self::fork_of(
+                                &mut self.fork_cache,
+                                &self.mesh,
+                                self.coord,
+                                vc_count,
+                                i,
+                                v,
+                                flit,
+                            )
                             .iter()
                             .any(|b| {
                                 let op = &self.outputs[b.port.index()];
@@ -304,17 +437,20 @@ impl Router {
                                         .peek_free_vc(class)
                                         .is_some_and(|vc| op.has_credit(class, vc))
                             })
-                    } else {
-                        let route = vcbuf
-                            .route()
-                            .expect("body flit must follow an allocated route");
-                        self.outputs[route.out_port.index()].has_credit(class, route.out_vc)
+                        } else {
+                            let route = vcbuf
+                                .route()
+                                .expect("body flit must follow an allocated route");
+                            self.outputs[route.out_port.index()].has_credit(class, route.out_vc)
+                        }
                     }
-                })
-                .collect();
-            if requests.iter().any(|&r| r) {
+                };
+                self.msa1_requests.push(eligible);
+                any |= eligible;
+            }
+            if any {
                 self.counters.sa_local_arbitrations += 1;
-                *winner = self.msa1[i].arbitrate(&requests);
+                *winner = self.msa1[i].arbitrate(&self.msa1_requests);
             }
         }
 
@@ -325,7 +461,16 @@ impl Router {
             let vcbuf = self.inputs[i].vc_at(v);
             let flit = vcbuf.head().expect("winner has a head flit");
             let ports = if flit.kind().is_head() {
-                routing::requested_ports(&self.mesh, self.coord, flit.destinations())
+                Self::fork_of(
+                    &mut self.fork_cache,
+                    &self.mesh,
+                    self.coord,
+                    vc_count,
+                    i,
+                    v,
+                    flit,
+                )
+                .ports()
             } else {
                 PortSet::single(
                     vcbuf
@@ -367,51 +512,68 @@ impl Router {
             if granted_ports.is_empty() {
                 continue;
             }
-            let flit = self.inputs[i]
+            let head = self.inputs[i]
                 .vc_at(v)
                 .head()
-                .expect("winner has a head flit")
-                .clone();
-            let class = flit.message_class();
-            let in_vc = flit.vc().expect("buffered flit carries its VC");
-            let branches: Vec<RouteBranch> = if flit.kind().is_head() {
-                routing::multicast_branches(&self.mesh, self.coord, flit.destinations())
-                    .into_iter()
-                    .filter(|b| granted_ports.contains(b.port))
-                    .collect()
+                .expect("winner has a head flit");
+            let class = head.message_class();
+            let in_vc = head.vc().expect("buffered flit carries its VC");
+            let is_head = head.kind().is_head();
+            let all_destinations = *head.destinations();
+            let mut branches = BranchList::new();
+            if is_head {
+                let fork = Self::fork_of(
+                    &mut self.fork_cache,
+                    &self.mesh,
+                    self.coord,
+                    vc_count,
+                    i,
+                    v,
+                    self.inputs[i].vc_at(v).head().expect("winner has a head"),
+                );
+                for b in fork.iter().filter(|b| granted_ports.contains(b.port)) {
+                    branches.push(*b);
+                }
             } else {
-                vec![RouteBranch {
+                branches.push(RouteBranch {
                     port: self.inputs[i]
                         .vc_at(v)
                         .route()
                         .expect("body flit must follow an allocated route")
                         .out_port,
-                    destinations: *flit.destinations(),
-                }]
-            };
-            let Some(plan) = self.plan_branches(&flit, class, i, in_vc, &branches, false) else {
+                    destinations: all_destinations,
+                });
+            }
+            let Some(plan) = self.plan_branches(class, i, in_vc, is_head, &branches, false) else {
                 continue;
             };
             self.counters.buffer_reads += 1;
-            self.execute_traversal(&flit, class, i, in_vc, &plan, false, out, output_used);
 
-            // Update the buffer: multicast flits may have remaining
-            // destinations to serve on later cycles.
+            // Take the flit out of the buffer: by value (crediting the freed
+            // slot upstream) when every destination is served this cycle,
+            // as a clone (the rare partially-served-multicast path) when
+            // some destinations must stay behind and retry.
             let served: DestinationSet = plan
                 .iter()
                 .fold(DestinationSet::empty(), |acc, b| acc.union(&b.destinations));
-            let remaining = flit.destinations().difference(&served);
-            if remaining.is_empty() {
-                let popped = self.inputs[i].vc_at_mut(v).pop();
-                debug_assert!(popped.is_some());
+            let remaining = all_destinations.difference(&served);
+            let flit = if remaining.is_empty() {
+                let popped = self.inputs[i]
+                    .vc_at_mut(v)
+                    .pop()
+                    .expect("winner has a head flit");
                 out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
+                popped
             } else {
-                self.inputs[i]
+                let head = self.inputs[i]
                     .vc_at_mut(v)
                     .head_mut()
-                    .expect("flit still buffered")
-                    .set_destinations(remaining);
-            }
+                    .expect("flit still buffered");
+                let copy = head.clone();
+                head.set_destinations(remaining);
+                copy
+            };
+            self.execute_traversal(flit, class, i, in_vc, &plan, false, out, output_used);
         }
     }
 
@@ -427,17 +589,17 @@ impl Router {
     /// served partially and retry the rest on later cycles.
     fn plan_branches(
         &self,
-        flit: &Flit,
         class: MessageClass,
         in_port: usize,
         in_vc: VcId,
+        is_head: bool,
         branches: &[RouteBranch],
         all_or_nothing: bool,
-    ) -> Option<Vec<BranchPlan>> {
+    ) -> Option<PlanList> {
         if branches.is_empty() {
             return None;
         }
-        let mut plan = Vec::with_capacity(branches.len());
+        let mut plan = PlanList::new();
         for b in branches {
             let op = &self.outputs[b.port.index()];
             if b.port.is_local() {
@@ -449,7 +611,7 @@ impl Router {
                 });
                 continue;
             }
-            if flit.kind().is_head() {
+            if is_head {
                 match op.peek_free_vc(class) {
                     Some(vc) if op.has_credit(class, vc) => plan.push(BranchPlan {
                         port: b.port,
@@ -485,32 +647,47 @@ impl Router {
     }
 
     /// Moves a flit through the crossbar onto every branch of `plan`.
+    ///
+    /// The flit is consumed: it departs by value on the last branch, and only
+    /// a multicast fork (more than one granted branch) clones it for the
+    /// additional replicas — the unicast fast path moves the flit from the
+    /// input buffer to the output link without a single copy.
     #[allow(clippy::too_many_arguments)]
     fn execute_traversal(
         &mut self,
-        flit: &Flit,
+        flit: Flit,
         class: MessageClass,
         in_port: usize,
         in_vc: VcId,
-        plan: &[BranchPlan],
+        plan: &PlanList,
         bypassed: bool,
         out: &mut RouterOutput,
         output_used: &mut [bool; PORT_COUNT],
     ) {
-        if plan.len() > 1 {
+        if plan.len > 1 {
             self.counters.multicast_forks += 1;
         }
-        for b in plan {
+        let kind = flit.kind();
+        let flit_id = flit.id();
+        let mut remaining = Some(flit);
+        for (bi, b) in plan.iter().enumerate() {
             output_used[b.port.index()] = true;
             let op = &mut self.outputs[b.port.index()];
             if b.newly_allocated {
                 op.allocate_vc(class, b.out_vc);
                 self.counters.vc_allocations += 1;
             }
-            op.send_flit(class, b.out_vc, flit.kind().is_tail());
+            op.send_flit(class, b.out_vc, kind.is_tail());
             self.counters.crossbar_traversals += 1;
 
-            let mut departing = flit.clone();
+            let mut departing = if bi + 1 == plan.len {
+                remaining.take().expect("flit departs on the last branch")
+            } else {
+                remaining
+                    .as_ref()
+                    .expect("flit present until the last branch")
+                    .clone()
+            };
             departing.set_destinations(b.destinations);
             departing.set_vc(b.out_vc);
 
@@ -522,14 +699,14 @@ impl Router {
                     .expect("routing never leaves the mesh");
                 let next_ports = routing::requested_ports(&self.mesh, next, &b.destinations);
                 self.counters.lookaheads_sent += 1;
-                Some(Lookahead::new(departing.id(), class, b.out_vc, next_ports))
+                Some(Lookahead::new(flit_id, class, b.out_vc, next_ports))
             } else {
                 None
             };
 
             if b.port.is_local() {
                 self.counters.local_link_traversals += 1;
-                if flit.kind().is_tail() {
+                if kind.is_tail() {
                     self.counters.ejections += 1;
                 }
             } else {
@@ -546,8 +723,8 @@ impl Router {
 
         // Maintain per-VC route state so body/tail flits of multi-flit
         // (unicast) packets follow their head.
-        if flit.kind().is_head() && !flit.kind().is_tail() {
-            let first = plan[0];
+        if kind.is_head() && !kind.is_tail() {
+            let first = plan.plans[0];
             self.inputs[in_port]
                 .vc_mut(class, in_vc)
                 .set_route(VcRoute {
@@ -555,7 +732,7 @@ impl Router {
                     out_vc: first.out_vc,
                 });
         }
-        if flit.kind().is_tail() && !flit.kind().is_head() {
+        if kind.is_tail() && !kind.is_head() {
             self.inputs[in_port].vc_mut(class, in_vc).clear_route();
         }
     }

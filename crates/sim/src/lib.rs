@@ -8,6 +8,9 @@
 //! general discrete-event engine. The crate provides:
 //!
 //! * [`Clock`] — the global cycle counter,
+//! * [`EventWheel`] and [`RingQueue`] — the fixed-horizon calendar queue
+//!   (and its reusable slot buffer) the network core schedules link, credit
+//!   and NIC traversals through without steady-state heap allocation,
 //! * [`Lfsr`] and [`PrbsGenerator`] — the pseudo-random binary sequence
 //!   generators the chip's NICs use to produce traffic (including the
 //!   "identical seeds on every NIC" artifact the paper discusses),
@@ -43,8 +46,10 @@ mod clock;
 mod counters;
 mod prbs;
 mod stats;
+mod wheel;
 
 pub use clock::Clock;
 pub use counters::ActivityCounters;
 pub use prbs::{Lfsr, PrbsGenerator};
 pub use stats::{LatencyStats, SweepPoint, ThroughputStats};
+pub use wheel::{EventWheel, RingQueue};

@@ -9,7 +9,7 @@
 //! every branch of the tree is itself an XY route, the tree inherits XY's
 //! deadlock freedom.
 
-use noc_types::{Coord, DestinationSet, NodeId, Port, PortSet};
+use noc_types::{Coord, DestinationSet, NodeId, Port, PortSet, PORT_COUNT};
 
 use crate::mesh::Mesh;
 
@@ -65,13 +65,88 @@ pub fn xy_route(mesh: &Mesh, from: Coord, to: Coord) -> Vec<Coord> {
 
 /// One branch of a multicast fork: the output port to drive and the subset of
 /// destinations served through that port.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteBranch {
     /// Output port to replicate the flit onto.
     pub port: Port,
     /// Destinations reachable through `port` (for [`Port::Local`], the
     /// current node itself).
     pub destinations: DestinationSet,
+}
+
+/// The branches of one multicast fork, stored inline (a flit forks onto at
+/// most [`PORT_COUNT`] output ports, so the list never heap-allocates —
+/// this type sits on the router's per-cycle fast path).
+///
+/// Dereferences to a slice of [`RouteBranch`], so it iterates and indexes
+/// like the `Vec` it replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchList {
+    branches: [RouteBranch; PORT_COUNT],
+    len: usize,
+}
+
+impl Default for BranchList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BranchList {
+    /// An empty branch list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            branches: [RouteBranch {
+                port: Port::Local,
+                destinations: DestinationSet::empty(),
+            }; PORT_COUNT],
+            len: 0,
+        }
+    }
+
+    /// Appends a branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`PORT_COUNT`] branches.
+    pub fn push(&mut self, branch: RouteBranch) {
+        assert!(self.len < PORT_COUNT, "a flit forks onto at most 5 ports");
+        self.branches[self.len] = branch;
+        self.len += 1;
+    }
+
+    /// The set of output ports requested across all branches.
+    #[must_use]
+    pub fn ports(&self) -> PortSet {
+        self.iter().map(|b| b.port).collect()
+    }
+}
+
+impl std::ops::Deref for BranchList {
+    type Target = [RouteBranch];
+
+    fn deref(&self) -> &[RouteBranch] {
+        &self.branches[..self.len]
+    }
+}
+
+impl IntoIterator for BranchList {
+    type Item = RouteBranch;
+    type IntoIter = std::iter::Take<std::array::IntoIter<RouteBranch, PORT_COUNT>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.branches.into_iter().take(self.len)
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchList {
+    type Item = &'a RouteBranch;
+    type IntoIter = std::slice::Iter<'a, RouteBranch>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.branches[..self.len].iter()
+    }
 }
 
 /// Computes the set of output ports (and per-port destination subsets) a flit
@@ -97,34 +172,28 @@ pub struct RouteBranch {
 /// # Ok::<(), noc_types::ConfigError>(())
 /// ```
 #[must_use]
-pub fn multicast_branches(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> Vec<RouteBranch> {
-    let mut by_port: [DestinationSet; 5] = [DestinationSet::empty(); 5];
+pub fn multicast_branches(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> BranchList {
+    let mut by_port: [DestinationSet; PORT_COUNT] = [DestinationSet::empty(); PORT_COUNT];
     for dest_id in dests.iter() {
         let dest = mesh.coord_of(dest_id);
         let port = xy_next_port(mesh, current, dest);
         by_port[port.index()].insert(dest_id);
     }
-    Port::ALL
-        .into_iter()
-        .filter_map(|port| {
-            let destinations = by_port[port.index()];
-            if destinations.is_empty() {
-                None
-            } else {
-                Some(RouteBranch { port, destinations })
-            }
-        })
-        .collect()
+    let mut branches = BranchList::new();
+    for port in Port::ALL {
+        let destinations = by_port[port.index()];
+        if !destinations.is_empty() {
+            branches.push(RouteBranch { port, destinations });
+        }
+    }
+    branches
 }
 
 /// The set of output ports requested by a flit at `current` with destination
 /// set `dests` (the 5-bit output-port request vector of mSA-I).
 #[must_use]
 pub fn requested_ports(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> PortSet {
-    multicast_branches(mesh, current, dests)
-        .into_iter()
-        .map(|b| b.port)
-        .collect()
+    multicast_branches(mesh, current, dests).ports()
 }
 
 /// Number of link traversals an XY-tree multicast from `source` to `dests`

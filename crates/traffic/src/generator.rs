@@ -37,19 +37,46 @@ pub struct TrafficGenerator {
 }
 
 impl TrafficGenerator {
+    /// The base seed the chip's PRBS generators boot from.
+    pub const DEFAULT_BASE_SEED: u16 = 0xACE1;
+
     /// Creates a generator for `node` of a k×k mesh injecting `rate`
-    /// flits/cycle on average.
+    /// flits/cycle on average, seeded from
+    /// [`DEFAULT_BASE_SEED`](Self::DEFAULT_BASE_SEED).
     ///
     /// # Panics
     ///
     /// Panics if `rate` is negative or `k == 0`.
     #[must_use]
     pub fn new(node: NodeId, k: u16, mix: TrafficMix, seed_mode: SeedMode, rate: f64) -> Self {
+        Self::with_base_seed(node, k, mix, seed_mode, rate, Self::DEFAULT_BASE_SEED)
+    }
+
+    /// Creates a generator whose PRBS state boots from `base_seed` instead of
+    /// the chip's default.
+    ///
+    /// Sweep runners derive one base seed per sweep point so that every point
+    /// is statistically independent yet fully determined by `(configuration,
+    /// point index)` — the property that makes parallel and sequential sweeps
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or `k == 0`.
+    #[must_use]
+    pub fn with_base_seed(
+        node: NodeId,
+        k: u16,
+        mix: TrafficMix,
+        seed_mode: SeedMode,
+        rate: f64,
+        base_seed: u16,
+    ) -> Self {
         assert!(rate >= 0.0, "injection rate must be non-negative");
         assert!(k > 0, "mesh side length must be positive");
         let seed = match seed_mode {
-            SeedMode::Identical => 0xACE1,
-            SeedMode::PerNode => 0xACE1 ^ (node.wrapping_mul(0x9E37) | 1),
+            SeedMode::Identical => base_seed,
+            SeedMode::PerNode => base_seed ^ (node.wrapping_mul(0x9E37) | 1),
         };
         Self {
             node,
@@ -91,17 +118,17 @@ impl TrafficGenerator {
         self.next_packet_seq
     }
 
-    /// Produces the packets this node creates at `cycle` (zero or one — the
-    /// chip's NICs inject at most one packet per cycle).
-    pub fn generate(&mut self, cycle: Cycle) -> Vec<Packet> {
+    /// Produces the packet this node creates at `cycle`, if any (the chip's
+    /// NICs inject at most one packet per cycle, so no container — and no
+    /// allocation — is needed).
+    pub fn generate(&mut self, cycle: Cycle) -> Option<Packet> {
         let packet_probability = self.rate / self.mix.expected_flits_per_packet();
         if !self.prbs.chance(packet_probability) {
-            return Vec::new();
+            return None;
         }
         let kind_sample = f64::from(self.prbs.next_word()) / f64::from(u16::MAX);
         let kind = self.mix.pick(kind_sample.min(0.999_999));
-        let packet = self.build_packet(kind, cycle);
-        vec![packet]
+        Some(self.build_packet(kind, cycle))
     }
 
     /// Builds one packet of the given kind at `cycle` (also used by tests and
@@ -146,7 +173,7 @@ mod tests {
     fn total_packets(mut gen: TrafficGenerator, cycles: Cycle) -> u64 {
         let mut n = 0;
         for c in 0..cycles {
-            n += gen.generate(c).len() as u64;
+            n += u64::from(gen.generate(c).is_some());
         }
         n
     }
@@ -178,7 +205,7 @@ mod tests {
         let mut uni_req = 0;
         let mut uni_resp = 0;
         for c in 0..20_000 {
-            for p in gen.generate(c) {
+            if let Some(p) = gen.generate(c) {
                 if p.is_multicast() {
                     bcast += 1;
                 } else if p.kind() == PacketKind::Request {
@@ -200,7 +227,7 @@ mod tests {
         let mut gen =
             TrafficGenerator::new(5, 4, TrafficMix::unicast_only(), SeedMode::PerNode, 1.0);
         for c in 0..5000 {
-            for p in gen.generate(c) {
+            if let Some(p) = gen.generate(c) {
                 assert!(!p.destinations().contains(5));
                 assert_eq!(p.destinations().len(), 1);
             }
@@ -212,7 +239,7 @@ mod tests {
         let mut gen =
             TrafficGenerator::new(2, 4, TrafficMix::broadcast_only(), SeedMode::PerNode, 0.5);
         for c in 0..1000 {
-            for p in gen.generate(c) {
+            if let Some(p) = gen.generate(c) {
                 assert_eq!(p.destinations().len(), 15);
                 assert!(!p.destinations().contains(2));
             }
@@ -225,13 +252,13 @@ mod tests {
         let mut b = TrafficGenerator::new(9, 4, TrafficMix::mixed(), SeedMode::Identical, 0.2);
         for c in 0..2000 {
             // Both nodes decide to inject (or not) on exactly the same cycles.
-            assert_eq!(a.generate(c).len(), b.generate(c).len());
+            assert_eq!(a.generate(c).is_some(), b.generate(c).is_some());
         }
         let mut a = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.2);
         let mut b = TrafficGenerator::new(9, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.2);
         let mut differs = false;
         for c in 0..2000 {
-            if a.generate(c).len() != b.generate(c).len() {
+            if a.generate(c).is_some() != b.generate(c).is_some() {
                 differs = true;
             }
         }
@@ -243,7 +270,7 @@ mod tests {
         let mut gen = TrafficGenerator::new(7, 4, TrafficMix::mixed(), SeedMode::PerNode, 1.0);
         let mut ids = std::collections::HashSet::new();
         for c in 0..2000 {
-            for p in gen.generate(c) {
+            if let Some(p) = gen.generate(c) {
                 assert!(ids.insert(p.id()), "duplicate packet id {}", p.id());
             }
         }

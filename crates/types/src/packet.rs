@@ -186,22 +186,31 @@ impl Packet {
     /// [`FlitKind::HeadTail`].
     #[must_use]
     pub fn to_flits(&self) -> Vec<Flit> {
+        let mut flits = Vec::with_capacity(self.flit_count());
+        self.write_flits_into(&mut flits);
+        flits
+    }
+
+    /// Segments the packet into its flits, appending them to `out`.
+    ///
+    /// This is the allocation-free sibling of [`Packet::to_flits`]: callers
+    /// on the injection fast path (the NICs) keep one scratch buffer alive
+    /// and reuse its capacity across every packet they segment.
+    pub fn write_flits_into(&self, out: &mut Vec<Flit>) {
         let n = self.flit_count();
-        (0..n)
-            .map(|i| {
-                let kind = if n == 1 {
-                    FlitKind::HeadTail
-                } else if i == 0 {
-                    FlitKind::Head
-                } else if i == n - 1 {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                };
-                let word = payload_word(&self.payload, i);
-                Flit::new(self, i as u8, kind, word)
-            })
-            .collect()
+        for i in 0..n {
+            let kind = if n == 1 {
+                FlitKind::HeadTail
+            } else if i == 0 {
+                FlitKind::Head
+            } else if i == n - 1 {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
+            let word = payload_word(&self.payload, i);
+            out.push(Flit::new(self, i as u8, kind, word));
+        }
     }
 }
 

@@ -1,0 +1,102 @@
+//! Determinism guarantees of the simulation core.
+//!
+//! The parallel sweep runner is only sound because every simulation is a
+//! pure function of `(configuration, injection rate)`: these tests pin that
+//! property down — repeated sequential runs must agree byte for byte, and a
+//! sweep sharded over N worker threads must reproduce the single-threaded
+//! curve exactly.
+
+use noc_repro::noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
+use noc_repro::traffic::SeedMode;
+
+fn run_once(config: NocConfig, rate: f64) -> SimulationResult {
+    let mut sim = Simulation::new(config).expect("valid configuration");
+    sim.run(rate, 150, 600).expect("valid rate")
+}
+
+#[test]
+fn sequential_runs_are_byte_identical() {
+    for variant in [
+        NetworkVariant::ProposedChip,
+        NetworkVariant::FullSwingUnicast,
+    ] {
+        for seed_mode in [SeedMode::Identical, SeedMode::PerNode] {
+            let config = NocConfig::variant(variant)
+                .unwrap()
+                .with_seed_mode(seed_mode);
+            let first = run_once(config, 0.08);
+            let second = run_once(config, 0.08);
+            // Structural equality covers every field (floats included)...
+            assert_eq!(first, second, "{variant:?}/{seed_mode:?} diverged");
+            // ...and the rendered form pins down byte-for-byte identity.
+            assert_eq!(
+                format!("{first:?}"),
+                format!("{second:?}"),
+                "{variant:?}/{seed_mode:?} debug output diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn base_seed_changes_the_run() {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let default_seed = run_once(config, 0.08);
+    let other_seed = run_once(config.with_base_seed(0xBEEF), 0.08);
+    assert_ne!(
+        default_seed, other_seed,
+        "distinct base seeds must produce distinct traffic"
+    );
+}
+
+#[test]
+fn sweep_runner_matches_single_thread_exactly() {
+    let rates = [0.02, 0.06, 0.1, 0.14, 0.18, 0.22, 0.26];
+    for variant in [
+        NetworkVariant::ProposedChip,
+        NetworkVariant::FullSwingUnicast,
+    ] {
+        let config = NocConfig::variant(variant)
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let single = SweepRunner::new(1)
+            .with_windows(100, 400)
+            .run(config, &rates)
+            .unwrap();
+        for jobs in [2, 3, 8] {
+            let sharded = SweepRunner::new(jobs)
+                .with_windows(100, 400)
+                .run(config, &rates)
+                .unwrap();
+            assert_eq!(
+                single.curve, sharded.curve,
+                "{variant:?} with {jobs} threads produced a different curve"
+            );
+            // Per-point full results (counters and all) must match too.
+            for (s, p) in single.points.iter().zip(sharded.points.iter()) {
+                assert_eq!(s.injection_rate, p.injection_rate);
+                assert_eq!(
+                    s.result, p.result,
+                    "{variant:?} rate {} diverged at {jobs} threads",
+                    s.injection_rate
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_sweep_entry_point_agrees_with_the_runner() {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let rates = [0.02, 0.1, 0.2];
+    let via_fn = sweep::sweep(config, &rates, 100, 400).unwrap();
+    let via_runner = SweepRunner::new(4)
+        .with_windows(100, 400)
+        .run(config, &rates)
+        .unwrap();
+    assert_eq!(via_fn, via_runner.curve);
+}

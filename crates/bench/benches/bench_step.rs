@@ -64,9 +64,42 @@ fn bench_step_8x8_saturated(c: &mut Criterion) {
     });
 }
 
+/// Warm-network reset (the per-sweep-point turnaround of a batching
+/// `SweepRunner` worker) versus cold construction: resetting keeps every
+/// buffer's high-water-mark capacity, so it should be much cheaper than
+/// building a network from scratch. Every measured reset operates on a
+/// *dirty* saturated network (cloned per iteration outside the timing), the
+/// state a sweep worker actually rewinds between points.
+fn bench_reset_vs_new(c: &mut Criterion) {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let dirty = warmed_network(config, 0.28, 1_000);
+    let mut seed = 0u64;
+    c.bench_function("network_reset_warm_4x4", |b| {
+        b.iter_batched(
+            || dirty.clone(),
+            |mut network| {
+                seed = seed.wrapping_add(1);
+                network.reset(seed);
+                black_box(network.now());
+                network
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("network_new_cold_4x4", |b| {
+        b.iter(|| {
+            let network = Network::new(config, 0.28).unwrap();
+            black_box(network.now())
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_step_4x4_saturated, bench_step_4x4_baseline_saturated, bench_step_8x8_saturated
+    targets = bench_step_4x4_saturated, bench_step_4x4_baseline_saturated, bench_step_8x8_saturated,
+        bench_reset_vs_new
 }
 criterion_main!(benches);

@@ -21,7 +21,12 @@
 //!   statistics (latency reduction, saturation-throughput gain, fraction of
 //!   the theoretical limit) the paper quotes in §4.1; [`SweepRunner`] shards
 //!   sweep points across threads with bit-identical results for any thread
-//!   count.
+//!   count, batching each worker's points through one warmed network via
+//!   [`Network::reset`] (buffer capacity survives, PRBS state re-seeds).
+//!
+//! The layering above this crate, the event-wheel core it steps, and the
+//! determinism contract behind [`SweepRunner`] are documented in
+//! `ARCHITECTURE.md` at the repository root.
 //!
 //! ## Quickstart
 //!

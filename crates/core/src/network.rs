@@ -58,8 +58,9 @@ struct TrackedPacket {
 /// The network advances in lock-step cycles via [`Network::step`]. Traffic
 /// injection and measurement are controlled per cycle so that a
 /// [`crate::Simulation`] can run warmup / measurement / drain phases over the
-/// same instance.
-#[derive(Debug)]
+/// same instance. Cloning snapshots the complete simulation state (used by
+/// benches to replay from a fixed mid-flight state).
+#[derive(Debug, Clone)]
 pub struct Network {
     config: NocConfig,
     mesh: Mesh,
@@ -125,6 +126,57 @@ impl Network {
     #[must_use]
     pub fn config(&self) -> &NocConfig {
         &self.config
+    }
+
+    /// Restores the network to the state of a freshly built one whose
+    /// configuration carries the given PRBS base seed, while keeping every
+    /// warmed-up buffer capacity: the event wheel's slot rings, the NIC
+    /// injection rings and segmentation scratch, the routers' VC buffers and
+    /// fork caches, and the shared router-output scratch all survive with
+    /// their high-water-mark storage intact. This is what lets a sweep
+    /// runner batch many points through one network per worker thread
+    /// without re-paying cold-start allocation per point.
+    ///
+    /// `seed` is folded (XOR of its 16-bit limbs, zero remapped to a fixed
+    /// non-zero constant) into the 16-bit domain of the chip's PRBS LFSRs;
+    /// seeds that already fit 16 bits are used as-is. Behaviour after a
+    /// reset is bit-identical to `Network::new` with that base seed —
+    /// `tests/determinism.rs` pins this.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_noc::{Network, NocConfig};
+    ///
+    /// let mut network = Network::new(NocConfig::proposed_chip()?, 0.1)?;
+    /// for _ in 0..50 {
+    ///     network.step(true);
+    /// }
+    /// network.reset(0xBEEF);
+    /// assert_eq!(network.now(), 0);
+    /// assert_eq!(network.in_flight_flits(), 0);
+    /// assert_eq!(network.injected_packets(), 0);
+    /// assert_eq!(network.config().base_seed, 0xBEEF);
+    /// # Ok::<(), noc_types::NocError>(())
+    /// ```
+    pub fn reset(&mut self, seed: u64) {
+        let folded = (seed ^ (seed >> 16) ^ (seed >> 32) ^ (seed >> 48)) as u16;
+        self.config.base_seed = if folded == 0 { 0x1D0C } else { folded };
+        for router in &mut self.routers {
+            router.reset();
+        }
+        let config = self.config;
+        for nic in &mut self.nics {
+            nic.reset(&config);
+        }
+        self.clock.reset();
+        self.pending.reset();
+        self.router_scratch.clear();
+        self.flits_on_links = 0;
+        self.scoreboard.clear();
+        self.latency.reset();
+        self.throughput.reset();
+        self.measuring = false;
     }
 
     /// The mesh topology.
@@ -566,6 +618,47 @@ mod tests {
         let mut baseline_net = Network::new(baseline, 0.02).unwrap();
         run_cycles(&mut baseline_net, 1000, true);
         assert_eq!(baseline_net.counters().bypasses, 0);
+    }
+
+    #[test]
+    fn reset_reproduces_a_cold_network_exactly() {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(noc_traffic::SeedMode::PerNode);
+        let run = |network: &mut Network| {
+            network.set_rate(0.1);
+            network.set_measuring(true);
+            run_cycles(network, 400, true);
+            run_cycles(network, 400, false);
+            (
+                network.injected_packets(),
+                network.latency().mean(),
+                network.throughput().received_flits(),
+                network.counters(),
+            )
+        };
+        // Cold reference with the target seed.
+        let mut cold = Network::new(config.with_base_seed(0x1234), 0.1).unwrap();
+        let reference = run(&mut cold);
+        // Warm network: drive it mid-flight on a different seed, then reset.
+        let mut warm = Network::new(config, 0.2).unwrap();
+        run_cycles(&mut warm, 300, true);
+        assert!(warm.in_flight_flits() > 0, "warm network should be loaded");
+        warm.reset(0x1234);
+        assert_eq!(warm.now(), 0);
+        assert_eq!(warm.in_flight_flits(), 0);
+        assert_eq!(run(&mut warm), reference, "warm reset diverged from cold");
+    }
+
+    #[test]
+    fn reset_folds_wide_seeds_into_the_lfsr_domain() {
+        let mut network = Network::new(NocConfig::proposed_chip().unwrap(), 0.0).unwrap();
+        network.reset(0xABCD);
+        assert_eq!(network.config().base_seed, 0xABCD);
+        network.reset(0x0001_0000_0000_ABCD);
+        assert_eq!(network.config().base_seed, 0xABCC, "limbs are XOR-folded");
+        network.reset(0);
+        assert_ne!(network.config().base_seed, 0, "zero must be remapped");
     }
 
     #[test]

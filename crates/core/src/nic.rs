@@ -114,6 +114,31 @@ impl Nic {
         self.node
     }
 
+    /// Restores the NIC to its post-construction state under `config` —
+    /// injection queue empty, all upstream credits returned, statistics
+    /// zeroed, and the traffic generator re-seeded from `config.base_seed` —
+    /// keeping the queue and scratch-buffer capacity. The injection rate is
+    /// preserved (a following [`set_rate`](Nic::set_rate), as every
+    /// simulation run performs, makes the warm NIC indistinguishable from a
+    /// cold one).
+    pub fn reset(&mut self, config: &NocConfig) {
+        self.generator = TrafficGenerator::with_base_seed(
+            self.node,
+            config.k,
+            config.mix,
+            config.seed_mode,
+            self.generator.rate(),
+            config.base_seed,
+        );
+        self.inject_queue.clear();
+        self.upstream.reset();
+        self.current_vc = None;
+        self.counters = ActivityCounters::new();
+        self.injected_flits = 0;
+        self.injected_packets = 0;
+        self.received_flits = 0;
+    }
+
     /// Changes the injection rate (used between sweep points).
     pub fn set_rate(&mut self, rate: f64) {
         self.generator.set_rate(rate);

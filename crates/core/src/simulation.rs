@@ -45,6 +45,17 @@ impl Simulation {
         &self.network
     }
 
+    /// Rewinds the simulation to cycle zero with the PRBS generators
+    /// re-seeded from `seed`, keeping the network's warmed-up buffer
+    /// capacity (see [`Network::reset`]). A following [`run`](Self::run)
+    /// behaves bit-identically to one on a freshly constructed simulation
+    /// with that base seed — this is how [`crate::SweepRunner`] batches many
+    /// sweep points through one simulation per worker thread.
+    pub fn reset(&mut self, seed: u64) {
+        self.network.reset(seed);
+        self.config = *self.network.config();
+    }
+
     /// Runs warmup + measurement + drain at `rate` flits/node/cycle and
     /// returns the measured statistics.
     ///

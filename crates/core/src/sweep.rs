@@ -7,15 +7,22 @@
 //! over the baseline, and fraction of the theoretical throughput limit
 //! reached. This module produces exactly those artefacts.
 //!
-//! ## Parallel sweeps
+//! ## Parallel sweeps and warm-network batching
 //!
 //! Every sweep point is an independent simulation, so [`SweepRunner`] shards
-//! points across `std::thread` workers. Determinism is preserved by
-//! construction: each point's PRBS base seed is derived from the
-//! configuration's base seed and the *point index* (not from scheduling
-//! order), and results are stitched back together in index order — a sweep
-//! run with one thread and with N threads produces bit-identical
-//! [`SweepCurve`]s. See `tests/determinism.rs`.
+//! points across `std::thread` workers. Each worker batches its points
+//! through **one warmed [`Simulation`]**: between points the network is
+//! rewound with [`Simulation::reset`] (re-seeding the PRBS generators while
+//! keeping the event wheel's slot rings, NIC injection rings, VC buffers and
+//! fork caches at their high-water-mark capacity), so only the first point
+//! per worker pays cold-start allocation.
+//!
+//! Determinism is preserved by construction: each point's PRBS base seed is
+//! derived from the configuration's base seed and the *point index* (not
+//! from scheduling order), a reset-then-run is bit-identical to a cold
+//! per-point simulation, and results are stitched back together in index
+//! order — a sweep run with one thread and with N threads produces
+//! bit-identical [`SweepCurve`]s. See `tests/determinism.rs`.
 
 use std::time::Instant;
 
@@ -224,20 +231,27 @@ impl SweepRunner {
         let mut outcomes: Vec<Option<SweepPointOutcome>> = vec![None; rates.len()];
 
         if jobs <= 1 {
+            let mut sim = Simulation::new(config)?;
             for (index, slot) in outcomes.iter_mut().enumerate() {
-                *slot = Some(self.run_point(config, rates, index)?);
+                *slot = Some(self.run_point(&mut sim, &config, rates, index)?);
             }
         } else {
-            // Round-robin sharding; each worker returns (index, outcome)
-            // pairs that are stitched back together in index order.
+            // Round-robin sharding; each worker batches its points through
+            // one warmed simulation (reset between points, buffers kept) and
+            // returns (index, outcome) pairs that are stitched back together
+            // in index order.
             let results: Vec<Result<Vec<(usize, SweepPointOutcome)>, NocError>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..jobs)
                         .map(|worker| {
                             scope.spawn(move || {
+                                let mut sim = Simulation::new(config)?;
                                 let mut mine = Vec::new();
                                 for index in (worker..rates.len()).step_by(jobs) {
-                                    mine.push((index, self.run_point(config, rates, index)?));
+                                    mine.push((
+                                        index,
+                                        self.run_point(&mut sim, &config, rates, index)?,
+                                    ));
                                 }
                                 Ok(mine)
                             })
@@ -268,16 +282,19 @@ impl SweepRunner {
         })
     }
 
-    /// Simulates sweep point `index` of `rates`.
+    /// Simulates sweep point `index` of `rates` on a (possibly warm) batch
+    /// simulation: the network is reset to the point's derived seed, so the
+    /// outcome is bit-identical to a cold per-point simulation while reusing
+    /// all of `sim`'s buffer capacity.
     fn run_point(
         &self,
-        config: NocConfig,
+        sim: &mut Simulation,
+        config: &NocConfig,
         rates: &[f64],
         index: usize,
     ) -> Result<SweepPointOutcome, NocError> {
         let start = Instant::now();
-        let point_config = config.with_base_seed(Self::point_seed(&config, index));
-        let mut sim = Simulation::new(point_config)?;
+        sim.reset(u64::from(Self::point_seed(config, index)));
         let result = sim.run(rates[index], self.warmup_cycles, self.measure_cycles)?;
         Ok(SweepPointOutcome {
             injection_rate: rates[index],

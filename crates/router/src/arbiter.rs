@@ -4,8 +4,41 @@
 //! (mSA-I: each input port picks one of its VCs' output-port requests) and a
 //! matrix arbiter for the second stage (mSA-II: each output port grants the
 //! crossbar to one input port). Both are starvation-free.
+//!
+//! Both arbiters expose two equivalent request encodings:
+//!
+//! * a `&[bool]` slice ([`RoundRobinArbiter::arbitrate`],
+//!   [`MatrixArbiter::arbitrate`]) — the readable form used by tests, and
+//! * a `u32` bitmask word ([`RoundRobinArbiter::arbitrate_mask`],
+//!   [`MatrixArbiter::arbitrate_mask`]) — the form the router's hot path
+//!   uses, mirroring the chip where request vectors are hardware bit-vectors
+//!   (5-bit port requests into mSA-II, 6-bit VC requests into mSA-I). The
+//!   slice entry points delegate to the mask ones, so the two can never
+//!   disagree; `tests/properties.rs` additionally pins the agreement over
+//!   randomized 32-bit patterns.
 
 use serde::{Deserialize, Serialize};
+
+/// Largest number of requestors the `u32` mask fast path supports.
+const MASK_BITS: usize = u32::BITS as usize;
+
+/// Converts a request slice into its bitmask form (bit `i` = `requests[i]`).
+fn mask_of(requests: &[bool]) -> u32 {
+    requests
+        .iter()
+        .enumerate()
+        .fold(0, |m, (i, &r)| m | (u32::from(r) << i))
+}
+
+/// The mask of valid requestor bits for an arbiter of `size` requestors
+/// (`size` is between 1 and [`MASK_BITS`], enforced at construction).
+fn valid_mask(size: usize) -> u32 {
+    if size == MASK_BITS {
+        u32::MAX
+    } else {
+        (1u32 << size) - 1
+    }
+}
 
 /// A round-robin arbiter over `n` requestors.
 ///
@@ -34,10 +67,15 @@ impl RoundRobinArbiter {
     ///
     /// # Panics
     ///
-    /// Panics if `size == 0`.
+    /// Panics if `size == 0` or `size > 32` (request vectors are `u32` words
+    /// internally; the chip's are 5 and 6 bits wide).
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "arbiter must have at least one requestor");
+        assert!(
+            size <= MASK_BITS,
+            "arbiter request vectors are u32 words ({size} > {MASK_BITS})"
+        );
         Self {
             size,
             next_priority: 0,
@@ -50,6 +88,12 @@ impl RoundRobinArbiter {
         self.size
     }
 
+    /// Restores the arbiter to its post-construction state (requestor 0 has
+    /// the highest priority), as part of a warm network reset.
+    pub fn reset(&mut self) {
+        self.next_priority = 0;
+    }
+
     /// Picks a winner among the asserted requests, or `None` when no request
     /// is asserted.
     ///
@@ -58,35 +102,75 @@ impl RoundRobinArbiter {
     /// Panics if `requests.len()` differs from the arbiter size.
     pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.size, "request vector size mismatch");
-        for offset in 0..self.size {
-            let candidate = (self.next_priority + offset) % self.size;
-            if requests[candidate] {
-                self.next_priority = (candidate + 1) % self.size;
-                return Some(candidate);
-            }
-        }
-        None
+        self.arbitrate_mask(mask_of(requests))
+    }
+
+    /// [`arbitrate`](Self::arbitrate) over a bitmask request word: bit `i`
+    /// asserts requestor `i`. Bits at or above [`size`](Self::size) are
+    /// ignored.
+    ///
+    /// This is the hot-path form: the rotating-priority scan collapses into
+    /// two masks and a `trailing_zeros`, the word-wide analogue of the
+    /// chip's one-hot rotate-and-pick circuit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_router::RoundRobinArbiter;
+    ///
+    /// let mut arb = RoundRobinArbiter::new(4);
+    /// assert_eq!(arb.arbitrate_mask(0b0101), Some(0));
+    /// // 0 just won, so the scan now starts at 1 and finds 2.
+    /// assert_eq!(arb.arbitrate_mask(0b0101), Some(2));
+    /// assert_eq!(arb.arbitrate_mask(0), None);
+    /// ```
+    pub fn arbitrate_mask(&mut self, requests: u32) -> Option<usize> {
+        let winner = self.peek_mask(requests)?;
+        self.next_priority = (winner + 1) % self.size;
+        Some(winner)
     }
 
     /// Peeks at the winner without updating the priority pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter size.
     #[must_use]
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.size, "request vector size mismatch");
-        (0..self.size)
-            .map(|offset| (self.next_priority + offset) % self.size)
-            .find(|&candidate| requests[candidate])
+        self.peek_mask(mask_of(requests))
+    }
+
+    /// [`peek`](Self::peek) over a bitmask request word.
+    #[must_use]
+    pub fn peek_mask(&self, requests: u32) -> Option<usize> {
+        let requests = requests & valid_mask(self.size);
+        if requests == 0 {
+            return None;
+        }
+        // Requests at or above the priority pointer win first; only when
+        // none is asserted does the scan wrap around to the low indices.
+        let unwrapped = requests & (u32::MAX << self.next_priority);
+        let winner = if unwrapped != 0 {
+            unwrapped.trailing_zeros()
+        } else {
+            requests.trailing_zeros()
+        };
+        Some(winner as usize)
     }
 }
 
 /// A matrix arbiter over `n` requestors (least-recently-served priority).
 ///
-/// `priority[i][j] == true` means requestor `i` currently beats requestor
-/// `j`. After `i` wins, every other requestor gains priority over `i`.
-/// This is the arbiter the chip instantiates at each output port for mSA-II.
+/// Row `i` of the precedence matrix is stored as a bitmask of the requestors
+/// `i` currently beats. After `i` wins, every other requestor gains priority
+/// over `i` (row `i` clears, column `i` sets). This is the arbiter the chip
+/// instantiates at each output port for mSA-II.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatrixArbiter {
     size: usize,
-    priority: Vec<bool>,
+    /// `rows[i]` bit `j` set means requestor `i` beats requestor `j`.
+    rows: Vec<u32>,
 }
 
 impl MatrixArbiter {
@@ -95,17 +179,21 @@ impl MatrixArbiter {
     ///
     /// # Panics
     ///
-    /// Panics if `size == 0`.
+    /// Panics if `size == 0` or `size > 32` (request vectors are `u32` words
+    /// internally).
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "arbiter must have at least one requestor");
-        let mut priority = vec![false; size * size];
-        for i in 0..size {
-            for j in (i + 1)..size {
-                priority[i * size + j] = true;
-            }
-        }
-        Self { size, priority }
+        assert!(
+            size <= MASK_BITS,
+            "arbiter request vectors are u32 words ({size} > {MASK_BITS})"
+        );
+        let mut arb = Self {
+            size,
+            rows: vec![0; size],
+        };
+        arb.reset();
+        arb
     }
 
     /// Number of requestors.
@@ -114,8 +202,15 @@ impl MatrixArbiter {
         self.size
     }
 
-    fn beats(&self, i: usize, j: usize) -> bool {
-        self.priority[i * self.size + j]
+    /// Restores the initial priority ordering 0 > 1 > … > n-1, as part of a
+    /// warm network reset.
+    pub fn reset(&mut self) {
+        let valid = valid_mask(self.size);
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            // Row i beats everything with a larger index (the last row beats
+            // nobody — the shift would overflow the word).
+            *row = valid & u32::MAX.checked_shl(i as u32 + 1).unwrap_or(0);
+        }
     }
 
     /// Picks the requestor that beats all other asserted requestors, updating
@@ -125,24 +220,69 @@ impl MatrixArbiter {
     ///
     /// Panics if `requests.len()` differs from the arbiter size.
     pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
-        let winner = self.peek(requests)?;
-        // Winner loses priority against everyone else.
-        for j in 0..self.size {
+        assert_eq!(requests.len(), self.size, "request vector size mismatch");
+        self.arbitrate_mask(mask_of(requests))
+    }
+
+    /// [`arbitrate`](Self::arbitrate) over a bitmask request word: bit `i`
+    /// asserts requestor `i`. Bits at or above [`size`](Self::size) are
+    /// ignored.
+    ///
+    /// The winner test is one word comparison per asserted requestor
+    /// (`requests ⊆ row[i] ∪ {i}`), and the priority update is a row clear
+    /// plus a column set — exactly the flip-flop matrix of the hardware.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_router::MatrixArbiter;
+    ///
+    /// let mut arb = MatrixArbiter::new(5);
+    /// // Initial priority is index order...
+    /// assert_eq!(arb.arbitrate_mask(0b11010), Some(1));
+    /// // ...and a winner drops below everyone else.
+    /// assert_eq!(arb.arbitrate_mask(0b11010), Some(3));
+    /// assert_eq!(arb.arbitrate_mask(0b00000), None);
+    /// ```
+    pub fn arbitrate_mask(&mut self, requests: u32) -> Option<usize> {
+        let winner = self.peek_mask(requests)?;
+        // Winner loses priority against everyone else: clear its row, set
+        // its column.
+        self.rows[winner] = 0;
+        let column = 1u32 << winner;
+        for (j, row) in self.rows.iter_mut().enumerate() {
             if j != winner {
-                self.priority[winner * self.size + j] = false;
-                self.priority[j * self.size + winner] = true;
+                *row |= column;
             }
         }
         Some(winner)
     }
 
     /// Peeks at the winner without updating the priority matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter size.
     #[must_use]
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.size, "request vector size mismatch");
-        (0..self.size).find(|&i| {
-            requests[i] && (0..self.size).all(|j| j == i || !requests[j] || self.beats(i, j))
-        })
+        self.peek_mask(mask_of(requests))
+    }
+
+    /// [`peek`](Self::peek) over a bitmask request word.
+    #[must_use]
+    pub fn peek_mask(&self, requests: u32) -> Option<usize> {
+        let valid = valid_mask(self.size);
+        let mut remaining = requests & valid;
+        while remaining != 0 {
+            let i = remaining.trailing_zeros() as usize;
+            // i wins when every other asserted requestor is one it beats.
+            if (requests & valid) & !self.rows[i] & !(1u32 << i) == 0 {
+                return Some(i);
+            }
+            remaining &= remaining - 1;
+        }
+        None
     }
 }
 
@@ -187,6 +327,58 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_mask_agrees_with_slice_exhaustively() {
+        // Every 4-bit request pattern from every rotation state.
+        for start in 0..4usize {
+            for pattern in 0u32..16 {
+                let mut slice_arb = RoundRobinArbiter::new(4);
+                let mut mask_arb = RoundRobinArbiter::new(4);
+                // Drive both arbiters into rotation state `start`.
+                for _ in 0..start {
+                    slice_arb.arbitrate(&[true; 4]);
+                    mask_arb.arbitrate_mask(0b1111);
+                }
+                let requests: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+                assert_eq!(
+                    slice_arb.arbitrate(&requests),
+                    mask_arb.arbitrate_mask(pattern),
+                    "pattern {pattern:04b} from state {start}"
+                );
+                assert_eq!(slice_arb, mask_arb, "state diverged after the pick");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_mask_ignores_out_of_range_bits() {
+        let mut arb = RoundRobinArbiter::new(4);
+        assert_eq!(arb.arbitrate_mask(0xFFFF_FFF0), None);
+        assert_eq!(arb.arbitrate_mask(0xFFFF_FFF4), Some(2));
+    }
+
+    #[test]
+    fn full_width_round_robin_works() {
+        let mut arb = RoundRobinArbiter::new(32);
+        assert_eq!(arb.arbitrate_mask(u32::MAX), Some(0));
+        assert_eq!(arb.arbitrate_mask(u32::MAX), Some(1));
+        assert_eq!(arb.arbitrate_mask(1 << 31), Some(31));
+        assert_eq!(arb.arbitrate_mask(u32::MAX), Some(0), "wraps past the top");
+    }
+
+    #[test]
+    fn arbiter_reset_restores_initial_priority() {
+        let mut rr = RoundRobinArbiter::new(4);
+        rr.arbitrate_mask(0b1111);
+        rr.reset();
+        assert_eq!(rr, RoundRobinArbiter::new(4));
+        let mut matrix = MatrixArbiter::new(5);
+        matrix.arbitrate_mask(0b11111);
+        matrix.arbitrate_mask(0b11111);
+        matrix.reset();
+        assert_eq!(matrix, MatrixArbiter::new(5));
+    }
+
+    #[test]
     fn matrix_initial_priority_is_index_order() {
         let mut arb = MatrixArbiter::new(3);
         assert_eq!(arb.arbitrate(&[true, true, true]), Some(0));
@@ -220,8 +412,44 @@ mod tests {
     }
 
     #[test]
+    fn matrix_mask_agrees_with_slice_exhaustively() {
+        // Every 4-bit request pattern after every warm-up history length.
+        for history in 0..6usize {
+            for pattern in 0u32..16 {
+                let mut slice_arb = MatrixArbiter::new(4);
+                let mut mask_arb = MatrixArbiter::new(4);
+                for round in 0..history {
+                    let warm = 0b1111 ^ (1 << (round % 4));
+                    slice_arb.arbitrate_mask(warm);
+                    mask_arb.arbitrate_mask(warm);
+                }
+                let requests: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+                assert_eq!(
+                    slice_arb.arbitrate(&requests),
+                    mask_arb.arbitrate_mask(pattern),
+                    "pattern {pattern:04b} after {history} rounds"
+                );
+                assert_eq!(slice_arb, mask_arb, "state diverged after the pick");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_mask_ignores_out_of_range_bits() {
+        let mut arb = MatrixArbiter::new(4);
+        assert_eq!(arb.arbitrate_mask(0xFFFF_FFF0), None);
+        assert_eq!(arb.arbitrate_mask(0xFFFF_FFF8), Some(3));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one requestor")]
     fn zero_size_panics() {
         let _ = RoundRobinArbiter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 words")]
+    fn oversized_arbiter_panics() {
+        let _ = MatrixArbiter::new(33);
     }
 }

@@ -1,4 +1,9 @@
 //! Input ports and their virtual-channel buffers.
+//!
+//! Each input port holds the chip's VC provisioning (4×1-flit request VCs,
+//! 2×3-flit response VCs), the per-VC route state body flits follow, and an
+//! incrementally maintained occupancy bitmask the switch allocator scans
+//! instead of probing every buffer each cycle.
 
 use std::collections::VecDeque;
 
@@ -132,14 +137,33 @@ impl VcBuffer {
     pub fn pop(&mut self) -> Option<Flit> {
         self.flits.pop_front().map(|(f, _)| f)
     }
+
+    /// Drops every buffered flit and the route state, keeping the buffer's
+    /// capacity (used by warm network resets).
+    pub fn reset(&mut self) {
+        self.flits.clear();
+        self.route = None;
+    }
 }
 
 /// One of the five input ports of a router.
+///
+/// Besides the VC buffers themselves, the port maintains an *occupancy
+/// bitmask* (bit `v` set ⇔ flat VC `v` holds at least one flit), updated
+/// incrementally by [`push_flit`](InputPort::push_flit) /
+/// [`pop_flit`](InputPort::pop_flit). The router's mSA-I stage iterates only
+/// the set bits of this word instead of probing every VC buffer each cycle.
+/// Callers that mutate buffers directly through
+/// [`vc_mut`](InputPort::vc_mut) / [`vc_at_mut`](InputPort::vc_at_mut)
+/// (tests, diagnostics) bypass the mask and must not rely on it afterwards.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InputPort {
     port: Port,
     vcs: Vec<VcBuffer>,
     request_count: usize,
+    /// Bit `v` set ⇔ `vcs[v]` is non-empty (maintained by `push_flit` /
+    /// `pop_flit`).
+    occupied: u32,
 }
 
 impl InputPort {
@@ -165,7 +189,49 @@ impl InputPort {
             port,
             vcs,
             request_count: usize::from(config.request_vcs.count),
+            occupied: 0,
         }
+    }
+
+    /// Restores the port to its post-construction state — every VC empty and
+    /// route-free — keeping all buffer capacity (used by warm network
+    /// resets).
+    pub fn reset(&mut self) {
+        for vc in &mut self.vcs {
+            vc.reset();
+        }
+        self.occupied = 0;
+    }
+
+    /// Bitmask of flat VC indices currently holding at least one flit.
+    ///
+    /// Only pushes/pops through [`push_flit`](InputPort::push_flit) /
+    /// [`pop_flit`](InputPort::pop_flit) maintain this word.
+    #[must_use]
+    pub fn occupied_mask(&self) -> u32 {
+        self.occupied
+    }
+
+    /// Pushes an arriving flit into VC `(class, vc)`, keeping the occupancy
+    /// mask in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC buffer overflows (a flow-control protocol bug).
+    pub fn push_flit(&mut self, class: MessageClass, vc: VcId, flit: Flit, ready_at: Cycle) {
+        let idx = self.flat_index(class, vc);
+        self.vcs[idx].push(flit, ready_at);
+        self.occupied |= 1 << idx;
+    }
+
+    /// Pops the head flit of the VC at flat index `idx`, keeping the
+    /// occupancy mask in sync.
+    pub fn pop_flit(&mut self, idx: usize) -> Option<Flit> {
+        let flit = self.vcs[idx].pop();
+        if self.vcs[idx].is_empty() {
+            self.occupied &= !(1 << idx);
+        }
+        flit
     }
 
     /// Which router port this input belongs to.
@@ -285,6 +351,24 @@ mod tests {
         assert_eq!(vc.route().unwrap().out_port, Port::East);
         vc.clear_route();
         assert!(vc.route().is_none());
+    }
+
+    #[test]
+    fn occupancy_mask_tracks_pushes_and_pops() {
+        let mut port = InputPort::new(Port::East, &RouterConfig::proposed(true));
+        assert_eq!(port.occupied_mask(), 0);
+        port.push_flit(MessageClass::Request, 2, request_flit(1), 0);
+        port.push_flit(MessageClass::Response, 0, request_flit(2), 0);
+        port.push_flit(MessageClass::Response, 0, request_flit(3), 0);
+        // Request VC 2 is flat index 2; response VC 0 is flat index 4.
+        assert_eq!(port.occupied_mask(), 0b1_0100);
+        assert!(port.pop_flit(4).is_some());
+        assert_eq!(port.occupied_mask(), 0b1_0100, "one flit still buffered");
+        assert!(port.pop_flit(4).is_some());
+        assert_eq!(port.occupied_mask(), 0b0_0100);
+        port.reset();
+        assert_eq!(port.occupied_mask(), 0);
+        assert_eq!(port.occupancy(), 0);
     }
 
     #[test]

@@ -22,6 +22,20 @@
 //! `mesh-noc` crate) can wire any number of them together and advance them
 //! cycle by cycle.
 //!
+//! The separable switch allocator operates on **bitmask request vectors**
+//! throughout, mirroring the hardware bit-vectors of the chip's mSA-I/mSA-II
+//! circuits: [`RoundRobinArbiter::arbitrate_mask`] and
+//! [`MatrixArbiter::arbitrate_mask`] take `u32` request words, output ports
+//! keep incremental free/credit masks, and input ports keep an occupancy
+//! mask — see `ARCHITECTURE.md` at the repository root for the full pipeline
+//! walk-through. Every router also supports [`Router::reset`], the warm
+//! rewind the sweep machinery uses to reuse a network across experiment
+//! points.
+//!
+//! Paper mapping: the router microarchitecture is §3 and Fig. 3 of the DAC
+//! 2012 paper; virtual bypassing and its single-cycle-per-hop claim are
+//! §3.2; the separable allocator and its 5-/6-bit request vectors are §3.1.
+//!
 //! # Examples
 //!
 //! ```

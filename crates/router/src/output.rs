@@ -51,11 +51,23 @@ impl DownstreamVc {
 /// The local (ejection) output port connects to the NIC, which is modelled as
 /// always able to sink one flit per cycle; it therefore skips VC and credit
 /// bookkeeping. All other ports track the downstream router's input VCs.
+///
+/// Besides the per-VC [`DownstreamVc`] records, the port maintains two
+/// per-class bitmask summaries — which VCs are unallocated (`free_mask`) and
+/// which have at least one credit (`credit_mask`) — refreshed incrementally
+/// on every send, allocation and credit event. The router's switch-allocation
+/// hot path reads only these words: "can this port take a new head flit?"
+/// collapses to `free & credit != 0` and a per-branch credit check to a
+/// single bit test, instead of scanning the VC records every cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OutputPort {
     port: Port,
     request: Vec<DownstreamVc>,
     response: Vec<DownstreamVc>,
+    /// Per-class masks of unallocated VCs (index matches [`MessageClass`]).
+    free_mask: [u32; 2],
+    /// Per-class masks of VCs with at least one credit.
+    credit_mask: [u32; 2],
 }
 
 impl OutputPort {
@@ -68,9 +80,11 @@ impl OutputPort {
                 port,
                 request: Vec::new(),
                 response: Vec::new(),
+                free_mask: [0; 2],
+                credit_mask: [0; 2],
             };
         }
-        Self {
+        let mut out = Self {
             port,
             request: (0..config.request_vcs.count)
                 .map(|_| DownstreamVc::new(config.request_vcs.depth))
@@ -78,7 +92,11 @@ impl OutputPort {
             response: (0..config.response_vcs.count)
                 .map(|_| DownstreamVc::new(config.response_vcs.depth))
                 .collect(),
-        }
+            free_mask: [0; 2],
+            credit_mask: [0; 2],
+        };
+        out.rebuild_masks();
+        out
     }
 
     /// Creates the credit/VC tracker a NIC uses for the router input port it
@@ -91,7 +109,7 @@ impl OutputPort {
     /// which models the *ejection* side where the NIC always sinks flits).
     #[must_use]
     pub fn for_injection(config: &RouterConfig) -> Self {
-        Self {
+        let mut out = Self {
             port: Port::Local,
             request: (0..config.request_vcs.count)
                 .map(|_| DownstreamVc::new(config.request_vcs.depth))
@@ -99,7 +117,45 @@ impl OutputPort {
             response: (0..config.response_vcs.count)
                 .map(|_| DownstreamVc::new(config.response_vcs.depth))
                 .collect(),
+            free_mask: [0; 2],
+            credit_mask: [0; 2],
+        };
+        out.rebuild_masks();
+        out
+    }
+
+    /// Recomputes the per-class free/credit masks from the VC records
+    /// (construction and [`reset`](Self::reset) only; every steady-state
+    /// update is incremental).
+    fn rebuild_masks(&mut self) {
+        for class in MessageClass::ALL {
+            let ci = class.index();
+            let mut free = 0;
+            let mut credit = 0;
+            for (i, vc) in self.class(class).iter().enumerate() {
+                if vc.is_free() {
+                    free |= 1 << i;
+                }
+                if vc.credits > 0 {
+                    credit |= 1 << i;
+                }
+            }
+            self.free_mask[ci] = free;
+            self.credit_mask[ci] = credit;
         }
+    }
+
+    /// Restores the port to its post-construction state — every downstream VC
+    /// free, every credit returned — keeping the storage (used by warm
+    /// network resets; see `mesh_noc::Network::reset`).
+    pub fn reset(&mut self) {
+        for class in MessageClass::ALL {
+            for vc in self.class_mut(class) {
+                let depth = vc.depth;
+                *vc = DownstreamVc::new(depth);
+            }
+        }
+        self.rebuild_masks();
     }
 
     /// Which router port this output drives.
@@ -149,10 +205,34 @@ impl OutputPort {
         if self.untracked() {
             return Some(0);
         }
-        self.class(class)
-            .iter()
-            .position(|vc| vc.is_free() && vc.credits > 0)
-            .map(|i| i as VcId)
+        let ready = self.free_mask[class.index()] & self.credit_mask[class.index()];
+        if ready == 0 {
+            None
+        } else {
+            Some(ready.trailing_zeros() as VcId)
+        }
+    }
+
+    /// Returns `true` when a new packet head could be granted this port: a
+    /// downstream VC is both free and credited (always `true` for the
+    /// ejection port, whose NIC sinks one flit per cycle unconditionally).
+    ///
+    /// This is the single-word form of [`peek_free_vc`](Self::peek_free_vc)
+    /// the switch-allocation eligibility masks are built from.
+    #[must_use]
+    pub fn can_accept_head(&self, class: MessageClass) -> bool {
+        self.untracked() || self.free_mask[class.index()] & self.credit_mask[class.index()] != 0
+    }
+
+    /// Bitmask of downstream VCs of `class` that currently hold at least one
+    /// credit (bit `v` = VC `v`). All-ones for the untracked local port.
+    #[must_use]
+    pub fn credit_mask(&self, class: MessageClass) -> u32 {
+        if self.untracked() {
+            u32::MAX
+        } else {
+            self.credit_mask[class.index()]
+        }
     }
 
     /// Allocates downstream VC `vc` to a new packet.
@@ -170,19 +250,20 @@ impl OutputPort {
         assert!(slot.is_free(), "double allocation of downstream VC");
         slot.allocated = true;
         slot.tail_sent = false;
+        self.free_mask[class.index()] &= !(1 << vc);
     }
 
     /// Returns `true` when downstream VC `(class, vc)` has a free buffer slot.
     ///
-    /// Always `true` for the local port.
+    /// Always `true` for the local port; `false` for a VC outside the mask
+    /// width (a `VcId` this configuration cannot have).
     #[must_use]
     pub fn has_credit(&self, class: MessageClass, vc: VcId) -> bool {
         if self.untracked() {
             return true;
         }
-        self.class(class)
-            .get(usize::from(vc))
-            .is_some_and(|v| v.credits > 0)
+        let bit = 1u32.checked_shl(u32::from(vc)).unwrap_or(0);
+        self.credit_mask[class.index()] & bit != 0
     }
 
     /// Records the departure of a flit on downstream VC `(class, vc)`,
@@ -200,6 +281,9 @@ impl OutputPort {
         slot.credits -= 1;
         if is_tail {
             slot.tail_sent = true;
+        }
+        if slot.credits == 0 {
+            self.credit_mask[class.index()] &= !(1 << vc);
         }
     }
 
@@ -220,9 +304,16 @@ impl OutputPort {
             "credit overflow on downstream VC (more credits than buffer slots)"
         );
         slot.credits += 1;
+        let mut freed = false;
         if slot.allocated && slot.tail_sent && slot.credits == depth {
             slot.allocated = false;
             slot.tail_sent = false;
+            freed = true;
+        }
+        let ci = credit.class.index();
+        self.credit_mask[ci] |= 1 << credit.vc;
+        if freed {
+            self.free_mask[ci] |= 1 << credit.vc;
         }
     }
 
@@ -293,6 +384,74 @@ mod tests {
         out.on_credit(Credit::new(MessageClass::Response, vc));
         out.on_credit(Credit::new(MessageClass::Response, vc));
         assert_eq!(out.free_vcs(MessageClass::Response), 2);
+    }
+
+    /// The mask summaries must agree with the per-VC records at all times.
+    fn assert_masks_consistent(out: &OutputPort) {
+        for class in MessageClass::ALL {
+            for vc in 0..4u8 {
+                let Some(state) = out.downstream_vc(class, vc) else {
+                    continue;
+                };
+                assert_eq!(
+                    out.has_credit(class, vc),
+                    state.credits > 0,
+                    "credit mask diverged on {class:?} vc {vc}"
+                );
+            }
+            let scan = out
+                .class(class)
+                .iter()
+                .position(|vc| vc.is_free() && vc.credits > 0)
+                .map(|i| i as VcId);
+            assert_eq!(out.peek_free_vc(class), scan, "free mask diverged");
+            assert_eq!(out.can_accept_head(class), scan.is_some());
+        }
+    }
+
+    #[test]
+    fn masks_track_the_vc_records_through_a_lifecycle() {
+        let mut out = output(Port::East);
+        assert_masks_consistent(&out);
+        let vc = out.peek_free_vc(MessageClass::Response).unwrap();
+        out.allocate_vc(MessageClass::Response, vc);
+        assert_masks_consistent(&out);
+        for _ in 0..3 {
+            out.send_flit(MessageClass::Response, vc, false);
+            assert_masks_consistent(&out);
+        }
+        assert_eq!(out.credit_mask(MessageClass::Response) & (1 << vc), 0);
+        out.on_credit(Credit::new(MessageClass::Response, vc));
+        assert_masks_consistent(&out);
+        out.send_flit(MessageClass::Response, vc, true);
+        for _ in 0..3 {
+            out.on_credit(Credit::new(MessageClass::Response, vc));
+        }
+        assert_masks_consistent(&out);
+        assert!(out.can_accept_head(MessageClass::Response));
+    }
+
+    #[test]
+    fn has_credit_is_false_for_out_of_range_vcs() {
+        let out = output(Port::East);
+        assert!(!out.has_credit(MessageClass::Request, 31));
+        assert!(
+            !out.has_credit(MessageClass::Request, 32),
+            "no shift overflow"
+        );
+        assert!(!out.has_credit(MessageClass::Response, 255));
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut out = output(Port::North);
+        let fresh = out.clone();
+        out.allocate_vc(MessageClass::Request, 2);
+        out.send_flit(MessageClass::Request, 2, true);
+        out.allocate_vc(MessageClass::Response, 0);
+        out.reset();
+        assert_eq!(out, fresh, "reset must reproduce the constructed state");
+        assert_masks_consistent(&out);
     }
 
     #[test]

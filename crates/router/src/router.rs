@@ -1,4 +1,7 @@
-//! The router model itself.
+//! The router model itself: the per-cycle allocation/traversal pipeline
+//! (lookahead bypass → mSA-I → mSA-II → crossbar traversal) over bitset
+//! request vectors, plus the XY-tree fork cache and the reusable
+//! [`RouterOutput`] that keep the steady-state step allocation-free.
 
 use noc_sim::ActivityCounters;
 use noc_topology::routing::{self, BranchList, RouteBranch};
@@ -95,6 +98,15 @@ impl PlanList {
     }
 }
 
+/// ORs input port `i`'s requested `PortSet` (raw bits) into the per-output
+/// mSA-II request words (`out_requests[p]` bit `i` = input `i` wants output
+/// `p`) — the transpose both allocation phases feed the matrix arbiters.
+fn transpose_requests(out_requests: &mut [u32; PORT_COUNT], bits: u8, i: usize) {
+    for (p, req) in out_requests.iter_mut().enumerate() {
+        *req |= u32::from(bits >> p & 1) << i;
+    }
+}
+
 /// Cached XY-tree fork of the head flit of one input VC.
 ///
 /// Buffered head flits sit in their VC for many cycles under load, and the
@@ -147,8 +159,6 @@ pub struct Router {
     arrived_lookaheads: Vec<Option<Lookahead>>,
     /// Per-(input port, flat VC) cached fork of the buffered head flit.
     fork_cache: Vec<ForkCacheEntry>,
-    /// Reusable mSA-I request vector (one slot per VC of one input port).
-    msa1_requests: Vec<bool>,
 }
 
 impl Router {
@@ -184,8 +194,32 @@ impl Router {
             arrived: vec![None; PORT_COUNT],
             arrived_lookaheads: vec![None; PORT_COUNT],
             fork_cache: vec![ForkCacheEntry::invalid(); PORT_COUNT * config.total_vcs()],
-            msa1_requests: vec![false; config.total_vcs()],
         }
+    }
+
+    /// Restores the router to its post-construction state — buffers empty,
+    /// credits full, arbiters at initial priority, counters zeroed — keeping
+    /// every buffer's capacity. Part of the warm network reset
+    /// (`mesh_noc::Network::reset`) that lets sweep runners reuse one
+    /// network across points.
+    pub fn reset(&mut self) {
+        for input in &mut self.inputs {
+            input.reset();
+        }
+        for output in &mut self.outputs {
+            output.reset();
+        }
+        for arbiter in &mut self.msa1 {
+            arbiter.reset();
+        }
+        for arbiter in &mut self.msa2 {
+            arbiter.reset();
+        }
+        self.counters = ActivityCounters::new();
+        self.counters.routers = 1;
+        self.arrived.fill(None);
+        self.arrived_lookaheads.fill(None);
+        self.fork_cache.fill(ForkCacheEntry::invalid());
     }
 
     /// The cached (or freshly computed) XY-tree fork of `flit`, assumed to be
@@ -345,18 +379,22 @@ impl Router {
 
         // mSA-II among lookahead requests (they take priority over buffered
         // flits, which are arbitrated afterwards on the remaining ports).
-        let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
-        for (p, &port) in Port::ALL.iter().enumerate() {
-            let mut requests = [false; PORT_COUNT];
-            let mut any = false;
-            for (i, request) in requests.iter_mut().enumerate() {
-                *request = candidates[i].is_some_and(|(ps, _)| ps.contains(port));
-                any |= *request;
+        // The candidates' port sets are transposed into one request word per
+        // output port (bit i = input port i), fed straight to the matrix
+        // arbiters' mask path.
+        let mut out_requests = [0u32; PORT_COUNT];
+        for (i, candidate) in candidates.iter().enumerate() {
+            if let Some((ps, _)) = candidate {
+                transpose_requests(&mut out_requests, ps.bits(), i);
             }
-            if any {
+        }
+        // granted[i] is the PortSet (as raw bits) input port i won.
+        let mut granted = [0u8; PORT_COUNT];
+        for (p, &requests) in out_requests.iter().enumerate() {
+            if requests != 0 {
                 self.counters.sa_global_arbitrations += 1;
-                if let Some(w) = self.msa2[p].arbitrate(&requests) {
-                    granted[w][p] = true;
+                if let Some(w) = self.msa2[p].arbitrate_mask(requests) {
+                    granted[w] |= 1 << p;
                 }
             }
         }
@@ -365,7 +403,9 @@ impl Router {
             let Some((ports, branches)) = candidates[i] else {
                 continue;
             };
-            if !ports.iter().all(|p| granted[i][p.index()]) {
+            // Bypassing is all-or-nothing: every requested port must have
+            // been granted.
+            if ports.bits() & !granted[i] != 0 {
                 continue;
             }
             let flit = self.arrived[i].take().expect("candidate has a flit");
@@ -407,55 +447,62 @@ impl Router {
         // stage (free-VC queues) and credit counters gate the switch
         // requests, and it prevents a resource-starved VC from phase-locking
         // the round-robin and matrix arbiters against its neighbours.
+        //
+        // Everything here is word-wide: the head check intersects the flit's
+        // cached fork ports with a per-class "which outputs can take a head"
+        // summary, the body check is one bit of the output's credit mask, and
+        // only VCs set in the port's occupancy mask are visited at all.
         let vc_count = self.inputs[0].vc_count();
+        let mut head_ok = [0u8; 2];
+        for class in MessageClass::ALL {
+            let mut mask = 0u8;
+            for (p, op) in self.outputs.iter().enumerate() {
+                mask |= u8::from(op.can_accept_head(class)) << p;
+            }
+            head_ok[class.index()] = mask;
+        }
         let mut winners: [Option<usize>; PORT_COUNT] = [None; PORT_COUNT];
         for (i, winner) in winners.iter_mut().enumerate() {
-            let n = self.inputs[i].vc_count();
-            self.msa1_requests.clear();
-            let mut any = false;
-            for v in 0..n {
+            let mut requests = 0u32;
+            let mut occupied = self.inputs[i].occupied_mask();
+            while occupied != 0 {
+                let v = occupied.trailing_zeros() as usize;
+                occupied &= occupied - 1;
                 let vcbuf = self.inputs[i].vc_at(v);
-                let eligible = match vcbuf.eligible_head(now) {
-                    None => false,
-                    Some(flit) => {
-                        let class = flit.message_class();
-                        if flit.kind().is_head() {
-                            Self::fork_of(
-                                &mut self.fork_cache,
-                                &self.mesh,
-                                self.coord,
-                                vc_count,
-                                i,
-                                v,
-                                flit,
-                            )
-                            .iter()
-                            .any(|b| {
-                                let op = &self.outputs[b.port.index()];
-                                b.port.is_local()
-                                    || op
-                                        .peek_free_vc(class)
-                                        .is_some_and(|vc| op.has_credit(class, vc))
-                            })
-                        } else {
-                            let route = vcbuf
-                                .route()
-                                .expect("body flit must follow an allocated route");
-                            self.outputs[route.out_port.index()].has_credit(class, route.out_vc)
-                        }
-                    }
+                let Some(flit) = vcbuf.eligible_head(now) else {
+                    continue;
                 };
-                self.msa1_requests.push(eligible);
-                any |= eligible;
+                let class = flit.message_class();
+                let eligible = if flit.kind().is_head() {
+                    let fork = Self::fork_of(
+                        &mut self.fork_cache,
+                        &self.mesh,
+                        self.coord,
+                        vc_count,
+                        i,
+                        v,
+                        flit,
+                    );
+                    fork.ports().bits() & head_ok[class.index()] != 0
+                } else {
+                    let route = vcbuf
+                        .route()
+                        .expect("body flit must follow an allocated route");
+                    self.outputs[route.out_port.index()].credit_mask(class) & (1u32 << route.out_vc)
+                        != 0
+                };
+                requests |= u32::from(eligible) << v;
             }
-            if any {
+            if requests != 0 {
                 self.counters.sa_local_arbitrations += 1;
-                *winner = self.msa1[i].arbitrate(&self.msa1_requests);
+                *winner = self.msa1[i].arbitrate_mask(requests);
             }
         }
 
-        // Output-port requests of each mSA-I winner.
+        // Output-port requests of each mSA-I winner, transposed on the fly
+        // into one request word per output port (bit i = input port i).
         let mut requested: [Option<PortSet>; PORT_COUNT] = [None; PORT_COUNT];
+        let mut out_requests = [0u32; PORT_COUNT];
         for i in 0..PORT_COUNT {
             let Some(v) = winners[i] else { continue };
             let vcbuf = self.inputs[i].vc_at(v);
@@ -480,23 +527,19 @@ impl Router {
                 )
             };
             requested[i] = Some(ports);
+            transpose_requests(&mut out_requests, ports.bits(), i);
         }
 
         // mSA-II on the output ports not already taken by bypassing flits.
-        let mut granted = [[false; PORT_COUNT]; PORT_COUNT];
-        for p in 0..PORT_COUNT {
-            if output_used[p] {
+        // granted[i] is the PortSet (as raw bits) input port i won.
+        let mut granted = [0u8; PORT_COUNT];
+        for (p, &requests) in out_requests.iter().enumerate() {
+            if output_used[p] || requests == 0 {
                 continue;
             }
-            let port = Port::ALL[p];
-            let requests: Vec<bool> = (0..PORT_COUNT)
-                .map(|i| requested[i].is_some_and(|ps| ps.contains(port)))
-                .collect();
-            if requests.iter().any(|&r| r) {
-                self.counters.sa_global_arbitrations += 1;
-                if let Some(w) = self.msa2[p].arbitrate(&requests) {
-                    granted[w][p] = true;
-                }
+            self.counters.sa_global_arbitrations += 1;
+            if let Some(w) = self.msa2[p].arbitrate_mask(requests) {
+                granted[w] |= 1 << p;
             }
         }
 
@@ -507,8 +550,7 @@ impl Router {
             let Some(req_ports) = requested[i] else {
                 continue;
             };
-            let granted_ports: PortSet =
-                req_ports.iter().filter(|p| granted[i][p.index()]).collect();
+            let granted_ports = req_ports.intersection(PortSet::from_bits(granted[i]));
             if granted_ports.is_empty() {
                 continue;
             }
@@ -558,10 +600,7 @@ impl Router {
                 .fold(DestinationSet::empty(), |acc, b| acc.union(&b.destinations));
             let remaining = all_destinations.difference(&served);
             let flit = if remaining.is_empty() {
-                let popped = self.inputs[i]
-                    .vc_at_mut(v)
-                    .pop()
-                    .expect("winner has a head flit");
+                let popped = self.inputs[i].pop_flit(v).expect("winner has a head flit");
                 out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
                 popped
             } else {
@@ -748,7 +787,7 @@ impl Router {
                 }
                 self.counters.buffer_writes += 1;
                 let ready = now + self.config.kind.buffered_pipeline_delay();
-                self.inputs[i].vc_mut(class, vc).push(flit, ready);
+                self.inputs[i].push_flit(class, vc, flit, ready);
             }
             self.arrived_lookaheads[i] = None;
         }

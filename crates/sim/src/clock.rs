@@ -1,4 +1,5 @@
-//! The global cycle counter.
+//! The global cycle counter shared by every component of a simulated
+//! network (the chip is a single synchronous 1 GHz clock domain, §4).
 
 use noc_types::Cycle;
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,11 @@ impl Clock {
     /// Advances the clock by `cycles` cycles.
     pub fn advance(&mut self, cycles: Cycle) {
         self.now += cycles;
+    }
+
+    /// Rewinds the clock to cycle zero (warm network reset).
+    pub fn reset(&mut self) {
+        self.now = 0;
     }
 
     /// Converts a cycle count into nanoseconds at `frequency_ghz`.

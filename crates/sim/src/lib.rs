@@ -20,6 +20,13 @@
 //!   crossbar and link traversals, allocator arbitrations, lookaheads,
 //!   bypasses) that the power models in `noc-power` convert into energy.
 //!
+//! The clock, wheel and statistics all support an in-place `reset` that
+//! keeps their storage capacity — the kernel half of the warm network reset
+//! (`mesh_noc::Network::reset`) that lets experiment runners reuse one
+//! simulation across sweep points. The wheel's take/restore lifecycle and
+//! the zero-allocation contract are documented in `ARCHITECTURE.md` at the
+//! repository root.
+//!
 //! # Examples
 //!
 //! ```

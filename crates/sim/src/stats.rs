@@ -1,4 +1,11 @@
 //! Latency and throughput measurement.
+//!
+//! [`LatencyStats`] accumulates per-packet creation-to-last-reception
+//! latencies (the paper's "complete action" convention, §2.2) and
+//! [`ThroughputStats`] counts *received* flits (so a broadcast delivered to
+//! 15 destinations counts 15 times — the convention behind the 1024 Gb/s
+//! theoretical limit of Table 1). Both reset in place, keeping storage, for
+//! warm network reuse.
 
 use noc_types::Cycle;
 use serde::{Deserialize, Serialize};
@@ -51,6 +58,16 @@ impl LatencyStats {
             max: None,
             histogram: vec![0; Self::BINS],
         }
+    }
+
+    /// Forgets every recorded latency, keeping the histogram storage (warm
+    /// network reset).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.sum = 0;
+        self.min = None;
+        self.max = None;
+        self.histogram.fill(0);
     }
 
     /// Records one packet latency in cycles.
@@ -148,6 +165,11 @@ impl ThroughputStats {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Forgets every recorded injection and reception (warm network reset).
+    pub fn reset(&mut self) {
+        *self = Self::default();
     }
 
     /// Records the injection of a packet of `flits` flits at a source NIC.

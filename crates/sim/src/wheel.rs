@@ -269,6 +269,33 @@ impl<T> EventWheel<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.slots.iter().flat_map(RingQueue::iter)
     }
+
+    /// Drops every pending event and rewinds the cursor to cycle 0, keeping
+    /// each slot buffer's capacity — the wheel half of a warm network reset
+    /// (`mesh_noc::Network::reset`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_sim::EventWheel;
+    ///
+    /// let mut wheel: EventWheel<u32> = EventWheel::new(2);
+    /// wheel.schedule(1, 7);
+    /// wheel.reset();
+    /// assert_eq!(wheel.pending(), 0);
+    /// // The cursor is back at cycle 0, so cycle 1 can be scheduled again.
+    /// wheel.schedule(1, 8);
+    /// let mut due = wheel.take_due(0);
+    /// assert!(due.is_empty());
+    /// wheel.restore(due);
+    /// ```
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.now = 0;
+        self.pending = 0;
+    }
 }
 
 #[cfg(test)]

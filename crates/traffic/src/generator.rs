@@ -1,4 +1,6 @@
-//! Per-node traffic generators.
+//! Per-node traffic generators: the Bernoulli PRBS packet sources the
+//! chip's NICs implement in RTL (§4.1), including the identical-seed
+//! artifact the paper measures and the per-node-seed "fixed RTL" variant.
 
 use noc_sim::PrbsGenerator;
 use noc_types::{Cycle, DestinationSet, NodeId, Packet, PacketId, PacketKind, TrafficKind};

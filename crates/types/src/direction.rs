@@ -261,6 +261,23 @@ impl PortSet {
     pub fn bits(self) -> u8 {
         self.0
     }
+
+    /// Builds a port set back from its raw [`bits`](PortSet::bits)
+    /// representation; bits above the five port positions are ignored.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noc_types::{Port, PortSet};
+    ///
+    /// let set = PortSet::from_bits(0b00011);
+    /// assert_eq!(set, [Port::North, Port::East].into_iter().collect());
+    /// assert_eq!(PortSet::from_bits(set.bits()), set);
+    /// ```
+    #[must_use]
+    pub fn from_bits(bits: u8) -> PortSet {
+        PortSet(bits & 0b1_1111)
+    }
 }
 
 impl fmt::Debug for PortSet {
@@ -341,6 +358,14 @@ mod tests {
         let b: PortSet = [Port::East, Port::Local].into_iter().collect();
         assert_eq!(a.union(b).len(), 3);
         assert_eq!(a.intersection(b), PortSet::single(Port::East));
+    }
+
+    #[test]
+    fn portset_bits_round_trip_and_truncate() {
+        for bits in 0u8..=0b1_1111 {
+            assert_eq!(PortSet::from_bits(bits).bits(), bits);
+        }
+        assert_eq!(PortSet::from_bits(0xFF), PortSet::all());
     }
 
     #[test]

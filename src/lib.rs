@@ -4,6 +4,12 @@
 //! Limits of a Mesh NoC with a 16-Node Chip Prototype in 45nm SOI"*
 //! (Park et al., DAC 2012).
 //!
+//! `ARCHITECTURE.md`, at the repository root next to this crate's
+//! `Cargo.toml`, maps the full system: the crate layering, the event-wheel
+//! simulation core, the router's bitset allocation pipeline and the sweep
+//! determinism contract. `README.md` alongside it covers building and
+//! running the experiments.
+//!
 //! This crate re-exports the workspace members so that the examples in
 //! `examples/` and the integration tests in `tests/` can reach every layer of
 //! the system through a single dependency:

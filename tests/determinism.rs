@@ -2,9 +2,11 @@
 //!
 //! The parallel sweep runner is only sound because every simulation is a
 //! pure function of `(configuration, injection rate)`: these tests pin that
-//! property down — repeated sequential runs must agree byte for byte, and a
+//! property down — repeated sequential runs must agree byte for byte, a
 //! sweep sharded over N worker threads must reproduce the single-threaded
-//! curve exactly.
+//! curve exactly, and a *warm* network (reused across sweep points via
+//! `Network::reset`, all buffer capacity retained) must behave
+//! bit-identically to a cold-constructed one.
 
 use noc_repro::noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
 use noc_repro::traffic::SeedMode;
@@ -49,6 +51,35 @@ fn base_seed_changes_the_run() {
         default_seed, other_seed,
         "distinct base seeds must produce distinct traffic"
     );
+}
+
+#[test]
+fn warm_reset_matches_cold_construction() {
+    // A sweep point run on a warmed, reset simulation must equal the same
+    // point run on a freshly constructed one — the property that makes
+    // batching sweep points through one network per worker sound.
+    for variant in [
+        NetworkVariant::ProposedChip,
+        NetworkVariant::FullSwingUnicast,
+    ] {
+        let config = NocConfig::variant(variant)
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        // Warm one simulation across several (seed, rate) points...
+        let mut warm = Simulation::new(config).expect("valid configuration");
+        let points: [(u64, f64); 3] = [(0x0101, 0.04), (0xBEEF, 0.12), (0x7A5A, 0.22)];
+        for (seed, rate) in points {
+            warm.reset(seed);
+            let warm_result = warm.run(rate, 150, 600).expect("valid rate");
+            // ...and compare each against a cold simulation of that seed.
+            let cold_config = config.with_base_seed(seed as u16);
+            let cold_result = run_once(cold_config, rate);
+            assert_eq!(
+                warm_result, cold_result,
+                "{variant:?} seed {seed:#x} rate {rate} diverged warm vs cold"
+            );
+        }
+    }
 }
 
 #[test]

@@ -189,6 +189,37 @@ proptest! {
     }
 
     #[test]
+    fn round_robin_mask_agrees_with_slice_on_random_32bit_patterns(
+        patterns in proptest::collection::vec(0u32..u32::MAX, 1..40),
+        size in 1usize..=32,
+    ) {
+        // Drive a slice-based and a mask-based arbiter through the same
+        // request sequence; every pick and every internal rotation state
+        // must stay identical.
+        let mut slice_arb = RoundRobinArbiter::new(size);
+        let mut mask_arb = RoundRobinArbiter::new(size);
+        for pattern in patterns {
+            let requests: Vec<bool> = (0..size).map(|i| pattern >> i & 1 != 0).collect();
+            prop_assert_eq!(slice_arb.arbitrate(&requests), mask_arb.arbitrate_mask(pattern));
+            prop_assert_eq!(&slice_arb, &mask_arb);
+        }
+    }
+
+    #[test]
+    fn matrix_mask_agrees_with_slice_on_random_32bit_patterns(
+        patterns in proptest::collection::vec(0u32..u32::MAX, 1..40),
+        size in 1usize..=32,
+    ) {
+        let mut slice_arb = MatrixArbiter::new(size);
+        let mut mask_arb = MatrixArbiter::new(size);
+        for pattern in patterns {
+            let requests: Vec<bool> = (0..size).map(|i| pattern >> i & 1 != 0).collect();
+            prop_assert_eq!(slice_arb.arbitrate(&requests), mask_arb.arbitrate_mask(pattern));
+            prop_assert_eq!(&slice_arb, &mask_arb);
+        }
+    }
+
+    #[test]
     fn matrix_arbiter_never_starves_anyone(size in 2usize..6, rounds in 10usize..60) {
         let mut arb = MatrixArbiter::new(size);
         let mut wins = vec![0u32; size];

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fails when a markdown file contains a relative link to a path that does
+# not exist. Pure grep/sed — no network access, no extra dependencies.
+#
+# Usage: tools/check_links.sh FILE.md [FILE.md ...]
+set -euo pipefail
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: $0 FILE.md [FILE.md ...]" >&2
+    exit 2
+fi
+
+status=0
+for file in "$@"; do
+    if [ ! -f "$file" ]; then
+        echo "missing file: $file" >&2
+        status=1
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Extract every inline-link target `](target)`, then keep only the
+    # relative ones (no scheme, no pure intra-page anchor).
+    while IFS= read -r target; do
+        target=${target%%#*} # drop an anchor suffix
+        [ -z "$target" ] && continue
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        if [ ! -e "$dir/$target" ]; then
+            echo "$file: broken relative link -> $target" >&2
+            status=1
+        fi
+    done < <(grep -o ']([^)]*)' "$file" | sed 's/^](//;s/)$//' || true)
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "all relative links resolve"
+fi
+exit "$status"

@@ -3,26 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--jobs N] <experiment>...   # e.g. repro table1 fig5
-//! repro [--quick] [--jobs N] all               # every experiment in order
-//! repro list                                   # list experiment names
+//! repro [--quick] [--jobs N] [--json PATH] <experiment>...   # e.g. repro table1 fig5
+//! repro [--quick] [--jobs N] [--json PATH] all               # every experiment in order
+//! repro list                                                 # ids + descriptions
 //! ```
 //!
-//! `--jobs N` runs sweep-backed experiments (`fig5`, `fig13`, `stress8`)
-//! with N worker threads; results are bit-identical for any N. Whenever a
-//! run produces sweep data, a machine-readable `BENCH_sweep.json` (per-point
-//! rates, latencies, throughputs and wall-clock times) is written next to
-//! the printed tables.
+//! Experiments come from the typed registry (`noc_bench::REGISTRY`); `list`
+//! prints each id with its description. `--jobs N` runs sweep-backed
+//! experiments (`fig5`, `fig13`, `stress8`, `patterns`) with N worker
+//! threads; results are bit-identical for any N. Whenever a run produces
+//! sweep data, a machine-readable JSON document (per-point rates, latencies,
+//! throughputs and wall-clock times) is written next to the printed tables —
+//! `BENCH_sweep.json` by default, or the path given with `--json`.
 
 use std::process::ExitCode;
 
-use noc_bench::{run_experiment_full, sweep_records_json, Effort, SweepRecord, EXPERIMENTS};
+use noc_bench::{find_experiment, sweep_records_json, Effort, Experiment, SweepRecord, REGISTRY};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
     let mut jobs: usize = 1;
-    let mut names: Vec<String> = Vec::new();
+    let mut json_path = "BENCH_sweep.json".to_owned();
+    let mut selected: Vec<&'static dyn Experiment> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -40,41 +43,48 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--json" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--json needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                json_path = value;
+            }
             "list" => {
-                for name in EXPERIMENTS {
-                    println!("{name}");
+                let width = REGISTRY.iter().map(|e| e.id().len()).max().unwrap_or(0);
+                for experiment in REGISTRY {
+                    println!("{:width$}  {}", experiment.id(), experiment.description());
                 }
                 return ExitCode::SUCCESS;
             }
-            "all" => names.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
-            other => names.push(other.to_owned()),
+            "all" => selected.extend(REGISTRY.iter().copied()),
+            other => match find_experiment(other) {
+                Some(experiment) => selected.push(experiment),
+                None => {
+                    eprintln!("unknown experiment '{other}'; try `repro list`");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
-    if names.is_empty() {
-        eprintln!("usage: repro [--quick] [--jobs N] <experiment>... | all | list");
-        eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    if selected.is_empty() {
+        eprintln!("usage: repro [--quick] [--jobs N] [--json PATH] <experiment>... | all | list");
+        let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id()).collect();
+        eprintln!("experiments: {}", ids.join(", "));
         return ExitCode::FAILURE;
     }
     let mut sweeps: Vec<SweepRecord> = Vec::new();
-    for name in names {
-        match run_experiment_full(&name, effort, jobs) {
-            Some(output) => {
-                println!("==================================================================");
-                println!("{}", output.report);
-                sweeps.extend(output.sweeps);
-            }
-            None => {
-                eprintln!("unknown experiment '{name}'; try `repro list`");
-                return ExitCode::FAILURE;
-            }
-        }
+    for experiment in selected {
+        let report = experiment.run(effort, jobs);
+        println!("==================================================================");
+        println!("{}", report.render_text());
+        sweeps.extend(report.sweeps);
     }
     if !sweeps.is_empty() {
-        let path = "BENCH_sweep.json";
-        match std::fs::write(path, sweep_records_json(&sweeps)) {
-            Ok(()) => println!("wrote {path} ({} sweep(s))", sweeps.len()),
+        match std::fs::write(&json_path, sweep_records_json(&sweeps)) {
+            Ok(()) => println!("wrote {json_path} ({} sweep(s))", sweeps.len()),
             Err(err) => {
-                eprintln!("failed to write {path}: {err}");
+                eprintln!("failed to write {json_path}: {err}");
                 return ExitCode::FAILURE;
             }
         }

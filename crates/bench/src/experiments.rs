@@ -1,6 +1,8 @@
 //! One function per table / figure of the paper.
 
-use mesh_noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
+use mesh_noc::{
+    sweep, NetworkVariant, NocConfig, Scenario, Simulation, SimulationResult, SweepRunner,
+};
 use noc_circuit::{
     AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
     SenseAmpVariation, Wire,
@@ -11,10 +13,11 @@ use noc_power::{
 };
 use noc_topology::chips;
 use noc_topology::limits::{DatapathEnergy, MeshLimits};
-use noc_traffic::{SeedMode, TrafficMix};
+use noc_traffic::{SeedMode, SpatialPattern, TrafficMix};
 
 use crate::format::{num, pct, Table};
 use crate::record::SweepRecord;
+use crate::report::Report;
 
 /// How much simulation time to spend on the simulation-backed experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +155,9 @@ fn latency_throughput_full(
         .expect("valid preset")
         .with_mix(mix);
     let rates = effort.thin(rates);
-    let runner = SweepRunner::new(jobs).with_windows(effort.warmup(), effort.measure());
+    let runner = SweepRunner::new(jobs)
+        .with_windows(effort.warmup(), effort.measure())
+        .expect("effort windows are non-zero");
     let proposed_outcome = runner
         .run(proposed_cfg, &rates)
         .expect("built-in sweep configuration is valid");
@@ -294,7 +299,9 @@ pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
         .with_side(8)
         .with_seed_mode(SeedMode::PerNode);
     let rates = effort.thin(&[0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]);
-    let runner = SweepRunner::new(jobs).with_windows(effort.warmup(), effort.measure());
+    let runner = SweepRunner::new(jobs)
+        .with_windows(effort.warmup(), effort.measure())
+        .expect("effort windows are non-zero");
     let outcome = runner
         .run(config, &rates)
         .expect("built-in sweep configuration is valid");
@@ -333,6 +340,74 @@ pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
         if runner.jobs() == 1 { "" } else { "s" }
     ));
     (out, vec![record])
+}
+
+// ------------------------------------------------------------------- patterns
+
+/// `patterns`: a per-pattern saturation sweep of the proposed chip under
+/// unicast traffic, one curve per [`SpatialPattern`] family — uniform-random
+/// (unbiased resampling), transpose, bit-complement, bit-reverse, tornado,
+/// nearest-neighbour, shuffle and a four-corner hotspot. Not a paper figure:
+/// the chip's RTL only generates uniform traffic, but the pattern gallery is
+/// the standard way to expose routing pathologies that uniform traffic
+/// averages away. Quick effort sweeps the 4×4 chip; full effort adds the
+/// 8×8 scaled mesh.
+#[must_use]
+pub fn patterns_report(effort: Effort, jobs: usize) -> Report {
+    let runner = SweepRunner::new(jobs)
+        .with_windows(effort.warmup(), effort.measure())
+        .expect("effort windows are non-zero");
+    let mut report = Report::new("patterns");
+    let sides: &[u16] = match effort {
+        Effort::Quick => &[4],
+        Effort::Full => &[4, 8],
+    };
+    let mut sweeps = Vec::new();
+    for &k in sides {
+        let rates = effort.thin(&[0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95]);
+        let limits = MeshLimits::new(k);
+        let unicast_limit_gbps = limits.throughput_limit_gbps(false, 64, 1.0);
+        let mut table = Table::new([
+            "pattern",
+            "zero-load latency (cyc)",
+            "saturation thru (Gb/s)",
+            "saturation rate",
+            "fraction of uni limit",
+        ]);
+        for pattern in SpatialPattern::gallery(k) {
+            let scenario = Scenario::builder()
+                .mesh(k)
+                .pattern(pattern)
+                .mix(TrafficMix::unicast_only())
+                .seed_mode(SeedMode::PerNode)
+                .build()
+                .expect("the gallery validates on power-of-two meshes");
+            let outcome = scenario
+                .sweep(&runner, &rates)
+                .expect("built-in sweep configuration is valid");
+            let record =
+                SweepRecord::from_outcome("patterns", pattern.name(), k, runner.jobs(), &outcome);
+            table.row([
+                pattern.name().to_owned(),
+                num(record.zero_load_latency_cycles, 1),
+                num(record.saturation_gbps, 1),
+                num(record.saturation_rate, 3),
+                pct(record.saturation_gbps / unicast_limit_gbps),
+            ]);
+            sweeps.push(record);
+        }
+        let mut body = table.render();
+        body.push_str(&format!(
+            "\ntheoretical unicast throughput limit: {unicast_limit_gbps:.0} Gb/s \
+             (bisection-limited at {:.3} flits/node/cycle)\n",
+            limits.unicast_saturation_rate()
+        ));
+        report.push_section(
+            &format!("Pattern gallery - {k}x{k} proposed chip, unicast traffic, per-node seeds"),
+            body,
+        );
+    }
+    report.with_sweeps(sweeps)
 }
 
 // ---------------------------------------------------------------------- Fig 6

@@ -1,14 +1,27 @@
 //! # noc-bench
 //!
-//! The experiment harness: one function per table and figure of the paper,
-//! each returning a formatted text report with the reproduced rows/series
-//! (and, where the paper states them, the published values alongside for
-//! comparison). The `repro` binary exposes them as subcommands; the Criterion
-//! benches in `benches/` measure the performance of the underlying models.
+//! The experiment harness. Every table and figure of the paper (plus the
+//! simulator's own scaling scenarios) is an [`Experiment`] object in the
+//! typed [`REGISTRY`]: it has a stable id, a one-line description, and a
+//! `run(effort, jobs)` method returning a structured [`Report`] (titled
+//! sections plus machine-readable [`SweepRecord`]s, renderable as text or
+//! JSON). The `repro` binary iterates the registry; the Criterion benches in
+//! `benches/` measure the performance of the underlying models.
 //!
-//! Every simulation-backed experiment takes a [`Effort`] knob so that CI and
+//! Every simulation-backed experiment takes an [`Effort`] knob so that CI and
 //! the Criterion benches can run a quick variant while `repro` defaults to
 //! the full-size runs recorded in `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_bench::{registry, Effort};
+//!
+//! let table1 = registry::find("table1").expect("registered");
+//! let report = table1.run(Effort::Quick, 1);
+//! assert!(report.render_text().contains("Theoretical limits"));
+//! assert!(report.render_json().contains("\"experiment\": \"table1\""));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -16,63 +29,23 @@
 pub mod experiments;
 mod format;
 pub mod record;
+pub mod registry;
+mod report;
 
 pub use experiments::Effort;
 pub use format::Table;
 pub use record::{sweep_records_json, SweepPointRecord, SweepRecord};
+pub use registry::{find as find_experiment, Experiment, REGISTRY};
+pub use report::{Report, ReportSection};
 
-/// Names of all experiments as accepted by the `repro` binary: the paper's
-/// tables and figures in paper order, then the simulator's own scaling
-/// scenarios.
-pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig5", "fig6", "table3", "fig7", "table4", "fig8", "fig10", "fig11",
-    "fig12", "fig13", "zeroload", "headline", "stress8",
-];
-
-/// A finished experiment: the human-readable report and, for sweep-backed
-/// experiments, the machine-readable sweep records behind it.
-#[derive(Debug, Clone)]
-pub struct ExperimentOutput {
-    /// The rendered report text.
-    pub report: String,
-    /// Machine-readable sweep data (empty for analytic experiments).
-    pub sweeps: Vec<SweepRecord>,
-}
-
-/// Runs one experiment by name and returns its report.
+/// Runs one experiment by id and returns its rendered text report
+/// (convenience wrapper over [`registry::find`] for callers that don't need
+/// the structured [`Report`]).
 ///
-/// Returns `None` when the name is unknown.
+/// Returns `None` when the id is unknown.
 #[must_use]
-pub fn run_experiment(name: &str, effort: Effort) -> Option<String> {
-    run_experiment_full(name, effort, 1).map(|output| output.report)
-}
-
-/// Runs one experiment by name with `jobs` sweep worker threads, returning
-/// the report plus any machine-readable sweep records.
-///
-/// Returns `None` when the name is unknown. `jobs` only affects wall-clock
-/// time: sweep results are bit-identical for any thread count.
-#[must_use]
-pub fn run_experiment_full(name: &str, effort: Effort, jobs: usize) -> Option<ExperimentOutput> {
-    let (report, sweeps) = match name {
-        "table1" => (experiments::table1_report(), Vec::new()),
-        "table2" => (experiments::table2_report(), Vec::new()),
-        "fig5" => experiments::fig5_full(effort, jobs),
-        "fig6" => (experiments::fig6_report(effort), Vec::new()),
-        "table3" => (experiments::table3_report(), Vec::new()),
-        "fig7" => (experiments::fig7_report(), Vec::new()),
-        "table4" => (experiments::table4_report(), Vec::new()),
-        "fig8" => (experiments::fig8_report(effort), Vec::new()),
-        "fig10" => (experiments::fig10_report(), Vec::new()),
-        "fig11" => (experiments::fig11_report(), Vec::new()),
-        "fig12" => (experiments::fig12_report(), Vec::new()),
-        "fig13" => experiments::fig13_full(effort, jobs),
-        "zeroload" => (experiments::zero_load_report(effort), Vec::new()),
-        "headline" => (experiments::headline_report(effort), Vec::new()),
-        "stress8" => experiments::stress8_full(effort, jobs),
-        _ => return None,
-    };
-    Some(ExperimentOutput { report, sweeps })
+pub fn run_experiment(id: &str, effort: Effort) -> Option<String> {
+    registry::find(id).map(|e| e.run(effort, 1).render_text())
 }
 
 #[cfg(test)]
@@ -80,14 +53,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_listed_experiment_runs_in_quick_mode() {
-        for name in EXPERIMENTS {
-            let report = run_experiment(name, Effort::Quick)
-                .unwrap_or_else(|| panic!("experiment {name} missing"));
-            assert!(!report.is_empty(), "{name} produced an empty report");
+    fn every_registered_experiment_runs_in_quick_mode() {
+        for experiment in REGISTRY {
+            let report = experiment.run(Effort::Quick, 1);
+            assert_eq!(report.experiment, experiment.id());
+            let text = report.render_text();
             assert!(
-                report.contains('|') || report.contains(':'),
-                "{name} report looks empty"
+                !text.is_empty(),
+                "{} produced an empty report",
+                experiment.id()
+            );
+            assert!(
+                text.contains('|') || text.contains(':'),
+                "{} report looks empty",
+                experiment.id()
+            );
+            // The JSON rendering stays well-formed for every experiment.
+            let json = report.render_json();
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn sweep_backed_experiments_attach_records() {
+        for (id, expected_sweeps) in [("fig5", 2), ("stress8", 1), ("patterns", 8)] {
+            let report = find_experiment(id).unwrap().run(Effort::Quick, 2);
+            assert_eq!(
+                report.sweeps.len(),
+                expected_sweeps,
+                "{id} sweep record count"
             );
         }
     }

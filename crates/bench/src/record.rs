@@ -102,7 +102,7 @@ fn num(v: f64) -> String {
 
 /// A JSON string literal (the record fields only ever hold identifier-like
 /// names, but escape the essentials anyway).
-fn string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -119,58 +119,68 @@ fn string(s: &str) -> String {
     out
 }
 
+/// Renders one record as a JSON object with every line prefixed by `indent`
+/// (no trailing newline). Shared by [`sweep_records_json`] and the
+/// experiment-report JSON renderer.
+pub(crate) fn sweep_record_json(r: &SweepRecord, indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{indent}{{\n"));
+    out.push_str(&format!(
+        "{indent}  \"experiment\": {},\n",
+        json_string(&r.experiment)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"network\": {},\n",
+        json_string(&r.network)
+    ));
+    out.push_str(&format!("{indent}  \"k\": {},\n", r.k));
+    out.push_str(&format!("{indent}  \"jobs\": {},\n", r.jobs));
+    out.push_str(&format!(
+        "{indent}  \"zero_load_latency_cycles\": {},\n",
+        num(r.zero_load_latency_cycles)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"saturation_gbps\": {},\n",
+        num(r.saturation_gbps)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"saturation_rate\": {},\n",
+        num(r.saturation_rate)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"total_wall_ms\": {},\n",
+        num(r.total_wall_ms)
+    ));
+    out.push_str(&format!("{indent}  \"points\": [\n"));
+    for (pi, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"injection_rate\": {}, \"latency_cycles\": {}, \
+             \"p95_latency_cycles\": {}, \"received_gbps\": {}, \
+             \"received_flits_per_cycle\": {}, \"bypass_fraction\": {}, \
+             \"measured_packets\": {}, \"wall_ms\": {}}}{}\n",
+            num(p.injection_rate),
+            num(p.latency_cycles),
+            num(p.p95_latency_cycles),
+            num(p.received_gbps),
+            num(p.received_flits_per_cycle),
+            num(p.bypass_fraction),
+            p.measured_packets,
+            num(p.wall_ms),
+            if pi + 1 == r.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!("{indent}  ]\n"));
+    out.push_str(&format!("{indent}}}"));
+    out
+}
+
 /// Renders `records` as the `BENCH_sweep.json` document.
 #[must_use]
 pub fn sweep_records_json(records: &[SweepRecord]) -> String {
     let mut out = String::from("{\n  \"sweeps\": [\n");
     for (ri, r) in records.iter().enumerate() {
-        out.push_str("    {\n");
-        out.push_str(&format!(
-            "      \"experiment\": {},\n",
-            string(&r.experiment)
-        ));
-        out.push_str(&format!("      \"network\": {},\n", string(&r.network)));
-        out.push_str(&format!("      \"k\": {},\n", r.k));
-        out.push_str(&format!("      \"jobs\": {},\n", r.jobs));
-        out.push_str(&format!(
-            "      \"zero_load_latency_cycles\": {},\n",
-            num(r.zero_load_latency_cycles)
-        ));
-        out.push_str(&format!(
-            "      \"saturation_gbps\": {},\n",
-            num(r.saturation_gbps)
-        ));
-        out.push_str(&format!(
-            "      \"saturation_rate\": {},\n",
-            num(r.saturation_rate)
-        ));
-        out.push_str(&format!(
-            "      \"total_wall_ms\": {},\n",
-            num(r.total_wall_ms)
-        ));
-        out.push_str("      \"points\": [\n");
-        for (pi, p) in r.points.iter().enumerate() {
-            out.push_str(&format!(
-                "        {{\"injection_rate\": {}, \"latency_cycles\": {}, \
-                 \"p95_latency_cycles\": {}, \"received_gbps\": {}, \
-                 \"received_flits_per_cycle\": {}, \"bypass_fraction\": {}, \
-                 \"measured_packets\": {}, \"wall_ms\": {}}}{}\n",
-                num(p.injection_rate),
-                num(p.latency_cycles),
-                num(p.p95_latency_cycles),
-                num(p.received_gbps),
-                num(p.received_flits_per_cycle),
-                num(p.bypass_fraction),
-                p.measured_packets,
-                num(p.wall_ms),
-                if pi + 1 == r.points.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("      ]\n");
-        out.push_str(&format!(
-            "    }}{}\n",
-            if ri + 1 == records.len() { "" } else { "," }
-        ));
+        out.push_str(&sweep_record_json(r, "    "));
+        out.push_str(if ri + 1 == records.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -233,6 +243,6 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
     }
 }

@@ -1,0 +1,165 @@
+//! Structured experiment reports.
+//!
+//! An [`Experiment`](crate::Experiment) returns a [`Report`] — titled
+//! sections of rendered text plus the machine-readable
+//! [`SweepRecord`]s behind any simulation sweeps — instead of a bare
+//! `String`. The text renderer reproduces the classic `repro` console
+//! output; the JSON renderer makes the same report consumable by plotting
+//! and CI tooling without scraping tables.
+
+use crate::record::{self, SweepRecord};
+
+/// One titled block of a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSection {
+    /// Section heading (may be empty for a single untitled body).
+    pub title: String,
+    /// Rendered text of the section (tables, summary lines, ...).
+    pub body: String,
+}
+
+/// A finished experiment: structured sections plus machine-readable sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Experiment id this report belongs to (e.g. `fig5`, `patterns`).
+    pub experiment: String,
+    /// The report's sections, in presentation order.
+    pub sections: Vec<ReportSection>,
+    /// Machine-readable sweep data (empty for analytic experiments); emitted
+    /// into `BENCH_sweep.json` by the `repro` binary.
+    pub sweeps: Vec<SweepRecord>,
+}
+
+impl Report {
+    /// An empty report for `experiment`.
+    #[must_use]
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_owned(),
+            sections: Vec::new(),
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// A report whose whole body is one untitled section — the adapter for
+    /// report text produced by the classic per-figure formatters.
+    #[must_use]
+    pub fn from_text(experiment: &str, body: String) -> Self {
+        let mut report = Self::new(experiment);
+        report.push_section("", body);
+        report
+    }
+
+    /// Appends a section.
+    pub fn push_section(&mut self, title: &str, body: impl Into<String>) {
+        self.sections.push(ReportSection {
+            title: title.to_owned(),
+            body: body.into(),
+        });
+    }
+
+    /// Builder-style [`push_section`](Self::push_section).
+    #[must_use]
+    pub fn with_section(mut self, title: &str, body: impl Into<String>) -> Self {
+        self.push_section(title, body);
+        self
+    }
+
+    /// Attaches machine-readable sweep records.
+    #[must_use]
+    pub fn with_sweeps(mut self, sweeps: Vec<SweepRecord>) -> Self {
+        self.sweeps.extend(sweeps);
+        self
+    }
+
+    /// Renders the report as console text: each titled section becomes a
+    /// heading followed by its body; untitled sections render their body
+    /// verbatim (keeping the classic `repro` output stable).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            if !section.title.is_empty() {
+                out.push_str(&section.title);
+                out.push_str("\n\n");
+            }
+            out.push_str(&section.body);
+            if !section.body.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a self-contained JSON document (same dialect as
+    /// `BENCH_sweep.json`: finite numbers, escaped strings, no external
+    /// serialisation dependency).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": {},\n",
+            record::json_string(&self.experiment)
+        ));
+        out.push_str("  \"sections\": [\n");
+        for (i, s) in self.sections.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"title\": {}, \"body\": {}}}{}\n",
+                record::json_string(&s.title),
+                record::json_string(&s.body),
+                if i + 1 == self.sections.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sweeps\": [\n");
+        for (i, sweep) in self.sweeps.iter().enumerate() {
+            out.push_str(&record::sweep_record_json(sweep, "    "));
+            out.push_str(if i + 1 == self.sweeps.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_keeps_untitled_bodies_verbatim() {
+        let report = Report::from_text("table1", "body line\n".to_owned());
+        assert_eq!(report.render_text(), "body line\n");
+    }
+
+    #[test]
+    fn titled_sections_render_headings_and_separators() {
+        let report = Report::new("patterns")
+            .with_section("4x4 sweep", "a | b\n")
+            .with_section("8x8 sweep", "c | d");
+        let text = report.render_text();
+        assert!(text.contains("4x4 sweep\n\na | b\n"));
+        assert!(text.contains("\n8x8 sweep\n\nc | d\n"));
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_escaped() {
+        let report = Report::new("demo").with_section("t\"itle", "line1\nline2");
+        let json = report.render_json();
+        assert!(json.contains("\"experiment\": \"demo\""));
+        assert!(json.contains("t\\\"itle"));
+        assert!(json.contains("line1\\nline2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -2,7 +2,7 @@
 
 use noc_power::EnergyParams;
 use noc_router::RouterConfig;
-use noc_traffic::{SeedMode, TrafficMix};
+use noc_traffic::{SeedMode, SpatialPattern, TrafficMix};
 use noc_types::{ConfigError, NocError};
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +100,12 @@ pub struct NocConfig {
     pub datapath: DatapathKind,
     /// Traffic mix injected by every NIC.
     pub mix: TrafficMix,
+    /// Spatial pattern every NIC draws unicast destinations through. The
+    /// presets use [`SpatialPattern::uniform_legacy`] — bit-identical to the
+    /// chip RTL's inline PRBS draw — so all historical curves reproduce
+    /// exactly; swap in any other pattern with
+    /// [`with_pattern`](NocConfig::with_pattern).
+    pub pattern: SpatialPattern,
     /// PRBS seeding discipline of the NICs.
     pub seed_mode: SeedMode,
     /// Base seed the NIC PRBS generators boot from (combined with the node
@@ -129,6 +135,7 @@ impl NocConfig {
             router: variant.router_config(),
             datapath: variant.datapath(),
             mix: TrafficMix::mixed(),
+            pattern: SpatialPattern::uniform_legacy(),
             seed_mode: SeedMode::Identical,
             base_seed: noc_traffic::TrafficGenerator::DEFAULT_BASE_SEED,
             frequency_ghz: 1.0,
@@ -153,6 +160,13 @@ impl NocConfig {
     #[must_use]
     pub fn with_mix(mut self, mix: TrafficMix) -> Self {
         self.mix = mix;
+        self
+    }
+
+    /// Replaces the spatial traffic pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: SpatialPattern) -> Self {
+        self.pattern = pattern;
         self
     }
 
@@ -217,6 +231,7 @@ impl NocConfig {
         if self.k == 0 || self.k > 16 {
             return Err(ConfigError::InvalidMeshSide { k: self.k }.into());
         }
+        self.pattern.validate(self.k)?;
         self.router.validate()?;
         if self.frequency_ghz <= 0.0 {
             return Err(ConfigError::InvalidVcConfig {
@@ -305,6 +320,19 @@ mod tests {
             cfg.validate().is_err(),
             "zero credit delay must be rejected"
         );
+    }
+
+    #[test]
+    fn pattern_validation_rides_config_validation() {
+        let chip = NocConfig::proposed_chip().unwrap();
+        assert_eq!(chip.pattern, SpatialPattern::uniform_legacy());
+        assert!(chip
+            .with_pattern(SpatialPattern::Transpose)
+            .validate()
+            .is_ok());
+        // Bit permutations need a power-of-two node count: 5×5 = 25 fails.
+        let bad = chip.with_side(5).with_pattern(SpatialPattern::BitReverse);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

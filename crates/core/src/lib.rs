@@ -12,6 +12,11 @@
 //! * [`NocConfig`] / [`NetworkVariant`] — configuration presets for every
 //!   network the paper measures: the textbook and aggressive baselines, the
 //!   four power-study variants A–D of Fig. 6, and the fabricated chip.
+//! * [`Scenario`] / [`ScenarioBuilder`] — fluent construction of a validated
+//!   configuration plus operating point
+//!   (`Scenario::builder().variant(..).mesh(8).pattern(..).rate(0.6)`), so
+//!   examples and tests stop hand-assembling configs. Spatial traffic
+//!   patterns themselves live in `noc-traffic` ([`noc_traffic::SpatialPattern`]).
 //! * [`Network`] — the cycle-accurate orchestrator that wires 16 routers
 //!   (from `noc-router`) and 16 NICs together, advances them cycle by cycle
 //!   and keeps latency / throughput / activity statistics.
@@ -49,6 +54,7 @@ mod config;
 mod network;
 mod nic;
 mod result;
+mod scenario;
 mod simulation;
 pub mod sweep;
 
@@ -56,5 +62,6 @@ pub use config::{DatapathKind, NetworkVariant, NocConfig};
 pub use network::Network;
 pub use nic::{Nic, Reception};
 pub use result::SimulationResult;
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use simulation::Simulation;
 pub use sweep::{SweepOutcome, SweepPointOutcome, SweepRunner};

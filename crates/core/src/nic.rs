@@ -82,10 +82,11 @@ impl Nic {
     /// `rate` flits/cycle.
     #[must_use]
     pub fn new(config: &NocConfig, mesh: Mesh, node: NodeId, rate: f64) -> Self {
-        let generator = TrafficGenerator::with_base_seed(
+        let generator = TrafficGenerator::with_pattern(
             node,
             config.k,
             config.mix,
+            config.pattern,
             config.seed_mode,
             rate,
             config.base_seed,
@@ -122,10 +123,11 @@ impl Nic {
     /// simulation run performs, makes the warm NIC indistinguishable from a
     /// cold one).
     pub fn reset(&mut self, config: &NocConfig) {
-        self.generator = TrafficGenerator::with_base_seed(
+        self.generator = TrafficGenerator::with_pattern(
             self.node,
             config.k,
             config.mix,
+            config.pattern,
             config.seed_mode,
             self.generator.rate(),
             config.base_seed,

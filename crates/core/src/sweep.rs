@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use noc_topology::limits::MeshLimits;
-use noc_types::NocError;
+use noc_types::{ConfigError, NocError};
 use serde::{Deserialize, Serialize};
 
 use crate::config::NocConfig;
@@ -179,12 +179,25 @@ impl SweepRunner {
         }
     }
 
-    /// Replaces the warmup and measurement windows (cycles).
-    #[must_use]
-    pub fn with_windows(mut self, warmup_cycles: u64, measure_cycles: u64) -> Self {
+    /// Replaces the warmup and measurement windows (cycles). A zero-cycle
+    /// warmup is legal (measurement starts cold); a zero-cycle measurement
+    /// window is not — it would divide every throughput by zero and poison
+    /// the curve with NaNs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidSweepWindow`] when `measure_cycles == 0`.
+    pub fn with_windows(
+        mut self,
+        warmup_cycles: u64,
+        measure_cycles: u64,
+    ) -> Result<Self, NocError> {
+        if measure_cycles == 0 {
+            return Err(ConfigError::InvalidSweepWindow { measure_cycles }.into());
+        }
         self.warmup_cycles = warmup_cycles;
         self.measure_cycles = measure_cycles;
-        self
+        Ok(self)
     }
 
     /// Number of worker threads this runner uses.
@@ -317,7 +330,7 @@ pub fn sweep(
     measure_cycles: u64,
 ) -> Result<SweepCurve, NocError> {
     SweepRunner::new(1)
-        .with_windows(warmup_cycles, measure_cycles)
+        .with_windows(warmup_cycles, measure_cycles)?
         .run(config, rates)
         .map(|outcome| outcome.curve)
 }
@@ -341,7 +354,7 @@ pub fn compare(
     measure_cycles: u64,
 ) -> Result<SweepComparison, NocError> {
     compare_with(
-        &SweepRunner::new(1).with_windows(warmup_cycles, measure_cycles),
+        &SweepRunner::new(1).with_windows(warmup_cycles, measure_cycles)?,
         proposed,
         baseline,
         rates,
@@ -489,6 +502,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_measurement_windows_are_rejected_with_a_config_error() {
+        let err = SweepRunner::new(1).with_windows(100, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            NocError::Config(ConfigError::InvalidSweepWindow { measure_cycles: 0 })
+        ));
+        // The error surfaces through the convenience entry points too.
+        let config = NocConfig::proposed_chip().unwrap();
+        assert!(sweep(config, &[0.02], 100, 0).is_err());
+        assert!(compare(config, config, &[0.02], 100, 0).is_err());
+        // A zero warmup stays legal.
+        assert!(SweepRunner::new(1).with_windows(0, 100).is_ok());
+    }
+
+    #[test]
     fn parallel_and_sequential_runners_agree_exactly() {
         let config = NocConfig::proposed_chip()
             .unwrap()
@@ -496,10 +524,12 @@ mod tests {
         let rates = [0.02, 0.08, 0.14, 0.2, 0.26];
         let sequential = SweepRunner::new(1)
             .with_windows(100, 400)
+            .unwrap()
             .run(config, &rates)
             .unwrap();
         let parallel = SweepRunner::new(4)
             .with_windows(100, 400)
+            .unwrap()
             .run(config, &rates)
             .unwrap();
         assert_eq!(sequential.curve, parallel.curve);

@@ -7,6 +7,7 @@ use noc_types::{Cycle, DestinationSet, NodeId, Packet, PacketId, PacketKind, Tra
 use serde::{Deserialize, Serialize};
 
 use crate::mix::TrafficMix;
+use crate::pattern::SpatialPattern;
 
 /// How the per-node PRBS generators are seeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,12 +28,14 @@ pub enum SeedMode {
 /// Each cycle the generator flips a PRBS coin with probability
 /// `rate / expected_flits_per_packet` (so that `rate` is the *flit* injection
 /// rate the paper's throughput axes use), picks a packet kind from the
-/// configured [`TrafficMix`], and draws a uniform destination for unicasts.
+/// configured [`TrafficMix`], and draws a unicast destination through the
+/// configured [`SpatialPattern`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficGenerator {
     node: NodeId,
     k: u16,
     mix: TrafficMix,
+    pattern: SpatialPattern,
     rate: f64,
     prbs: PrbsGenerator,
     next_packet_seq: u64,
@@ -62,6 +65,9 @@ impl TrafficGenerator {
     /// point index)` — the property that makes parallel and sequential sweeps
     /// bit-identical.
     ///
+    /// Destinations follow [`SpatialPattern::uniform_legacy`]; use
+    /// [`with_pattern`](Self::with_pattern) to choose any other pattern.
+    ///
     /// # Panics
     ///
     /// Panics if `rate` is negative or `k == 0`.
@@ -70,6 +76,36 @@ impl TrafficGenerator {
         node: NodeId,
         k: u16,
         mix: TrafficMix,
+        seed_mode: SeedMode,
+        rate: f64,
+        base_seed: u16,
+    ) -> Self {
+        Self::with_pattern(
+            node,
+            k,
+            mix,
+            SpatialPattern::uniform_legacy(),
+            seed_mode,
+            rate,
+            base_seed,
+        )
+    }
+
+    /// Creates a generator drawing unicast destinations through `pattern`.
+    ///
+    /// This is the fully general constructor the NICs use; the narrower
+    /// [`new`](Self::new) / [`with_base_seed`](Self::with_base_seed) default
+    /// to the chip's uniform-random pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or `k == 0`.
+    #[must_use]
+    pub fn with_pattern(
+        node: NodeId,
+        k: u16,
+        mix: TrafficMix,
+        pattern: SpatialPattern,
         seed_mode: SeedMode,
         rate: f64,
         base_seed: u16,
@@ -84,6 +120,7 @@ impl TrafficGenerator {
             node,
             k,
             mix,
+            pattern,
             rate,
             prbs: PrbsGenerator::new(seed),
             next_packet_seq: 0,
@@ -114,6 +151,12 @@ impl TrafficGenerator {
         &self.mix
     }
 
+    /// Spatial pattern unicast destinations are drawn through.
+    #[must_use]
+    pub fn pattern(&self) -> &SpatialPattern {
+        &self.pattern
+    }
+
     /// Number of packets generated so far.
     #[must_use]
     pub fn generated_packets(&self) -> u64 {
@@ -137,17 +180,13 @@ impl TrafficGenerator {
     /// deterministic workloads that bypass the Bernoulli process).
     pub fn build_packet(&mut self, kind: TrafficKind, cycle: Cycle) -> Packet {
         let id = self.packet_id();
-        let nodes = self.k * self.k;
         let (dests, packet_kind) = match kind {
             TrafficKind::BroadcastRequest => (
                 DestinationSet::broadcast(self.k, self.node),
                 PacketKind::Request,
             ),
             TrafficKind::UnicastRequest | TrafficKind::UnicastResponse => {
-                let mut dest = self.prbs.next_below(nodes);
-                if dest == self.node {
-                    dest = (dest + 1) % nodes;
-                }
+                let dest = self.pattern.draw(&mut self.prbs, self.node, self.k);
                 let packet_kind = if kind == TrafficKind::UnicastRequest {
                     PacketKind::Request
                 } else {
@@ -265,6 +304,35 @@ mod tests {
             }
         }
         assert!(differs, "per-node seeds must decorrelate the processes");
+    }
+
+    #[test]
+    fn pattern_threads_through_to_unicast_destinations() {
+        use crate::pattern::SpatialPattern;
+        // Node 6 = (2, 1) on 4×4; transpose target = (1, 2) = node 9.
+        let mut gen = TrafficGenerator::with_pattern(
+            6,
+            4,
+            TrafficMix::unicast_requests_only(),
+            SpatialPattern::Transpose,
+            SeedMode::PerNode,
+            1.0,
+            TrafficGenerator::DEFAULT_BASE_SEED,
+        );
+        for c in 0..200 {
+            if let Some(p) = gen.generate(c) {
+                assert!(p.destinations().contains(9));
+                assert_eq!(p.destinations().len(), 1);
+            }
+        }
+        assert_eq!(gen.pattern(), &SpatialPattern::Transpose);
+    }
+
+    #[test]
+    fn default_constructors_use_the_legacy_uniform_pattern() {
+        use crate::pattern::SpatialPattern;
+        let gen = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.1);
+        assert_eq!(gen.pattern(), &SpatialPattern::uniform_legacy());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! * **broadcast-only traffic** — 100% broadcast requests (Fig. 13).
 //!
 //! This crate provides [`TrafficMix`] (the packet-kind distribution),
-//! [`SeedMode`] (identical seeds on every NIC — the chip artifact — or
-//! distinct per-node seeds) and [`TrafficGenerator`] (one per node, producing
-//! [`noc_types::Packet`]s as a Bernoulli process of a given flit injection
-//! rate).
+//! [`SpatialPattern`] (the map from a sender to its unicast destinations:
+//! uniform-random, transpose, bit permutations, tornado, nearest-neighbour,
+//! shuffle and weighted hotspots), [`SeedMode`] (identical seeds on every
+//! NIC — the chip artifact — or distinct per-node seeds) and
+//! [`TrafficGenerator`] (one per node, producing [`noc_types::Packet`]s as a
+//! Bernoulli process of a given flit injection rate).
 //!
 //! # Examples
 //!
@@ -34,6 +36,8 @@
 
 mod generator;
 mod mix;
+mod pattern;
 
 pub use generator::{SeedMode, TrafficGenerator};
 pub use mix::TrafficMix;
+pub use pattern::{CollisionPolicy, SpatialPattern};

@@ -27,6 +27,18 @@ pub enum ConfigError {
         /// The sum of the provided fractions.
         sum: f64,
     },
+    /// A spatial traffic pattern cannot run on the configured mesh (wrong
+    /// node count, malformed hotspot parameters, ...).
+    InvalidPattern {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A sweep measurement window is empty: zero measured cycles would turn
+    /// every throughput (and most latencies) into NaN downstream.
+    InvalidSweepWindow {
+        /// The offending measurement window, in cycles.
+        measure_cycles: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -49,6 +61,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidTrafficMix { sum } => {
                 write!(f, "traffic mix fractions sum to {sum}, expected 1.0")
+            }
+            ConfigError::InvalidPattern { reason } => {
+                write!(f, "invalid spatial traffic pattern: {reason}")
+            }
+            ConfigError::InvalidSweepWindow { measure_cycles } => {
+                write!(
+                    f,
+                    "sweep measurement window must be at least one cycle, got {measure_cycles}"
+                )
             }
         }
     }

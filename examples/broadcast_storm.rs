@@ -7,18 +7,22 @@
 //!
 //! Run with: `cargo run --release --example broadcast_storm`
 
-use noc_repro::noc::{sweep, NetworkVariant, NocConfig};
+use noc_repro::noc::{sweep, NetworkVariant, Scenario};
 use noc_repro::traffic::{SeedMode, TrafficMix};
 use noc_repro::types::NocError;
 
 fn main() -> Result<(), NocError> {
     let rates = [0.005, 0.015, 0.03, 0.045, 0.06, 0.075];
-    let proposed = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)?
-        .with_mix(TrafficMix::broadcast_only())
-        .with_seed_mode(SeedMode::PerNode);
-    let baseline = NocConfig::variant(NetworkVariant::FullSwingUnicast)?
-        .with_mix(TrafficMix::broadcast_only())
-        .with_seed_mode(SeedMode::PerNode);
+    let storm = |variant| {
+        Scenario::builder()
+            .variant(variant)
+            .mix(TrafficMix::broadcast_only())
+            .seed_mode(SeedMode::PerNode)
+            .build()
+            .map(|scenario| *scenario.config())
+    };
+    let proposed = storm(NetworkVariant::LowSwingBroadcastBypass)?;
+    let baseline = storm(NetworkVariant::FullSwingUnicast)?;
 
     println!(
         "== broadcast storm: proposed (router-level multicast) vs baseline (NIC duplication) =="

@@ -9,7 +9,7 @@
 //! bit-identically to a cold-constructed one.
 
 use noc_repro::noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
-use noc_repro::traffic::SeedMode;
+use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficMix};
 
 fn run_once(config: NocConfig, rate: f64) -> SimulationResult {
     let mut sim = Simulation::new(config).expect("valid configuration");
@@ -94,11 +94,13 @@ fn sweep_runner_matches_single_thread_exactly() {
             .with_seed_mode(SeedMode::PerNode);
         let single = SweepRunner::new(1)
             .with_windows(100, 400)
+            .unwrap()
             .run(config, &rates)
             .unwrap();
         for jobs in [2, 3, 8] {
             let sharded = SweepRunner::new(jobs)
                 .with_windows(100, 400)
+                .unwrap()
                 .run(config, &rates)
                 .unwrap();
             assert_eq!(
@@ -127,7 +129,58 @@ fn legacy_sweep_entry_point_agrees_with_the_runner() {
     let via_fn = sweep::sweep(config, &rates, 100, 400).unwrap();
     let via_runner = SweepRunner::new(4)
         .with_windows(100, 400)
+        .unwrap()
         .run(config, &rates)
         .unwrap();
     assert_eq!(via_fn, via_runner.curve);
+}
+
+#[test]
+fn non_uniform_patterns_keep_every_determinism_guarantee() {
+    // The pattern abstraction must not leak scheduling into the traffic:
+    // for a deterministic permutation, a PRBS-consuming hotspot and the
+    // unbiased resampling uniform, a sweep sharded over N threads (warm
+    // batched networks and all) must reproduce the single-threaded curve
+    // bit for bit, and repeated runs must agree exactly.
+    let rates = [0.05, 0.25, 0.45, 0.65];
+    for pattern in [
+        SpatialPattern::Transpose,
+        SpatialPattern::uniform(),
+        SpatialPattern::corner_hotspot(4, 0.5),
+    ] {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_mix(TrafficMix::unicast_only())
+            .with_seed_mode(SeedMode::PerNode)
+            .with_pattern(pattern);
+        let single = SweepRunner::new(1)
+            .with_windows(100, 400)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        for jobs in [2, 5] {
+            let sharded = SweepRunner::new(jobs)
+                .with_windows(100, 400)
+                .unwrap()
+                .run(config, &rates)
+                .unwrap();
+            assert_eq!(
+                single.curve, sharded.curve,
+                "{pattern:?} with {jobs} threads produced a different curve"
+            );
+            for (s, p) in single.points.iter().zip(sharded.points.iter()) {
+                assert_eq!(
+                    s.result, p.result,
+                    "{pattern:?} rate {} diverged at {jobs} threads",
+                    s.injection_rate
+                );
+            }
+        }
+        let again = run_once(config, 0.25);
+        assert_eq!(
+            again,
+            run_once(config, 0.25),
+            "{pattern:?} repeated runs diverged"
+        );
+    }
 }

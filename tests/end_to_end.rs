@@ -1,9 +1,9 @@
 //! Integration tests spanning the whole stack: traffic generation, NICs,
 //! routers, network orchestration, statistics and power accounting.
 
-use noc_repro::noc::{sweep, Network, NetworkVariant, NocConfig, Simulation};
+use noc_repro::noc::{sweep, Network, NetworkVariant, NocConfig, Scenario, Simulation};
 use noc_repro::topology::limits::MeshLimits;
-use noc_repro::traffic::{SeedMode, TrafficMix};
+use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficMix};
 
 fn per_node(config: NocConfig) -> NocConfig {
     config.with_seed_mode(SeedMode::PerNode)
@@ -196,6 +196,60 @@ fn workspace_smoke_canary() {
         result.average_latency_cycles
     );
     assert!(result.measured_packets > 0, "the run must measure packets");
+}
+
+#[test]
+fn friendly_patterns_beat_adversarial_ones_on_low_load_latency() {
+    // Nearest-neighbour unicasts travel 1 hop (or k-1 on the wrap); the
+    // bit-complement permutation crosses the whole mesh. At low load the
+    // measured latency gap must reflect the hop-count gap.
+    let run = |pattern| {
+        Scenario::builder()
+            .pattern(pattern)
+            .mix(TrafficMix::unicast_only())
+            .seed_mode(SeedMode::PerNode)
+            .rate(0.05)
+            .build()
+            .expect("valid scenario")
+            .run(300, 2_000)
+            .expect("valid rate")
+            .average_latency_cycles
+    };
+    let neighbor = run(SpatialPattern::NearestNeighbor);
+    let complement = run(SpatialPattern::BitComplement);
+    assert!(
+        neighbor + 1.0 < complement,
+        "nearest-neighbor {neighbor:.1} cycles should clearly beat bit-complement {complement:.1}"
+    );
+}
+
+#[test]
+fn pattern_networks_conserve_flits() {
+    for pattern in SpatialPattern::gallery(4) {
+        let config = per_node(NocConfig::proposed_chip().unwrap())
+            .with_mix(TrafficMix::unicast_only())
+            .with_pattern(pattern);
+        let mut network = Network::new(config, 0.1).unwrap();
+        network.set_measuring(true);
+        for _ in 0..1_200 {
+            network.step(true);
+        }
+        for _ in 0..4_000 {
+            network.step(false);
+        }
+        assert_eq!(
+            network.in_flight_flits(),
+            0,
+            "{}: network must drain completely",
+            pattern.name()
+        );
+        assert_eq!(
+            network.outstanding_tracked_packets(),
+            0,
+            "{}: every packet must reach its destination",
+            pattern.name()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Golden tests: the pattern abstraction must not move a single bit of the
+//! historical traffic.
+//!
+//! The destination sequences and sweep-point values below were captured from
+//! the generator *before* `SpatialPattern` existed (when the uniform draw
+//! was inlined in `TrafficGenerator::build_packet`). The default pattern —
+//! [`SpatialPattern::uniform_legacy`], with its successor-skip collision
+//! handling — must reproduce them exactly; updating these constants is a
+//! deliberate act, not a side effect of a refactor.
+
+use noc_repro::noc::{NetworkVariant, NocConfig, SweepRunner};
+use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficGenerator, TrafficMix};
+use noc_repro::types::TrafficKind;
+
+/// First 48 unicast destinations of node 5 on a 4×4 mesh, per-node seeding,
+/// default base seed — captured pre-refactor.
+const NODE5_PERNODE_DESTS: [u16; 48] = [
+    13, 12, 11, 0, 2, 14, 10, 0, 11, 9, 1, 14, 3, 15, 14, 6, 2, 10, 11, 13, 14, 6, 8, 7, 2, 14, 8,
+    4, 11, 13, 9, 8, 14, 2, 10, 3, 2, 13, 11, 14, 10, 0, 10, 8, 4, 10, 9, 4,
+];
+
+/// First 48 unicast destinations of node 0 with the chip's identical-seed
+/// artifact — captured pre-refactor.
+const NODE0_IDENTICAL_DESTS: [u16; 48] = [
+    1, 15, 13, 7, 14, 5, 14, 8, 5, 13, 3, 1, 14, 5, 1, 9, 6, 9, 15, 14, 5, 7, 4, 1, 12, 7, 3, 15,
+    14, 4, 3, 15, 15, 7, 5, 1, 13, 8, 6, 15, 9, 2, 14, 13, 12, 10, 5, 8,
+];
+
+fn dest_sequence(node: u16, seed_mode: SeedMode) -> Vec<u16> {
+    let mut gen = TrafficGenerator::with_base_seed(
+        node,
+        4,
+        TrafficMix::unicast_requests_only(),
+        seed_mode,
+        1.0,
+        TrafficGenerator::DEFAULT_BASE_SEED,
+    );
+    (0..48)
+        .map(|c| {
+            let p = gen.build_packet(TrafficKind::UnicastRequest, c);
+            p.destinations().iter().next().unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn uniform_legacy_reproduces_the_pre_refactor_destination_stream_bit_for_bit() {
+    assert_eq!(dest_sequence(5, SeedMode::PerNode), NODE5_PERNODE_DESTS);
+    assert_eq!(dest_sequence(0, SeedMode::Identical), NODE0_IDENTICAL_DESTS);
+}
+
+#[test]
+fn the_resampling_uniform_is_a_deliberate_distribution_change() {
+    // The unbiased pattern shares the PRBS stream but resamples collisions,
+    // so its sequence must diverge from the captured legacy stream exactly
+    // where the legacy draw skipped onto a successor (and nowhere before).
+    let mut gen = TrafficGenerator::with_pattern(
+        5,
+        4,
+        TrafficMix::unicast_requests_only(),
+        SpatialPattern::uniform(),
+        SeedMode::PerNode,
+        1.0,
+        TrafficGenerator::DEFAULT_BASE_SEED,
+    );
+    let resampled: Vec<u16> = (0..48)
+        .map(|c| {
+            let p = gen.build_packet(TrafficKind::UnicastRequest, c);
+            p.destinations().iter().next().unwrap()
+        })
+        .collect();
+    assert_ne!(resampled.as_slice(), NODE5_PERNODE_DESTS);
+    assert!(resampled.iter().all(|&d| d < 16 && d != 5));
+}
+
+/// The fig5-style sweep of the proposed chip (default configuration:
+/// identical seeds, mixed traffic, legacy-uniform destinations), captured
+/// pre-refactor as exact `f64` bit patterns: (rate, latency, Gb/s,
+/// flits/cycle, bypass fraction).
+const FIG5_GOLDEN_POINTS: [(f64, u64, u64, u64, u64); 3] = [
+    (
+        0.02,
+        0x403e_8a2e_8ba2_e8ba,
+        0x4058_d4fd_f3b6_45a2,
+        0x3ff8_d4fd_f3b6_45a2,
+        0x3fe8_ad70_c7b8_2bcc,
+    ),
+    (
+        0.1,
+        0x4044_a52a_aaaa_aaab,
+        0x407d_a0c4_9ba5_e354,
+        0x401d_a0c4_9ba5_e354,
+        0x3fe8_c94e_fb6f_a704,
+    ),
+    (
+        0.2,
+        0x406b_abac_37da_c37e,
+        0x4088_f9db_22d0_e560,
+        0x4028_f9db_22d0_e560,
+        0x3fe9_ab3b_a215_ddf0,
+    ),
+];
+
+#[test]
+fn default_configs_reproduce_the_pre_refactor_fig5_sweep_bit_for_bit() {
+    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+    assert_eq!(config.pattern, SpatialPattern::uniform_legacy());
+    let rates: Vec<f64> = FIG5_GOLDEN_POINTS.iter().map(|p| p.0).collect();
+    let outcome = SweepRunner::new(2)
+        .with_windows(200, 1000)
+        .unwrap()
+        .run(config, &rates)
+        .unwrap();
+    for (point, golden) in outcome.curve.points.iter().zip(FIG5_GOLDEN_POINTS) {
+        assert_eq!(point.injection_rate, golden.0);
+        assert_eq!(
+            point.latency_cycles.to_bits(),
+            golden.1,
+            "latency moved at rate {}: {} cycles",
+            golden.0,
+            point.latency_cycles
+        );
+        assert_eq!(
+            point.received_gbps.to_bits(),
+            golden.2,
+            "throughput moved at rate {}: {} Gb/s",
+            golden.0,
+            point.received_gbps
+        );
+        assert_eq!(
+            point.received_flits_per_cycle.to_bits(),
+            golden.3,
+            "flits/cycle moved at rate {}",
+            golden.0
+        );
+        assert_eq!(
+            point.bypass_fraction.to_bits(),
+            golden.4,
+            "bypass fraction moved at rate {}",
+            golden.0
+        );
+    }
+}

@@ -4,6 +4,7 @@ use noc_repro::router::{MatrixArbiter, RoundRobinArbiter};
 use noc_repro::sim::{Lfsr, PrbsGenerator};
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::topology::{routing, Mesh};
+use noc_repro::traffic::SpatialPattern;
 use noc_repro::types::{Coord, DestinationSet, Packet, PacketKind, Port, PortSet};
 use proptest::prelude::*;
 
@@ -230,6 +231,78 @@ proptest! {
         let max = *wins.iter().max().unwrap();
         let min = *wins.iter().min().unwrap();
         prop_assert!(max - min <= 1, "wins spread too wide: {wins:?}");
+    }
+
+    // ------------------------------------------------------------ spatial patterns
+
+    #[test]
+    fn every_pattern_yields_in_range_never_self_destinations(
+        k in 2u16..=8,
+        seed in 1u16..,
+        source_raw in 0u16..64,
+        pick in 0usize..8,
+        draws in 1usize..60,
+    ) {
+        let pattern = SpatialPattern::gallery(k)[pick];
+        if pattern.validate(k).is_err() {
+            // Bit permutations on non-power-of-two meshes: nothing to check.
+            return Ok(());
+        }
+        let nodes = k * k;
+        let source = source_raw % nodes;
+        let mut prbs = PrbsGenerator::new(seed);
+        for _ in 0..draws {
+            let dest = pattern.draw(&mut prbs, source, k);
+            prop_assert!(dest < nodes, "{}: dest {dest} outside {nodes} nodes", pattern.name());
+            prop_assert!(dest != source, "{} self-addressed from {source}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn pattern_draws_are_bit_identical_for_equal_prbs_state(
+        k in 2u16..=8,
+        seed in 1u16..,
+        source_raw in 0u16..64,
+        pick in 0usize..8,
+        draws in 1usize..60,
+    ) {
+        // A pattern is a pure function of (PRBS state, source, k): two
+        // generators walked in lockstep must agree on every draw and leave
+        // their PRBS states identical — the property the parallel sweep
+        // runner's determinism contract rests on.
+        let pattern = SpatialPattern::gallery(k)[pick];
+        if pattern.validate(k).is_err() {
+            return Ok(());
+        }
+        let source = source_raw % (k * k);
+        let mut a = PrbsGenerator::new(seed);
+        let mut b = PrbsGenerator::new(seed);
+        for _ in 0..draws {
+            prop_assert_eq!(pattern.draw(&mut a, source, k), pattern.draw(&mut b, source, k));
+            prop_assert!(a == b, "PRBS states diverged");
+        }
+    }
+
+    #[test]
+    fn legacy_uniform_matches_the_historical_draw_for_any_seed(
+        k in 2u16..=8,
+        seed in 1u16..,
+        source_raw in 0u16..64,
+        draws in 1usize..60,
+    ) {
+        let nodes = k * k;
+        let source = source_raw % nodes;
+        let pattern = SpatialPattern::uniform_legacy();
+        let mut via_pattern = PrbsGenerator::new(seed);
+        let mut reference = PrbsGenerator::new(seed);
+        for _ in 0..draws {
+            // The exact inline expression build_packet used pre-refactor.
+            let mut expected = reference.next_below(nodes);
+            if expected == source {
+                expected = (expected + 1) % nodes;
+            }
+            prop_assert_eq!(pattern.draw(&mut via_pattern, source, k), expected);
+        }
     }
 
     // ------------------------------------------------------------ PRBS

@@ -6,6 +6,19 @@
 //! steady-state [`Network::step`] performs zero heap allocation — slot
 //! buffers, router outputs and NIC scratch space are all reused cycle after
 //! cycle.
+//!
+//! On top of the wheel sits an **active-set scheduler**: `step` visits only
+//! the nodes that can do work this cycle. A dirty bitmask over routers is
+//! maintained by the wheel's deliveries (any flit, lookahead or credit
+//! arriving at a router wakes it) and by post-step occupancy (a router that
+//! still buffers flits stays set); a second mask tracks NICs with queued
+//! flits so the drain phase skips empty ones. An idle router would spend its
+//! step doing nothing observable — no eligible heads means no arbitration,
+//! no arbiter state change and no departures — so skipping it is exact, and
+//! the per-router `cycles` activity counter is topped up in bulk from the
+//! network's idle-cycle ledger. At saturation every node is set and the
+//! masks cost one word scan; at the low-load end of a sweep most cycles
+//! visit a handful of nodes instead of all `k²`.
 
 use std::collections::HashMap;
 
@@ -76,6 +89,16 @@ pub struct Network {
     /// Flits currently scheduled on links (scoreboarded so
     /// [`Network::in_flight_flits`] needs no wheel scan).
     flits_on_links: usize,
+    /// Active-set words over routers: bit `n` of word `n / 64` set ⇔ router
+    /// `n` must step this cycle (woken by a delivery or still buffering
+    /// flits after its last step).
+    router_wake: Vec<u64>,
+    /// Bit `n` set ⇔ NIC `n` has queued flits; the drain phase (no
+    /// injection, so no PRBS draws are owed) ticks only these.
+    nic_active: Vec<u64>,
+    /// Router-cycles skipped by the active-set scheduler, folded back into
+    /// the merged `cycles` activity counter so power accounting is unchanged.
+    idle_router_cycles: u64,
     scoreboard: HashMap<PacketId, TrackedPacket>,
     latency: LatencyStats,
     throughput: ThroughputStats,
@@ -106,6 +129,7 @@ impl Network {
             .link_delay_cycles()
             .max(config.credit_delay_cycles)
             .max(1);
+        let words = mesh.node_count().div_ceil(64);
         Ok(Self {
             config,
             mesh,
@@ -115,6 +139,9 @@ impl Network {
             pending: EventWheel::new(horizon),
             router_scratch: RouterOutput::default(),
             flits_on_links: 0,
+            router_wake: vec![0; words],
+            nic_active: vec![0; words],
+            idle_router_cycles: 0,
             scoreboard: HashMap::new(),
             latency: LatencyStats::new(),
             throughput: ThroughputStats::new(),
@@ -173,6 +200,9 @@ impl Network {
         self.pending.reset();
         self.router_scratch.clear();
         self.flits_on_links = 0;
+        self.router_wake.fill(0);
+        self.nic_active.fill(0);
+        self.idle_router_cycles = 0;
         self.scoreboard.clear();
         self.latency.reset();
         self.throughput.reset();
@@ -222,6 +252,11 @@ impl Network {
     }
 
     /// Merged activity counters of all routers and NICs.
+    ///
+    /// Routers skipped by the active-set scheduler never stepped, so their
+    /// individual `cycles` counters undercount wall-clock cycles; the
+    /// network's idle-cycle ledger makes up the difference here, keeping the
+    /// merged counters identical to stepping every router every cycle.
     #[must_use]
     pub fn counters(&self) -> ActivityCounters {
         let mut total = ActivityCounters::new();
@@ -231,6 +266,7 @@ impl Network {
         for nic in &self.nics {
             total.merge(nic.counters());
         }
+        total.cycles += self.idle_router_cycles;
         total
     }
 
@@ -343,123 +379,186 @@ impl Network {
 
         // Phase A: deliver everything scheduled for this cycle. The due slot
         // is detached from the wheel so deliveries can schedule follow-up
-        // events, then its (drained) buffer is recycled.
+        // events, then its (drained) buffer is recycled. Every delivery to a
+        // router marks it in the wake mask phase B2 walks.
         let mut due = self.pending.take_due(now);
         while let Some(delivery) = due.pop_front() {
             self.deliver(delivery, now);
         }
         self.pending.restore(due);
 
-        // Phase B1: NICs create and inject traffic.
-        for node in 0..self.nics.len() {
-            let (injection, registration) = self.nics[node].tick(now, inject);
-            if let Some(registration) = registration {
-                self.register_packet(registration);
+        // Phase B1: NICs create and inject traffic. While injecting, every
+        // NIC must tick every cycle — the Bernoulli PRBS coin is flipped per
+        // cycle, so skipping a tick would change the traffic stream. In the
+        // drain phase the generators are quiescent and only NICs that still
+        // hold queued flits can do anything.
+        if inject {
+            for node in 0..self.nics.len() {
+                self.tick_nic(node, now, true);
             }
-            if let Some(injection) = injection {
-                let arrival = now + 1;
+        } else {
+            for w in 0..self.nic_active.len() {
+                let mut bits = self.nic_active[w];
+                while bits != 0 {
+                    let node = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.tick_nic(node, now, false);
+                }
+            }
+        }
+
+        // Phase B2: step only the woken routers (ascending node order, the
+        // same relative order a full scan used — skipped routers would have
+        // produced nothing). Each word is detached first so the carryover
+        // bits routers set for the next cycle do not feed back into this
+        // one's scan.
+        let link_delay = self.config.link_delay_cycles();
+        let credit_delay = self.config.credit_delay_cycles;
+        let mut output = std::mem::take(&mut self.router_scratch);
+        let mut stepped = 0usize;
+        for w in 0..self.router_wake.len() {
+            let mut bits = std::mem::take(&mut self.router_wake[w]);
+            stepped += bits.count_ones() as usize;
+            while bits != 0 {
+                let offset = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let node = w * 64 + offset;
+                self.step_router(node, now, link_delay, credit_delay, &mut output);
+                if self.routers[node].buffered_flits() > 0 {
+                    self.router_wake[w] |= 1 << offset;
+                }
+            }
+        }
+        self.idle_router_cycles += (self.routers.len() - stepped) as u64;
+        self.router_scratch = output;
+
+        self.clock.tick();
+    }
+
+    /// Ticks NIC `node` (phase B1), schedules whatever it produced, and
+    /// refreshes its bit in the queued-flits mask.
+    fn tick_nic(&mut self, node: usize, now: Cycle, inject: bool) {
+        let (injection, registration) = self.nics[node].tick(now, inject);
+        if let Some(registration) = registration {
+            self.register_packet(registration);
+        }
+        if let Some(injection) = injection {
+            let arrival = now + 1;
+            self.schedule(
+                arrival,
+                Delivery::FlitToRouter {
+                    node: node as NodeId,
+                    port: Port::Local,
+                    flit: injection.flit,
+                },
+            );
+            if let Some(lookahead) = injection.lookahead {
+                self.schedule(
+                    arrival,
+                    Delivery::LookaheadToRouter {
+                        node: node as NodeId,
+                        port: Port::Local,
+                        lookahead,
+                    },
+                );
+            }
+        }
+        let bit = 1u64 << (node % 64);
+        if self.nics[node].queued_flits() > 0 {
+            self.nic_active[node / 64] |= bit;
+        } else {
+            self.nic_active[node / 64] &= !bit;
+        }
+    }
+
+    /// Runs router `node`'s allocation/traversal cycle (phase B2) and
+    /// schedules its departures and credits, reusing `output` as scratch.
+    fn step_router(
+        &mut self,
+        node: usize,
+        now: Cycle,
+        link_delay: u64,
+        credit_delay: u64,
+        output: &mut RouterOutput,
+    ) {
+        self.routers[node].step_into(now, output);
+        let coord = self.mesh.coord_of(node as NodeId);
+        for Departure {
+            port,
+            flit,
+            lookahead,
+        } in output.departures.drain(..)
+        {
+            if port.is_local() {
+                self.schedule(
+                    now + 1,
+                    Delivery::FlitToNic {
+                        node: node as NodeId,
+                        flit,
+                    },
+                );
+            } else {
+                let dir = port.direction().expect("non-local port has a direction");
+                let neighbor = self
+                    .mesh
+                    .neighbor(coord, dir)
+                    .expect("routers never send off the mesh edge");
+                let dest_node = self.mesh.id_of(neighbor);
+                let dest_port = dir.opposite().port();
+                let arrival = now + link_delay;
                 self.schedule(
                     arrival,
                     Delivery::FlitToRouter {
-                        node: node as NodeId,
-                        port: Port::Local,
-                        flit: injection.flit,
+                        node: dest_node,
+                        port: dest_port,
+                        flit,
                     },
                 );
-                if let Some(lookahead) = injection.lookahead {
+                if let Some(lookahead) = lookahead {
                     self.schedule(
                         arrival,
                         Delivery::LookaheadToRouter {
-                            node: node as NodeId,
-                            port: Port::Local,
+                            node: dest_node,
+                            port: dest_port,
                             lookahead,
                         },
                     );
                 }
             }
         }
-
-        // Phase B2: routers allocate and traverse, all writing into the one
-        // reused output buffer.
-        let link_delay = self.config.link_delay_cycles();
-        let credit_delay = self.config.credit_delay_cycles;
-        let mut output = std::mem::take(&mut self.router_scratch);
-        for node in 0..self.routers.len() {
-            self.routers[node].step_into(now, &mut output);
-            let coord = self.mesh.coord_of(node as NodeId);
-            for Departure {
-                port,
-                flit,
-                lookahead,
-            } in output.departures.drain(..)
-            {
-                if port.is_local() {
-                    self.schedule(
-                        now + 1,
-                        Delivery::FlitToNic {
-                            node: node as NodeId,
-                            flit,
-                        },
-                    );
-                } else {
-                    let dir = port.direction().expect("non-local port has a direction");
-                    let neighbor = self
-                        .mesh
-                        .neighbor(coord, dir)
-                        .expect("routers never send off the mesh edge");
-                    let dest_node = self.mesh.id_of(neighbor);
-                    let dest_port = dir.opposite().port();
-                    let arrival = now + link_delay;
-                    self.schedule(
-                        arrival,
-                        Delivery::FlitToRouter {
-                            node: dest_node,
-                            port: dest_port,
-                            flit,
-                        },
-                    );
-                    if let Some(lookahead) = lookahead {
-                        self.schedule(
-                            arrival,
-                            Delivery::LookaheadToRouter {
-                                node: dest_node,
-                                port: dest_port,
-                                lookahead,
-                            },
-                        );
-                    }
-                }
-            }
-            for (in_port, credit) in output.credits.drain(..) {
-                let arrival = now + credit_delay;
-                if in_port.is_local() {
-                    self.schedule(
-                        arrival,
-                        Delivery::CreditToNic {
-                            node: node as NodeId,
-                            credit,
-                        },
-                    );
-                } else {
-                    let dir = in_port.direction().expect("non-local port has a direction");
-                    let upstream = self
-                        .mesh
-                        .neighbor(coord, dir)
-                        .expect("credits only go to existing neighbours");
-                    self.schedule(
-                        arrival,
-                        Delivery::CreditToRouter {
-                            node: self.mesh.id_of(upstream),
-                            port: dir.opposite().port(),
-                            credit,
-                        },
-                    );
-                }
+        for (in_port, credit) in output.credits.drain(..) {
+            let arrival = now + credit_delay;
+            if in_port.is_local() {
+                self.schedule(
+                    arrival,
+                    Delivery::CreditToNic {
+                        node: node as NodeId,
+                        credit,
+                    },
+                );
+            } else {
+                let dir = in_port.direction().expect("non-local port has a direction");
+                let upstream = self
+                    .mesh
+                    .neighbor(coord, dir)
+                    .expect("credits only go to existing neighbours");
+                self.schedule(
+                    arrival,
+                    Delivery::CreditToRouter {
+                        node: self.mesh.id_of(upstream),
+                        port: dir.opposite().port(),
+                        credit,
+                    },
+                );
             }
         }
-        self.router_scratch = output;
+    }
 
-        self.clock.tick();
+    /// Marks router `node` as having work this cycle.
+    #[inline]
+    fn wake_router(&mut self, node: NodeId) {
+        let node = usize::from(node);
+        self.router_wake[node / 64] |= 1 << (node % 64);
     }
 
     fn schedule(&mut self, at: Cycle, delivery: Delivery) {
@@ -491,6 +590,7 @@ impl Network {
         match delivery {
             Delivery::FlitToRouter { node, port, flit } => {
                 self.flits_on_links -= 1;
+                self.wake_router(node);
                 self.routers[usize::from(node)].accept_flit(port, flit);
             }
             Delivery::LookaheadToRouter {
@@ -498,9 +598,11 @@ impl Network {
                 port,
                 lookahead,
             } => {
+                self.wake_router(node);
                 self.routers[usize::from(node)].accept_lookahead(port, lookahead);
             }
             Delivery::CreditToRouter { node, port, credit } => {
+                self.wake_router(node);
                 self.routers[usize::from(node)].accept_credit(port, credit);
             }
             Delivery::CreditToNic { node, credit } => {

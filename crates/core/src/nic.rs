@@ -11,13 +11,17 @@
 //! through a reused scratch buffer ([`noc_types::Packet::write_flits_into`]),
 //! so steady-state injection performs no heap allocation.
 
-use noc_router::{Lookahead, OutputPort};
+use noc_router::{Lookahead, OutputBank};
 use noc_sim::{ActivityCounters, RingQueue};
 use noc_topology::{routing, Mesh};
 use noc_traffic::TrafficGenerator;
 use noc_types::{Coord, Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
 
 use crate::config::NocConfig;
+
+/// Port index of the single tracked port of a NIC's injection-side
+/// [`OutputBank`] (see [`OutputBank::for_injection`]).
+const INJECT_PORT: usize = 0;
 
 /// A flit (and optional lookahead) the NIC sends towards its router this
 /// cycle.
@@ -69,7 +73,9 @@ pub struct Nic {
     /// Scratch buffer packets are segmented through before entering the
     /// injection queue; reused across every packet this NIC ever creates.
     flit_scratch: Vec<Flit>,
-    upstream: OutputPort,
+    /// Credit/VC tracker for the router input port this NIC injects into: a
+    /// single-port [`OutputBank`] addressed as port [`INJECT_PORT`].
+    upstream: OutputBank,
     current_vc: Option<(PacketId, VcId)>,
     counters: ActivityCounters,
     injected_flits: u64,
@@ -100,7 +106,7 @@ impl Nic {
             generator,
             inject_queue: RingQueue::with_capacity(16),
             flit_scratch: Vec::new(),
-            upstream: OutputPort::for_injection(&config.router),
+            upstream: OutputBank::for_injection(&config.router),
             current_vc: None,
             counters: ActivityCounters::new(),
             injected_flits: 0,
@@ -246,22 +252,23 @@ impl Nic {
         let front = self.inject_queue.front()?;
         let class = front.message_class();
         let vc = if front.kind().is_head() {
-            let vc = self.upstream.peek_free_vc(class)?;
-            if !self.upstream.has_credit(class, vc) {
+            let vc = self.upstream.peek_free_vc(INJECT_PORT, class)?;
+            if !self.upstream.has_credit(INJECT_PORT, class, vc) {
                 return None;
             }
-            self.upstream.allocate_vc(class, vc);
+            self.upstream.allocate_vc(INJECT_PORT, class, vc);
             vc
         } else {
             let (_, vc) = self.current_vc?;
-            if !self.upstream.has_credit(class, vc) {
+            if !self.upstream.has_credit(INJECT_PORT, class, vc) {
                 return None;
             }
             vc
         };
 
         let mut flit = self.inject_queue.pop_front().expect("front checked above");
-        self.upstream.send_flit(class, vc, flit.kind().is_tail());
+        self.upstream
+            .send_flit(INJECT_PORT, class, vc, flit.kind().is_tail());
         flit.set_vc(vc);
         flit.mark_injected(now);
         if flit.kind().is_head() && !flit.kind().is_tail() {
@@ -300,7 +307,7 @@ impl Nic {
 
     /// Accepts a credit returned by the router's local input port.
     pub fn accept_credit(&mut self, credit: Credit) {
-        self.upstream.on_credit(credit);
+        self.upstream.on_credit(INJECT_PORT, credit);
     }
 }
 
@@ -410,18 +417,21 @@ mod tests {
         let mut sequences = Vec::new();
         let mut vcs = Vec::new();
         // Credits come back two cycles after each injection, as the router
-        // forwards the flit and frees the buffer slot.
-        let mut credit_due: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        // forwards the flit and frees the buffer slot — modelled with the
+        // same fixed-horizon EventWheel the production credit path rides, so
+        // the test and production timelines share one mechanism.
+        let mut credit_wheel: noc_sim::EventWheel<Credit> = noc_sim::EventWheel::new(2);
         for cycle in 0..12 {
             if let (Some(injection), _) = nic.tick(cycle, false) {
                 sequences.push(injection.flit.sequence());
                 vcs.push(injection.flit.vc().unwrap());
-                credit_due.push_back(cycle + 2);
+                credit_wheel.schedule(cycle + 2, Credit::new(noc_types::MessageClass::Response, 0));
             }
-            while credit_due.front().is_some_and(|&due| due <= cycle) {
-                credit_due.pop_front();
-                nic.accept_credit(Credit::new(noc_types::MessageClass::Response, 0));
+            let mut due = credit_wheel.take_due(cycle);
+            while let Some(credit) = due.pop_front() {
+                nic.accept_credit(credit);
             }
+            credit_wheel.restore(due);
         }
         assert_eq!(sequences, vec![0, 1, 2, 3, 4]);
         assert!(vcs.iter().all(|&vc| vc == vcs[0]), "one VC per packet");

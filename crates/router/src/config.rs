@@ -1,7 +1,15 @@
 //! Router configuration: virtual channels, buffer depths and pipeline kind.
 
-use noc_types::{ConfigError, MessageClass};
+use noc_types::{ConfigError, MessageClass, VcId};
 use serde::{Deserialize, Serialize};
+
+/// Largest supported VC buffer depth, in flits.
+///
+/// VC buffers live *inline* in the router's input bank
+/// (`ArrayFifo<Flit, MAX_VC_DEPTH>`), so the depth ceiling is a compile-time
+/// constant; [`RouterConfig::validate`] rejects deeper configurations. The
+/// chip needs 1 (request class) and 3 (response class).
+pub const MAX_VC_DEPTH: usize = 4;
 
 /// Virtual-channel configuration of one message class at every input port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,7 +175,8 @@ impl RouterConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError::InvalidVcConfig`] when either message class has
-    /// zero VCs or zero-depth buffers.
+    /// zero VCs, zero-depth buffers, or buffers deeper than the inline
+    /// storage ceiling [`MAX_VC_DEPTH`].
     pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, vc) in [
             ("request", self.request_vcs),
@@ -178,6 +187,14 @@ impl RouterConfig {
                     reason: format!("{name} class must have at least one VC of depth >= 1"),
                 });
             }
+            if usize::from(vc.depth) > MAX_VC_DEPTH {
+                return Err(ConfigError::InvalidVcConfig {
+                    reason: format!(
+                        "{name} class depth {} exceeds the inline buffer ceiling {MAX_VC_DEPTH}",
+                        vc.depth
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -186,6 +203,115 @@ impl RouterConfig {
 impl Default for RouterConfig {
     fn default() -> Self {
         Self::proposed(true)
+    }
+}
+
+/// The flattened virtual-channel layout shared by the router's input and
+/// output banks.
+///
+/// Both banks index their per-VC flat arrays `port * vc_count + flat_vc`,
+/// with request VCs flattened first and response VCs after. Keeping the
+/// flattening (and the per-class depth/count selection) in one value type
+/// means the two banks cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcLayout {
+    request_count: u8,
+    response_count: u8,
+    request_depth: u8,
+    response_depth: u8,
+}
+
+impl VcLayout {
+    /// The layout of `config`'s VC provisioning.
+    #[must_use]
+    pub fn new(config: &RouterConfig) -> Self {
+        Self {
+            request_count: config.request_vcs.count,
+            response_count: config.response_vcs.count,
+            request_depth: config.request_vcs.depth,
+            response_depth: config.response_vcs.depth,
+        }
+    }
+
+    /// Total VCs per port across both message classes.
+    #[inline]
+    #[must_use]
+    pub fn vc_count(&self) -> usize {
+        usize::from(self.request_count) + usize::from(self.response_count)
+    }
+
+    /// Number of VCs in `class`.
+    #[inline]
+    #[must_use]
+    pub fn class_count(&self, class: MessageClass) -> usize {
+        match class {
+            MessageClass::Request => usize::from(self.request_count),
+            MessageClass::Response => usize::from(self.response_count),
+        }
+    }
+
+    /// Buffer depth of every VC in `class`.
+    #[inline]
+    #[must_use]
+    pub fn class_depth(&self, class: MessageClass) -> u8 {
+        match class {
+            MessageClass::Request => self.request_depth,
+            MessageClass::Response => self.response_depth,
+        }
+    }
+
+    /// Flattened per-port VC index for `(class, vc)` — request VCs first,
+    /// then response VCs.
+    #[inline]
+    #[must_use]
+    pub fn flat_vc(&self, class: MessageClass, vc: VcId) -> usize {
+        match class {
+            MessageClass::Request => usize::from(vc),
+            MessageClass::Response => usize::from(self.request_count) + usize::from(vc),
+        }
+    }
+
+    /// Message class of flat VC `flat`.
+    #[inline]
+    #[must_use]
+    pub fn class_of(&self, flat: usize) -> MessageClass {
+        if flat < usize::from(self.request_count) {
+            MessageClass::Request
+        } else {
+            MessageClass::Response
+        }
+    }
+
+    /// VC identifier (within its message class) of flat VC `flat`.
+    #[inline]
+    #[must_use]
+    pub fn vc_id_of(&self, flat: usize) -> VcId {
+        if flat < usize::from(self.request_count) {
+            flat as VcId
+        } else {
+            (flat - usize::from(self.request_count)) as VcId
+        }
+    }
+
+    /// Buffer depth of flat VC `flat`.
+    #[inline]
+    #[must_use]
+    pub fn depth_of(&self, flat: usize) -> u8 {
+        self.class_depth(self.class_of(flat))
+    }
+
+    /// Index of `(port, flat_vc)` in a bank's flat per-VC arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is not a valid flat VC index — an out-of-range
+    /// index would otherwise silently alias a neighbouring port's VC (the
+    /// per-port `Vec` layout this replaced panicked immediately instead).
+    #[inline]
+    #[must_use]
+    pub fn slot(&self, port: usize, flat: usize) -> usize {
+        assert!(flat < self.vc_count(), "flat VC index out of range");
+        port * self.vc_count() + flat
     }
 }
 
@@ -234,6 +360,15 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = RouterConfig::proposed(true);
         cfg.response_vcs = VcConfig::new(2, 0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_depths_beyond_the_inline_ceiling() {
+        let mut cfg = RouterConfig::proposed(true);
+        cfg.response_vcs = VcConfig::new(2, MAX_VC_DEPTH as u8);
+        assert!(cfg.validate().is_ok());
+        cfg.response_vcs = VcConfig::new(2, MAX_VC_DEPTH as u8 + 1);
         assert!(cfg.validate().is_err());
     }
 

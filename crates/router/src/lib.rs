@@ -25,9 +25,12 @@
 //! The separable switch allocator operates on **bitmask request vectors**
 //! throughout, mirroring the hardware bit-vectors of the chip's mSA-I/mSA-II
 //! circuits: [`RoundRobinArbiter::arbitrate_mask`] and
-//! [`MatrixArbiter::arbitrate_mask`] take `u32` request words, output ports
-//! keep incremental free/credit masks, and input ports keep an occupancy
-//! mask — see `ARCHITECTURE.md` at the repository root for the full pipeline
+//! [`MatrixArbiter::arbitrate_mask`] take `u32` request words, and the
+//! port state is laid out **struct-of-arrays** in two banks per router:
+//! [`InputBank`] (inline `ArrayFifo` VC buffers, flat head-ready words,
+//! per-port occupancy masks) and [`OutputBank`] (flat downstream credits
+//! plus per-`(port, class)` free/credit/allocated/tail masks) — see
+//! `ARCHITECTURE.md` at the repository root for the full pipeline
 //! walk-through. Every router also supports [`Router::reset`], the warm
 //! rewind the sweep machinery uses to reuse a network across experiment
 //! points.
@@ -62,8 +65,8 @@ mod output;
 mod router;
 
 pub use arbiter::{MatrixArbiter, RoundRobinArbiter};
-pub use config::{RouterConfig, RouterKind, VcConfig};
-pub use input::{InputPort, VcBuffer};
+pub use config::{RouterConfig, RouterKind, VcConfig, VcLayout, MAX_VC_DEPTH};
+pub use input::{InputBank, InputPortRef, VcRef, VcRoute};
 pub use lookahead::Lookahead;
-pub use output::{DownstreamVc, OutputPort};
+pub use output::{DownstreamVc, OutputBank, OutputPortRef};
 pub use router::{Departure, Router, RouterOutput};

@@ -1,18 +1,32 @@
-//! Output ports: downstream virtual-channel bookkeeping and credit tracking.
+//! Output-side state of a router: downstream virtual-channel bookkeeping and
+//! credit tracking, laid out struct-of-arrays.
 //!
-//! Each output port mirrors the state of the *downstream* router's input
-//! port: which of its VCs are currently allocated to in-flight packets, how
-//! many buffer slots (credits) each has free, and whether the tail flit of
-//! the current packet has been sent. This is the state the chip's VA stage
-//! (free-VC queues) and credit counters maintain.
+//! One [`OutputBank`] mirrors the state of every *downstream* input port the
+//! router drives: which downstream VCs are allocated to in-flight packets,
+//! how many buffer slots (credits) each has free, and whether the current
+//! packet's tail has been sent. Credits live in one flat byte array indexed
+//! `port * vc_count + vc`; the allocation / credit / tail summaries are
+//! per-`(port, class)` bitmask words. The switch-allocation hot path reads
+//! only those words: "can this port take a new head flit?" collapses to
+//! `free & credit != 0`, a per-branch credit check to a single bit test.
+//!
+//! The local (ejection) output connects to the NIC, which always sinks one
+//! flit per cycle, so it is *untracked* — every operation on it is a no-op.
+//! A NIC's injection side reuses the same bank with a single tracked port
+//! ([`OutputBank::for_injection`]), since the NIC sits upstream of the
+//! router's local input port exactly like a neighbouring router sits
+//! upstream of a mesh input port.
 
-use noc_types::{Credit, MessageClass, Port, VcId};
-use serde::{Deserialize, Serialize};
+use noc_types::{Credit, MessageClass, Port, VcId, PORT_COUNT};
 
-use crate::config::RouterConfig;
+use crate::config::{RouterConfig, VcLayout};
 
-/// Bookkeeping for one virtual channel of the downstream input port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Snapshot of one downstream virtual channel's bookkeeping.
+///
+/// The bank stores this state in parallel flat arrays; `DownstreamVc` is the
+/// assembled per-VC view handed to diagnostics and tests
+/// ([`OutputBank::downstream_vc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DownstreamVc {
     /// Free buffer slots at the downstream VC.
     pub credits: u8,
@@ -24,15 +38,6 @@ pub struct DownstreamVc {
 }
 
 impl DownstreamVc {
-    fn new(depth: u8) -> Self {
-        Self {
-            credits: depth,
-            allocated: false,
-            tail_sent: false,
-            depth,
-        }
-    }
-
     /// Buffer depth of the downstream VC.
     #[must_use]
     pub fn depth(&self) -> u8 {
@@ -46,119 +51,308 @@ impl DownstreamVc {
     }
 }
 
-/// One of the five output ports of a router.
+/// The output-side bookkeeping of every port of one router (or of a NIC's
+/// single injection link), struct-of-arrays.
 ///
-/// The local (ejection) output port connects to the NIC, which is modelled as
-/// always able to sink one flit per cycle; it therefore skips VC and credit
-/// bookkeeping. All other ports track the downstream router's input VCs.
-///
-/// Besides the per-VC [`DownstreamVc`] records, the port maintains two
-/// per-class bitmask summaries — which VCs are unallocated (`free_mask`) and
-/// which have at least one credit (`credit_mask`) — refreshed incrementally
-/// on every send, allocation and credit event. The router's switch-allocation
-/// hot path reads only these words: "can this port take a new head flit?"
-/// collapses to `free & credit != 0` and a per-branch credit check to a
-/// single bit test, instead of scanning the VC records every cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct OutputPort {
-    port: Port,
-    request: Vec<DownstreamVc>,
-    response: Vec<DownstreamVc>,
-    /// Per-class masks of unallocated VCs (index matches [`MessageClass`]).
-    free_mask: [u32; 2],
-    /// Per-class masks of VCs with at least one credit.
-    credit_mask: [u32; 2],
+/// Per-VC credits are indexed `port * vc_count + flat_vc` (request VCs
+/// first, then response); the free/credit/allocated/tail summaries are
+/// per-class bitmask words indexed `port * 2 + class`, with bit `v` standing
+/// for VC `v` *within its class* — the same bit layout the chip's free-VC
+/// queues and credit counters expose to the allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputBank {
+    ports: usize,
+    layout: VcLayout,
+    /// Bit `p` set ⇔ port `p` performs no VC/credit tracking (the ejection
+    /// port, whose NIC sinks one flit per cycle unconditionally).
+    untracked: u32,
+    /// Free buffer slots per downstream VC.
+    credits: Vec<u8>,
+    /// Per-`(port, class)` masks of unallocated VCs.
+    free_mask: Vec<u32>,
+    /// Per-`(port, class)` masks of VCs with at least one credit.
+    credit_mask: Vec<u32>,
+    /// Per-`(port, class)` masks of allocated VCs.
+    allocated: Vec<u32>,
+    /// Per-`(port, class)` masks of VCs whose current packet's tail left.
+    tail_sent: Vec<u32>,
 }
 
-impl OutputPort {
-    /// Creates an output port whose downstream input port is provisioned per
-    /// `config`.
+impl OutputBank {
+    /// Creates the output bank of a router whose downstream input ports are
+    /// provisioned per `config`; the local (ejection) port is untracked.
     #[must_use]
-    pub fn new(port: Port, config: &RouterConfig) -> Self {
-        if port.is_local() {
-            return Self {
-                port,
-                request: Vec::new(),
-                response: Vec::new(),
-                free_mask: [0; 2],
-                credit_mask: [0; 2],
-            };
-        }
-        let mut out = Self {
-            port,
-            request: (0..config.request_vcs.count)
-                .map(|_| DownstreamVc::new(config.request_vcs.depth))
-                .collect(),
-            response: (0..config.response_vcs.count)
-                .map(|_| DownstreamVc::new(config.response_vcs.depth))
-                .collect(),
-            free_mask: [0; 2],
-            credit_mask: [0; 2],
-        };
-        out.rebuild_masks();
-        out
+    pub fn new(config: &RouterConfig) -> Self {
+        Self::with_ports(config, PORT_COUNT, 1 << Port::Local.index())
     }
 
     /// Creates the credit/VC tracker a NIC uses for the router input port it
-    /// injects into.
-    ///
-    /// The NIC sits upstream of the router's local input port exactly like a
-    /// neighbouring router sits upstream of a mesh input port, so it needs
-    /// the same bookkeeping; this constructor provides it with full VC and
-    /// credit tracking (unlike [`OutputPort::new`] with [`Port::Local`],
-    /// which models the *ejection* side where the NIC always sinks flits).
+    /// injects into: a single-port bank with full VC and credit tracking,
+    /// addressed as port `0`.
     #[must_use]
     pub fn for_injection(config: &RouterConfig) -> Self {
-        let mut out = Self {
-            port: Port::Local,
-            request: (0..config.request_vcs.count)
-                .map(|_| DownstreamVc::new(config.request_vcs.depth))
-                .collect(),
-            response: (0..config.response_vcs.count)
-                .map(|_| DownstreamVc::new(config.response_vcs.depth))
-                .collect(),
-            free_mask: [0; 2],
-            credit_mask: [0; 2],
+        Self::with_ports(config, 1, 0)
+    }
+
+    fn with_ports(config: &RouterConfig, ports: usize, untracked: u32) -> Self {
+        let layout = VcLayout::new(config);
+        let mut bank = Self {
+            ports,
+            layout,
+            untracked,
+            credits: vec![0; ports * layout.vc_count()],
+            free_mask: vec![0; ports * 2],
+            credit_mask: vec![0; ports * 2],
+            allocated: vec![0; ports * 2],
+            tail_sent: vec![0; ports * 2],
         };
-        out.rebuild_masks();
-        out
+        bank.reset();
+        bank
     }
 
-    /// Recomputes the per-class free/credit masks from the VC records
-    /// (construction and [`reset`](Self::reset) only; every steady-state
-    /// update is incremental).
-    fn rebuild_masks(&mut self) {
-        for class in MessageClass::ALL {
-            let ci = class.index();
-            let mut free = 0;
-            let mut credit = 0;
-            for (i, vc) in self.class(class).iter().enumerate() {
-                if vc.is_free() {
-                    free |= 1 << i;
-                }
-                if vc.credits > 0 {
-                    credit |= 1 << i;
-                }
-            }
-            self.free_mask[ci] = free;
-            self.credit_mask[ci] = credit;
-        }
-    }
-
-    /// Restores the port to its post-construction state — every downstream VC
-    /// free, every credit returned — keeping the storage (used by warm
+    /// Restores the bank to its post-construction state — every downstream
+    /// VC free, every credit returned — keeping the storage (used by warm
     /// network resets; see `mesh_noc::Network::reset`).
     pub fn reset(&mut self) {
-        for class in MessageClass::ALL {
-            for vc in self.class_mut(class) {
-                let depth = vc.depth;
-                *vc = DownstreamVc::new(depth);
+        self.allocated.fill(0);
+        self.tail_sent.fill(0);
+        for port in 0..self.ports {
+            let untracked = self.is_untracked(port);
+            for class in MessageClass::ALL {
+                let cs = self.class_slot(port, class);
+                if untracked {
+                    self.free_mask[cs] = 0;
+                    self.credit_mask[cs] = 0;
+                    continue;
+                }
+                let count = self.class_count(class);
+                let full = (1u32 << count) - 1;
+                self.free_mask[cs] = full;
+                self.credit_mask[cs] = full;
+                let depth = self.class_depth(class);
+                for vc in 0..count {
+                    let slot = self.vc_slot(port, class, vc as VcId);
+                    self.credits[slot] = depth;
+                }
             }
         }
-        self.rebuild_masks();
     }
 
-    /// Which router port this output drives.
+    /// Returns `true` when `port` performs no VC/credit tracking.
+    #[inline]
+    #[must_use]
+    pub fn is_untracked(&self, port: usize) -> bool {
+        self.untracked & (1 << port) != 0
+    }
+
+    /// Number of downstream VCs in `class` (identical for every tracked
+    /// port).
+    #[must_use]
+    pub fn class_count(&self, class: MessageClass) -> usize {
+        self.layout.class_count(class)
+    }
+
+    fn class_depth(&self, class: MessageClass) -> u8 {
+        self.layout.class_depth(class)
+    }
+
+    #[inline]
+    fn class_slot(&self, port: usize, class: MessageClass) -> usize {
+        debug_assert!(port < self.ports);
+        port * 2 + class.index()
+    }
+
+    #[inline]
+    fn vc_slot(&self, port: usize, class: MessageClass, vc: VcId) -> usize {
+        self.layout.slot(port, self.layout.flat_vc(class, vc))
+    }
+
+    /// State of downstream VC `(class, vc)` of `port`, or `None` for an
+    /// untracked port or a VC outside the configuration.
+    #[must_use]
+    pub fn downstream_vc(
+        &self,
+        port: usize,
+        class: MessageClass,
+        vc: VcId,
+    ) -> Option<DownstreamVc> {
+        if self.is_untracked(port) || usize::from(vc) >= self.class_count(class) {
+            return None;
+        }
+        let bit = 1u32 << vc;
+        let cs = self.class_slot(port, class);
+        Some(DownstreamVc {
+            credits: self.credits[self.vc_slot(port, class, vc)],
+            allocated: self.allocated[cs] & bit != 0,
+            tail_sent: self.tail_sent[cs] & bit != 0,
+            depth: self.class_depth(class),
+        })
+    }
+
+    /// Finds a free downstream VC of `port` with at least one credit,
+    /// without allocating it (the VA check performed before committing a
+    /// grant). Always returns `Some(0)` for an untracked port.
+    #[must_use]
+    pub fn peek_free_vc(&self, port: usize, class: MessageClass) -> Option<VcId> {
+        if self.is_untracked(port) {
+            return Some(0);
+        }
+        let cs = self.class_slot(port, class);
+        let ready = self.free_mask[cs] & self.credit_mask[cs];
+        if ready == 0 {
+            None
+        } else {
+            Some(ready.trailing_zeros() as VcId)
+        }
+    }
+
+    /// Returns `true` when a new packet head could be granted `port`: a
+    /// downstream VC is both free and credited (always `true` for an
+    /// untracked port).
+    ///
+    /// This is the single-word form of [`peek_free_vc`](Self::peek_free_vc)
+    /// the switch-allocation eligibility masks are built from.
+    #[inline]
+    #[must_use]
+    pub fn can_accept_head(&self, port: usize, class: MessageClass) -> bool {
+        if self.is_untracked(port) {
+            return true;
+        }
+        let cs = self.class_slot(port, class);
+        self.free_mask[cs] & self.credit_mask[cs] != 0
+    }
+
+    /// Bitmask of downstream VCs of `(port, class)` that currently hold at
+    /// least one credit (bit `v` = VC `v`). All-ones for an untracked port.
+    #[inline]
+    #[must_use]
+    pub fn credit_mask(&self, port: usize, class: MessageClass) -> u32 {
+        if self.is_untracked(port) {
+            u32::MAX
+        } else {
+            self.credit_mask[self.class_slot(port, class)]
+        }
+    }
+
+    /// Returns `true` when downstream VC `(class, vc)` of `port` has a free
+    /// buffer slot. Always `true` for an untracked port; `false` for a VC
+    /// outside the mask width.
+    #[must_use]
+    pub fn has_credit(&self, port: usize, class: MessageClass, vc: VcId) -> bool {
+        if self.is_untracked(port) {
+            return true;
+        }
+        let bit = 1u32.checked_shl(u32::from(vc)).unwrap_or(0);
+        self.credit_mask[self.class_slot(port, class)] & bit != 0
+    }
+
+    /// Allocates downstream VC `vc` of `port` to a new packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already allocated (the caller must only commit
+    /// VCs returned by [`peek_free_vc`](Self::peek_free_vc) in the same
+    /// cycle).
+    pub fn allocate_vc(&mut self, port: usize, class: MessageClass, vc: VcId) {
+        if self.is_untracked(port) {
+            return;
+        }
+        let cs = self.class_slot(port, class);
+        let bit = 1u32 << vc;
+        assert!(
+            self.allocated[cs] & bit == 0,
+            "double allocation of downstream VC"
+        );
+        self.allocated[cs] |= bit;
+        self.tail_sent[cs] &= !bit;
+        self.free_mask[cs] &= !bit;
+    }
+
+    /// Records the departure of a flit on downstream VC `(class, vc)` of
+    /// `port`, consuming one credit; `is_tail` marks the end of the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available (flow-control bug).
+    pub fn send_flit(&mut self, port: usize, class: MessageClass, vc: VcId, is_tail: bool) {
+        if self.is_untracked(port) {
+            return;
+        }
+        let slot = self.vc_slot(port, class, vc);
+        assert!(self.credits[slot] > 0, "sent a flit without a credit");
+        self.credits[slot] -= 1;
+        let cs = self.class_slot(port, class);
+        let bit = 1u32 << vc;
+        if is_tail {
+            self.tail_sent[cs] |= bit;
+        }
+        if self.credits[slot] == 0 {
+            self.credit_mask[cs] &= !bit;
+        }
+    }
+
+    /// Processes a credit returned by the downstream router attached to
+    /// `port`.
+    ///
+    /// When the packet's tail has been sent and every buffer slot has been
+    /// returned, the VC goes back to the free pool — this is the VC
+    /// turnaround the paper sizes its buffers against (3 cycles with
+    /// single-cycle hops and bypassing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more credits return than the downstream VC has buffer
+    /// slots.
+    pub fn on_credit(&mut self, port: usize, credit: Credit) {
+        if self.is_untracked(port) {
+            return;
+        }
+        let slot = self.vc_slot(port, credit.class, credit.vc);
+        let depth = self.class_depth(credit.class);
+        assert!(
+            self.credits[slot] < depth,
+            "credit overflow on downstream VC (more credits than buffer slots)"
+        );
+        self.credits[slot] += 1;
+        let cs = self.class_slot(port, credit.class);
+        let bit = 1u32 << credit.vc;
+        self.credit_mask[cs] |= bit;
+        if self.allocated[cs] & bit != 0
+            && self.tail_sent[cs] & bit != 0
+            && self.credits[slot] == depth
+        {
+            self.allocated[cs] &= !bit;
+            self.tail_sent[cs] &= !bit;
+            self.free_mask[cs] |= bit;
+        }
+    }
+
+    /// Number of free VCs of `(port, class)` (for occupancy statistics).
+    #[must_use]
+    pub fn free_vcs(&self, port: usize, class: MessageClass) -> usize {
+        if self.is_untracked(port) {
+            return 0;
+        }
+        let count = self.class_count(class) as u32;
+        count as usize - self.allocated[self.class_slot(port, class)].count_ones() as usize
+    }
+
+    /// Read-only view of one output port (for diagnostics and tests).
+    #[must_use]
+    pub fn port(&self, port: Port) -> OutputPortRef<'_> {
+        OutputPortRef { bank: self, port }
+    }
+}
+
+/// Read-only view of one output port of an [`OutputBank`].
+#[derive(Debug, Clone, Copy)]
+pub struct OutputPortRef<'a> {
+    bank: &'a OutputBank,
+    port: Port,
+}
+
+impl OutputPortRef<'_> {
+    /// Which router port this view covers.
     #[must_use]
     pub fn port(&self) -> Port {
         self.port
@@ -170,157 +364,35 @@ impl OutputPort {
         self.port.is_local()
     }
 
-    /// Returns `true` when this output performs no VC/credit tracking (the
-    /// ejection port, whose NIC always sinks one flit per cycle).
-    fn untracked(&self) -> bool {
-        self.request.is_empty() && self.response.is_empty()
-    }
-
-    fn class(&self, class: MessageClass) -> &Vec<DownstreamVc> {
-        match class {
-            MessageClass::Request => &self.request,
-            MessageClass::Response => &self.response,
-        }
-    }
-
-    fn class_mut(&mut self, class: MessageClass) -> &mut Vec<DownstreamVc> {
-        match class {
-            MessageClass::Request => &mut self.request,
-            MessageClass::Response => &mut self.response,
-        }
-    }
-
-    /// State of downstream VC `(class, vc)`, or `None` for the local port.
+    /// State of downstream VC `(class, vc)`, or `None` for an untracked
+    /// port.
     #[must_use]
-    pub fn downstream_vc(&self, class: MessageClass, vc: VcId) -> Option<&DownstreamVc> {
-        self.class(class).get(usize::from(vc))
+    pub fn downstream_vc(&self, class: MessageClass, vc: VcId) -> Option<DownstreamVc> {
+        self.bank.downstream_vc(self.port.index(), class, vc)
     }
 
-    /// Finds a free downstream VC with at least one credit, without
-    /// allocating it (the VA check performed before committing a grant).
-    ///
-    /// Always returns `Some(0)` for the local port, which needs no VC.
+    /// Finds a free, credited downstream VC without allocating it.
     #[must_use]
     pub fn peek_free_vc(&self, class: MessageClass) -> Option<VcId> {
-        if self.untracked() {
-            return Some(0);
-        }
-        let ready = self.free_mask[class.index()] & self.credit_mask[class.index()];
-        if ready == 0 {
-            None
-        } else {
-            Some(ready.trailing_zeros() as VcId)
-        }
+        self.bank.peek_free_vc(self.port.index(), class)
     }
 
-    /// Returns `true` when a new packet head could be granted this port: a
-    /// downstream VC is both free and credited (always `true` for the
-    /// ejection port, whose NIC sinks one flit per cycle unconditionally).
-    ///
-    /// This is the single-word form of [`peek_free_vc`](Self::peek_free_vc)
-    /// the switch-allocation eligibility masks are built from.
+    /// Returns `true` when a new packet head could be granted this port.
     #[must_use]
     pub fn can_accept_head(&self, class: MessageClass) -> bool {
-        self.untracked() || self.free_mask[class.index()] & self.credit_mask[class.index()] != 0
+        self.bank.can_accept_head(self.port.index(), class)
     }
 
-    /// Bitmask of downstream VCs of `class` that currently hold at least one
-    /// credit (bit `v` = VC `v`). All-ones for the untracked local port.
-    #[must_use]
-    pub fn credit_mask(&self, class: MessageClass) -> u32 {
-        if self.untracked() {
-            u32::MAX
-        } else {
-            self.credit_mask[class.index()]
-        }
-    }
-
-    /// Allocates downstream VC `vc` to a new packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VC is already allocated (the caller must only commit
-    /// VCs returned by [`peek_free_vc`](Self::peek_free_vc) in the same
-    /// cycle).
-    pub fn allocate_vc(&mut self, class: MessageClass, vc: VcId) {
-        if self.untracked() {
-            return;
-        }
-        let slot = &mut self.class_mut(class)[usize::from(vc)];
-        assert!(slot.is_free(), "double allocation of downstream VC");
-        slot.allocated = true;
-        slot.tail_sent = false;
-        self.free_mask[class.index()] &= !(1 << vc);
-    }
-
-    /// Returns `true` when downstream VC `(class, vc)` has a free buffer slot.
-    ///
-    /// Always `true` for the local port; `false` for a VC outside the mask
-    /// width (a `VcId` this configuration cannot have).
+    /// Returns `true` when downstream VC `(class, vc)` has a credit.
     #[must_use]
     pub fn has_credit(&self, class: MessageClass, vc: VcId) -> bool {
-        if self.untracked() {
-            return true;
-        }
-        let bit = 1u32.checked_shl(u32::from(vc)).unwrap_or(0);
-        self.credit_mask[class.index()] & bit != 0
+        self.bank.has_credit(self.port.index(), class, vc)
     }
 
-    /// Records the departure of a flit on downstream VC `(class, vc)`,
-    /// consuming one credit; `is_tail` marks the end of the packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no credit is available (flow-control bug).
-    pub fn send_flit(&mut self, class: MessageClass, vc: VcId, is_tail: bool) {
-        if self.untracked() {
-            return;
-        }
-        let slot = &mut self.class_mut(class)[usize::from(vc)];
-        assert!(slot.credits > 0, "sent a flit without a credit");
-        slot.credits -= 1;
-        if is_tail {
-            slot.tail_sent = true;
-        }
-        if slot.credits == 0 {
-            self.credit_mask[class.index()] &= !(1 << vc);
-        }
-    }
-
-    /// Processes a credit returned by the downstream router.
-    ///
-    /// When the packet's tail has been sent and every buffer slot has been
-    /// returned, the VC goes back to the free pool — this is the VC
-    /// turnaround the paper sizes its buffers against (3 cycles with
-    /// single-cycle hops and bypassing).
-    pub fn on_credit(&mut self, credit: Credit) {
-        if self.untracked() {
-            return;
-        }
-        let slot = &mut self.class_mut(credit.class)[usize::from(credit.vc)];
-        let depth = slot.depth;
-        assert!(
-            slot.credits < depth,
-            "credit overflow on downstream VC (more credits than buffer slots)"
-        );
-        slot.credits += 1;
-        let mut freed = false;
-        if slot.allocated && slot.tail_sent && slot.credits == depth {
-            slot.allocated = false;
-            slot.tail_sent = false;
-            freed = true;
-        }
-        let ci = credit.class.index();
-        self.credit_mask[ci] |= 1 << credit.vc;
-        if freed {
-            self.free_mask[ci] |= 1 << credit.vc;
-        }
-    }
-
-    /// Number of free VCs in `class` (for occupancy statistics).
+    /// Number of free VCs in `class`.
     #[must_use]
     pub fn free_vcs(&self, class: MessageClass) -> usize {
-        self.class(class).iter().filter(|v| v.is_free()).count()
+        self.bank.free_vcs(self.port.index(), class)
     }
 }
 
@@ -329,145 +401,182 @@ mod tests {
     use super::*;
     use crate::config::RouterConfig;
 
-    fn output(port: Port) -> OutputPort {
-        OutputPort::new(port, &RouterConfig::proposed(true))
+    const EAST: usize = 1;
+    const SOUTH: usize = 2;
+    const NORTH: usize = 0;
+    const LOCAL: usize = 4;
+
+    fn bank() -> OutputBank {
+        OutputBank::new(&RouterConfig::proposed(true))
     }
 
     #[test]
     fn local_port_is_always_available() {
-        let mut local = output(Port::Local);
-        assert!(local.is_local());
-        assert_eq!(local.peek_free_vc(MessageClass::Request), Some(0));
-        assert!(local.has_credit(MessageClass::Response, 0));
+        let mut out = bank();
+        assert!(out.is_untracked(LOCAL));
+        assert_eq!(out.peek_free_vc(LOCAL, MessageClass::Request), Some(0));
+        assert!(out.has_credit(LOCAL, MessageClass::Response, 0));
+        assert!(out.downstream_vc(LOCAL, MessageClass::Request, 0).is_none());
         // These must be no-ops rather than panics.
-        local.allocate_vc(MessageClass::Request, 0);
-        local.send_flit(MessageClass::Request, 0, true);
-        local.on_credit(Credit::new(MessageClass::Request, 0));
+        out.allocate_vc(LOCAL, MessageClass::Request, 0);
+        out.send_flit(LOCAL, MessageClass::Request, 0, true);
+        out.on_credit(LOCAL, Credit::new(MessageClass::Request, 0));
+    }
+
+    #[test]
+    fn injection_bank_tracks_its_single_port() {
+        let mut inj = OutputBank::for_injection(&RouterConfig::proposed(true));
+        assert!(!inj.is_untracked(0));
+        let vc = inj.peek_free_vc(0, MessageClass::Request).unwrap();
+        inj.allocate_vc(0, MessageClass::Request, vc);
+        inj.send_flit(0, MessageClass::Request, vc, true);
+        assert!(!inj.has_credit(0, MessageClass::Request, vc));
+        inj.on_credit(0, Credit::new(MessageClass::Request, vc));
+        assert!(inj.has_credit(0, MessageClass::Request, vc));
+        assert_eq!(inj.free_vcs(0, MessageClass::Request), 4);
     }
 
     #[test]
     fn vc_allocation_lifecycle() {
-        let mut out = output(Port::East);
-        assert_eq!(out.free_vcs(MessageClass::Request), 4);
-        let vc = out.peek_free_vc(MessageClass::Request).unwrap();
-        out.allocate_vc(MessageClass::Request, vc);
-        assert_eq!(out.free_vcs(MessageClass::Request), 3);
-        out.send_flit(MessageClass::Request, vc, true);
+        let mut out = bank();
+        assert_eq!(out.free_vcs(EAST, MessageClass::Request), 4);
+        let vc = out.peek_free_vc(EAST, MessageClass::Request).unwrap();
+        out.allocate_vc(EAST, MessageClass::Request, vc);
+        assert_eq!(out.free_vcs(EAST, MessageClass::Request), 3);
+        out.send_flit(EAST, MessageClass::Request, vc, true);
         assert!(
-            !out.has_credit(MessageClass::Request, vc),
+            !out.has_credit(EAST, MessageClass::Request, vc),
             "depth-1 VC exhausted"
         );
         // Credit comes back after the downstream router forwards the flit.
-        out.on_credit(Credit::new(MessageClass::Request, vc));
-        assert_eq!(out.free_vcs(MessageClass::Request), 4);
-        assert!(out.has_credit(MessageClass::Request, vc));
+        out.on_credit(EAST, Credit::new(MessageClass::Request, vc));
+        assert_eq!(out.free_vcs(EAST, MessageClass::Request), 4);
+        assert!(out.has_credit(EAST, MessageClass::Request, vc));
     }
 
     #[test]
     fn multi_flit_packet_frees_vc_only_after_tail_and_all_credits() {
-        let mut out = output(Port::North);
-        let vc = out.peek_free_vc(MessageClass::Response).unwrap();
-        out.allocate_vc(MessageClass::Response, vc);
+        let mut out = bank();
+        let vc = out.peek_free_vc(NORTH, MessageClass::Response).unwrap();
+        out.allocate_vc(NORTH, MessageClass::Response, vc);
         // Send three flits (head + 2 body) filling the 3-deep buffer.
-        out.send_flit(MessageClass::Response, vc, false);
-        out.send_flit(MessageClass::Response, vc, false);
-        out.send_flit(MessageClass::Response, vc, false);
-        assert!(!out.has_credit(MessageClass::Response, vc));
+        out.send_flit(NORTH, MessageClass::Response, vc, false);
+        out.send_flit(NORTH, MessageClass::Response, vc, false);
+        out.send_flit(NORTH, MessageClass::Response, vc, false);
+        assert!(!out.has_credit(NORTH, MessageClass::Response, vc));
         // Two credits return; send body + tail.
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        out.send_flit(MessageClass::Response, vc, false);
-        out.send_flit(MessageClass::Response, vc, true);
-        assert_eq!(out.free_vcs(MessageClass::Response), 1, "still allocated");
+        out.on_credit(NORTH, Credit::new(MessageClass::Response, vc));
+        out.on_credit(NORTH, Credit::new(MessageClass::Response, vc));
+        out.send_flit(NORTH, MessageClass::Response, vc, false);
+        out.send_flit(NORTH, MessageClass::Response, vc, true);
+        assert_eq!(
+            out.free_vcs(NORTH, MessageClass::Response),
+            1,
+            "still allocated"
+        );
         // All outstanding credits return: VC becomes free again.
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        assert_eq!(out.free_vcs(MessageClass::Response), 2);
+        out.on_credit(NORTH, Credit::new(MessageClass::Response, vc));
+        out.on_credit(NORTH, Credit::new(MessageClass::Response, vc));
+        out.on_credit(NORTH, Credit::new(MessageClass::Response, vc));
+        assert_eq!(out.free_vcs(NORTH, MessageClass::Response), 2);
     }
 
-    /// The mask summaries must agree with the per-VC records at all times.
-    fn assert_masks_consistent(out: &OutputPort) {
+    /// The mask summaries must agree with the per-VC snapshots at all times.
+    fn assert_masks_consistent(out: &OutputBank, port: usize) {
         for class in MessageClass::ALL {
             for vc in 0..4u8 {
-                let Some(state) = out.downstream_vc(class, vc) else {
+                let Some(state) = out.downstream_vc(port, class, vc) else {
                     continue;
                 };
                 assert_eq!(
-                    out.has_credit(class, vc),
+                    out.has_credit(port, class, vc),
                     state.credits > 0,
                     "credit mask diverged on {class:?} vc {vc}"
                 );
             }
-            let scan = out
-                .class(class)
-                .iter()
-                .position(|vc| vc.is_free() && vc.credits > 0)
-                .map(|i| i as VcId);
-            assert_eq!(out.peek_free_vc(class), scan, "free mask diverged");
-            assert_eq!(out.can_accept_head(class), scan.is_some());
+            let scan = (0..out.class_count(class) as VcId).find(|&vc| {
+                let state = out.downstream_vc(port, class, vc).unwrap();
+                state.is_free() && state.credits > 0
+            });
+            assert_eq!(out.peek_free_vc(port, class), scan, "free mask diverged");
+            assert_eq!(out.can_accept_head(port, class), scan.is_some());
         }
     }
 
     #[test]
     fn masks_track_the_vc_records_through_a_lifecycle() {
-        let mut out = output(Port::East);
-        assert_masks_consistent(&out);
-        let vc = out.peek_free_vc(MessageClass::Response).unwrap();
-        out.allocate_vc(MessageClass::Response, vc);
-        assert_masks_consistent(&out);
+        let mut out = bank();
+        assert_masks_consistent(&out, EAST);
+        let vc = out.peek_free_vc(EAST, MessageClass::Response).unwrap();
+        out.allocate_vc(EAST, MessageClass::Response, vc);
+        assert_masks_consistent(&out, EAST);
         for _ in 0..3 {
-            out.send_flit(MessageClass::Response, vc, false);
-            assert_masks_consistent(&out);
+            out.send_flit(EAST, MessageClass::Response, vc, false);
+            assert_masks_consistent(&out, EAST);
         }
-        assert_eq!(out.credit_mask(MessageClass::Response) & (1 << vc), 0);
-        out.on_credit(Credit::new(MessageClass::Response, vc));
-        assert_masks_consistent(&out);
-        out.send_flit(MessageClass::Response, vc, true);
+        assert_eq!(out.credit_mask(EAST, MessageClass::Response) & (1 << vc), 0);
+        out.on_credit(EAST, Credit::new(MessageClass::Response, vc));
+        assert_masks_consistent(&out, EAST);
+        out.send_flit(EAST, MessageClass::Response, vc, true);
         for _ in 0..3 {
-            out.on_credit(Credit::new(MessageClass::Response, vc));
+            out.on_credit(EAST, Credit::new(MessageClass::Response, vc));
         }
-        assert_masks_consistent(&out);
-        assert!(out.can_accept_head(MessageClass::Response));
+        assert_masks_consistent(&out, EAST);
+        assert!(out.can_accept_head(EAST, MessageClass::Response));
     }
 
     #[test]
     fn has_credit_is_false_for_out_of_range_vcs() {
-        let out = output(Port::East);
-        assert!(!out.has_credit(MessageClass::Request, 31));
+        let out = bank();
+        assert!(!out.has_credit(EAST, MessageClass::Request, 31));
         assert!(
-            !out.has_credit(MessageClass::Request, 32),
+            !out.has_credit(EAST, MessageClass::Request, 32),
             "no shift overflow"
         );
-        assert!(!out.has_credit(MessageClass::Response, 255));
+        assert!(!out.has_credit(EAST, MessageClass::Response, 255));
     }
 
     #[test]
     fn reset_restores_the_fresh_state() {
-        let mut out = output(Port::North);
+        let mut out = bank();
         let fresh = out.clone();
-        out.allocate_vc(MessageClass::Request, 2);
-        out.send_flit(MessageClass::Request, 2, true);
-        out.allocate_vc(MessageClass::Response, 0);
+        out.allocate_vc(NORTH, MessageClass::Request, 2);
+        out.send_flit(NORTH, MessageClass::Request, 2, true);
+        out.allocate_vc(NORTH, MessageClass::Response, 0);
         out.reset();
         assert_eq!(out, fresh, "reset must reproduce the constructed state");
-        assert_masks_consistent(&out);
+        assert_masks_consistent(&out, NORTH);
+    }
+
+    #[test]
+    fn port_views_expose_the_per_port_slice() {
+        let mut out = bank();
+        out.allocate_vc(EAST, MessageClass::Request, 1);
+        let east = out.port(Port::East);
+        assert!(!east.is_local());
+        assert!(!east
+            .downstream_vc(MessageClass::Request, 1)
+            .unwrap()
+            .is_free());
+        assert_eq!(east.free_vcs(MessageClass::Request), 3);
+        assert!(east.can_accept_head(MessageClass::Request));
+        assert!(out.port(Port::Local).is_local());
     }
 
     #[test]
     #[should_panic(expected = "without a credit")]
     fn sending_without_credit_panics() {
-        let mut out = output(Port::South);
-        out.allocate_vc(MessageClass::Request, 0);
-        out.send_flit(MessageClass::Request, 0, false);
-        out.send_flit(MessageClass::Request, 0, false);
+        let mut out = bank();
+        out.allocate_vc(SOUTH, MessageClass::Request, 0);
+        out.send_flit(SOUTH, MessageClass::Request, 0, false);
+        out.send_flit(SOUTH, MessageClass::Request, 0, false);
     }
 
     #[test]
     #[should_panic(expected = "double allocation")]
     fn double_allocation_panics() {
-        let mut out = output(Port::West);
-        out.allocate_vc(MessageClass::Request, 1);
-        out.allocate_vc(MessageClass::Request, 1);
+        let mut out = bank();
+        out.allocate_vc(3, MessageClass::Request, 1);
+        out.allocate_vc(3, MessageClass::Request, 1);
     }
 }

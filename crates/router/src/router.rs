@@ -14,9 +14,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::arbiter::{MatrixArbiter, RoundRobinArbiter};
 use crate::config::RouterConfig;
-use crate::input::{InputPort, VcRoute};
+use crate::input::{InputBank, InputPortRef, VcRoute};
 use crate::lookahead::Lookahead;
-use crate::output::OutputPort;
+use crate::output::{OutputBank, OutputPortRef};
 
 /// A flit leaving the router on one of its output ports during this cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,8 +150,8 @@ pub struct Router {
     mesh: Mesh,
     coord: Coord,
     node_id: NodeId,
-    inputs: Vec<InputPort>,
-    outputs: Vec<OutputPort>,
+    inputs: InputBank,
+    outputs: OutputBank,
     msa1: Vec<RoundRobinArbiter>,
     msa2: Vec<MatrixArbiter>,
     counters: ActivityCounters,
@@ -165,14 +165,8 @@ impl Router {
     /// Creates a router at `coord` of `mesh` with the given configuration.
     #[must_use]
     pub fn new(config: &RouterConfig, mesh: Mesh, coord: Coord) -> Self {
-        let inputs = Port::ALL
-            .into_iter()
-            .map(|p| InputPort::new(p, config))
-            .collect();
-        let outputs = Port::ALL
-            .into_iter()
-            .map(|p| OutputPort::new(p, config))
-            .collect();
+        let inputs = InputBank::new(config);
+        let outputs = OutputBank::new(config);
         let msa1 = (0..PORT_COUNT)
             .map(|_| RoundRobinArbiter::new(config.total_vcs()))
             .collect();
@@ -203,12 +197,8 @@ impl Router {
     /// (`mesh_noc::Network::reset`) that lets sweep runners reuse one
     /// network across points.
     pub fn reset(&mut self) {
-        for input in &mut self.inputs {
-            input.reset();
-        }
-        for output in &mut self.outputs {
-            output.reset();
-        }
+        self.inputs.reset();
+        self.outputs.reset();
         for arbiter in &mut self.msa1 {
             arbiter.reset();
         }
@@ -273,22 +263,24 @@ impl Router {
         &self.counters
     }
 
-    /// Total flits buffered in the router's input ports.
+    /// Total flits buffered in the router's input ports (O(1); the input
+    /// bank maintains the count incrementally, which is what lets the
+    /// network's active-set scheduler poll every router cheaply).
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(InputPort::occupancy).sum()
+        self.inputs.buffered_flits()
     }
 
-    /// State of one output port (used by NIC models and tests).
+    /// Read-only view of one output port (used by NIC models and tests).
     #[must_use]
-    pub fn output(&self, port: Port) -> &OutputPort {
-        &self.outputs[port.index()]
+    pub fn output(&self, port: Port) -> OutputPortRef<'_> {
+        self.outputs.port(port)
     }
 
-    /// State of one input port (used by tests).
+    /// Read-only view of one input port (used by diagnostics and tests).
     #[must_use]
-    pub fn input(&self, port: Port) -> &InputPort {
-        &self.inputs[port.index()]
+    pub fn input(&self, port: Port) -> InputPortRef<'_> {
+        self.inputs.port(port)
     }
 
     /// Delivers a flit arriving on `port` this cycle.
@@ -317,7 +309,7 @@ impl Router {
     /// Delivers a credit returned by the downstream router attached to output
     /// `port`.
     pub fn accept_credit(&mut self, port: Port, credit: Credit) {
-        self.outputs[port.index()].on_credit(credit);
+        self.outputs.on_credit(port.index(), credit);
     }
 
     /// Runs one allocation/traversal cycle and returns the flits, lookaheads
@@ -366,11 +358,11 @@ impl Router {
             }
             let class = flit.message_class();
             let vc = flit.vc().expect("arriving flit carries its VC");
-            let vcbuf = self.inputs[i].vc(class, vc);
-            if !vcbuf.is_empty() {
+            let flat = self.inputs.flat_vc(class, vc);
+            if !self.inputs.is_empty(i, flat) {
                 continue;
             }
-            if !flit.kind().is_head() && vcbuf.route().is_none() {
+            if !flit.kind().is_head() && self.inputs.route(i, flat).is_none() {
                 continue;
             }
             let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
@@ -452,26 +444,28 @@ impl Router {
         // cached fork ports with a per-class "which outputs can take a head"
         // summary, the body check is one bit of the output's credit mask, and
         // only VCs set in the port's occupancy mask are visited at all.
-        let vc_count = self.inputs[0].vc_count();
+        let vc_count = self.inputs.vc_count();
         let mut head_ok = [0u8; 2];
         for class in MessageClass::ALL {
             let mut mask = 0u8;
-            for (p, op) in self.outputs.iter().enumerate() {
-                mask |= u8::from(op.can_accept_head(class)) << p;
+            for p in 0..PORT_COUNT {
+                mask |= u8::from(self.outputs.can_accept_head(p, class)) << p;
             }
             head_ok[class.index()] = mask;
         }
         let mut winners: [Option<usize>; PORT_COUNT] = [None; PORT_COUNT];
         for (i, winner) in winners.iter_mut().enumerate() {
             let mut requests = 0u32;
-            let mut occupied = self.inputs[i].occupied_mask();
+            let mut occupied = self.inputs.occupied_mask(i);
             while occupied != 0 {
                 let v = occupied.trailing_zeros() as usize;
                 occupied &= occupied - 1;
-                let vcbuf = self.inputs[i].vc_at(v);
-                let Some(flit) = vcbuf.eligible_head(now) else {
+                // The readiness probe touches only the bank's flat
+                // head-ready word, not the flit.
+                if self.inputs.head_ready(i, v) > now {
                     continue;
-                };
+                }
+                let flit = self.inputs.head(i, v).expect("occupied VC has a head");
                 let class = flit.message_class();
                 let eligible = if flit.kind().is_head() {
                     let fork = Self::fork_of(
@@ -485,10 +479,11 @@ impl Router {
                     );
                     fork.ports().bits() & head_ok[class.index()] != 0
                 } else {
-                    let route = vcbuf
-                        .route()
+                    let route = self
+                        .inputs
+                        .route(i, v)
                         .expect("body flit must follow an allocated route");
-                    self.outputs[route.out_port.index()].credit_mask(class) & (1u32 << route.out_vc)
+                    self.outputs.credit_mask(route.out_port.index(), class) & (1u32 << route.out_vc)
                         != 0
                 };
                 requests |= u32::from(eligible) << v;
@@ -505,8 +500,7 @@ impl Router {
         let mut out_requests = [0u32; PORT_COUNT];
         for i in 0..PORT_COUNT {
             let Some(v) = winners[i] else { continue };
-            let vcbuf = self.inputs[i].vc_at(v);
-            let flit = vcbuf.head().expect("winner has a head flit");
+            let flit = self.inputs.head(i, v).expect("winner has a head flit");
             let ports = if flit.kind().is_head() {
                 Self::fork_of(
                     &mut self.fork_cache,
@@ -520,8 +514,8 @@ impl Router {
                 .ports()
             } else {
                 PortSet::single(
-                    vcbuf
-                        .route()
+                    self.inputs
+                        .route(i, v)
                         .expect("body flit must follow an allocated route")
                         .out_port,
                 )
@@ -554,10 +548,7 @@ impl Router {
             if granted_ports.is_empty() {
                 continue;
             }
-            let head = self.inputs[i]
-                .vc_at(v)
-                .head()
-                .expect("winner has a head flit");
+            let head = self.inputs.head(i, v).expect("winner has a head flit");
             let class = head.message_class();
             let in_vc = head.vc().expect("buffered flit carries its VC");
             let is_head = head.kind().is_head();
@@ -571,16 +562,16 @@ impl Router {
                     vc_count,
                     i,
                     v,
-                    self.inputs[i].vc_at(v).head().expect("winner has a head"),
+                    self.inputs.head(i, v).expect("winner has a head"),
                 );
                 for b in fork.iter().filter(|b| granted_ports.contains(b.port)) {
                     branches.push(*b);
                 }
             } else {
                 branches.push(RouteBranch {
-                    port: self.inputs[i]
-                        .vc_at(v)
-                        .route()
+                    port: self
+                        .inputs
+                        .route(i, v)
                         .expect("body flit must follow an allocated route")
                         .out_port,
                     destinations: all_destinations,
@@ -600,14 +591,11 @@ impl Router {
                 .fold(DestinationSet::empty(), |acc, b| acc.union(&b.destinations));
             let remaining = all_destinations.difference(&served);
             let flit = if remaining.is_empty() {
-                let popped = self.inputs[i].pop_flit(v).expect("winner has a head flit");
+                let popped = self.inputs.pop_flit(i, v).expect("winner has a head flit");
                 out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
                 popped
             } else {
-                let head = self.inputs[i]
-                    .vc_at_mut(v)
-                    .head_mut()
-                    .expect("flit still buffered");
+                let head = self.inputs.head_mut(i, v).expect("flit still buffered");
                 let copy = head.clone();
                 head.set_destinations(remaining);
                 copy
@@ -640,7 +628,7 @@ impl Router {
         }
         let mut plan = PlanList::new();
         for b in branches {
-            let op = &self.outputs[b.port.index()];
+            let out_port = b.port.index();
             if b.port.is_local() {
                 plan.push(BranchPlan {
                     port: b.port,
@@ -651,22 +639,26 @@ impl Router {
                 continue;
             }
             if is_head {
-                match op.peek_free_vc(class) {
-                    Some(vc) if op.has_credit(class, vc) => plan.push(BranchPlan {
-                        port: b.port,
-                        destinations: b.destinations,
-                        out_vc: vc,
-                        newly_allocated: true,
-                    }),
+                match self.outputs.peek_free_vc(out_port, class) {
+                    Some(vc) if self.outputs.has_credit(out_port, class, vc) => {
+                        plan.push(BranchPlan {
+                            port: b.port,
+                            destinations: b.destinations,
+                            out_vc: vc,
+                            newly_allocated: true,
+                        });
+                    }
                     _ if all_or_nothing => return None,
                     _ => {}
                 }
             } else {
-                let route = self.inputs[in_port]
-                    .vc(class, in_vc)
-                    .route()
+                let route = self
+                    .inputs
+                    .route(in_port, self.inputs.flat_vc(class, in_vc))
                     .expect("body flit must follow an allocated route");
-                if route.out_port == b.port && op.has_credit(class, route.out_vc) {
+                if route.out_port == b.port
+                    && self.outputs.has_credit(out_port, class, route.out_vc)
+                {
                     plan.push(BranchPlan {
                         port: b.port,
                         destinations: b.destinations,
@@ -711,12 +703,12 @@ impl Router {
         let mut remaining = Some(flit);
         for (bi, b) in plan.iter().enumerate() {
             output_used[b.port.index()] = true;
-            let op = &mut self.outputs[b.port.index()];
             if b.newly_allocated {
-                op.allocate_vc(class, b.out_vc);
+                self.outputs.allocate_vc(b.port.index(), class, b.out_vc);
                 self.counters.vc_allocations += 1;
             }
-            op.send_flit(class, b.out_vc, kind.is_tail());
+            self.outputs
+                .send_flit(b.port.index(), class, b.out_vc, kind.is_tail());
             self.counters.crossbar_traversals += 1;
 
             let mut departing = if bi + 1 == plan.len {
@@ -762,17 +754,20 @@ impl Router {
 
         // Maintain per-VC route state so body/tail flits of multi-flit
         // (unicast) packets follow their head.
+        let flat = self.inputs.flat_vc(class, in_vc);
         if kind.is_head() && !kind.is_tail() {
             let first = plan.plans[0];
-            self.inputs[in_port]
-                .vc_mut(class, in_vc)
-                .set_route(VcRoute {
+            self.inputs.set_route(
+                in_port,
+                flat,
+                VcRoute {
                     out_port: first.port,
                     out_vc: first.out_vc,
-                });
+                },
+            );
         }
         if kind.is_tail() && !kind.is_head() {
-            self.inputs[in_port].vc_mut(class, in_vc).clear_route();
+            self.inputs.clear_route(in_port, flat);
         }
     }
 
@@ -787,7 +782,7 @@ impl Router {
                 }
                 self.counters.buffer_writes += 1;
                 let ready = now + self.config.kind.buffered_pipeline_delay();
-                self.inputs[i].push_flit(class, vc, flit, ready);
+                self.inputs.push_flit(i, class, vc, flit, ready);
             }
             self.arrived_lookaheads[i] = None;
         }
@@ -966,8 +961,10 @@ mod tests {
         // Exhaust the East output's request VCs, then check a flit stays put.
         let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(1, 1));
         for vc in 0..4 {
-            r.outputs[Port::East.index()].allocate_vc(MessageClass::Request, vc);
-            r.outputs[Port::East.index()].send_flit(MessageClass::Request, vc, true);
+            r.outputs
+                .allocate_vc(Port::East.index(), MessageClass::Request, vc);
+            r.outputs
+                .send_flit(Port::East.index(), MessageClass::Request, vc, true);
         }
         let flit = unicast_flit(9, 0, 7);
         r.accept_flit(Port::West, flit);
@@ -991,8 +988,10 @@ mod tests {
         // the East branch is served and the rest stays buffered.
         let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(0, 0));
         for vc in 0..4 {
-            r.outputs[Port::North.index()].allocate_vc(MessageClass::Request, vc);
-            r.outputs[Port::North.index()].send_flit(MessageClass::Request, vc, true);
+            r.outputs
+                .allocate_vc(Port::North.index(), MessageClass::Request, vc);
+            r.outputs
+                .send_flit(Port::North.index(), MessageClass::Request, vc, true);
         }
         let flit = broadcast_flit(1, 0);
         r.accept_flit(Port::Local, flit);

@@ -1,0 +1,214 @@
+//! An inline, array-backed ring FIFO for small fixed-capacity buffers.
+//!
+//! Virtual-channel buffers hold at most a handful of flits (the chip: 1 for
+//! request VCs, 3 for response VCs), yet a `VecDeque` stores them behind a
+//! pointer — every head probe in the router's switch-allocation scan is a
+//! cache miss waiting to happen. [`ArrayFifo`] keeps the slots *inline* in
+//! the owning struct, so a bank of VC buffers is one contiguous allocation
+//! and walking their heads walks consecutive cache lines.
+
+/// A fixed-capacity FIFO ring whose `N` slots live inline (no heap
+/// indirection).
+///
+/// Push beyond capacity panics: the simulator's VC buffers are guarded by
+/// credit-based flow control, so an overflow is a protocol bug, not a
+/// resizing event. For a growable recycled ring see `noc_sim::RingQueue`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_types::ArrayFifo;
+///
+/// let mut fifo: ArrayFifo<u32, 4> = ArrayFifo::new();
+/// fifo.push_back(7);
+/// fifo.push_back(9);
+/// assert_eq!(fifo.len(), 2);
+/// assert_eq!(fifo.front(), Some(&7));
+/// assert_eq!(fifo.pop_front(), Some(7));
+/// assert_eq!(fifo.pop_front(), Some(9));
+/// assert!(fifo.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayFifo<T, const N: usize> {
+    /// Inline storage; occupied positions hold `Some`.
+    slots: [Option<T>; N],
+    head: u8,
+    len: u8,
+}
+
+impl<T, const N: usize> Default for ArrayFifo<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> ArrayFifo<T, N> {
+    /// An empty FIFO. `N` must fit the `u8` cursor arithmetic.
+    #[must_use]
+    pub fn new() -> Self {
+        assert!(N > 0 && N <= 128, "ArrayFifo capacity must be in 1..=128");
+        Self {
+            slots: std::array::from_fn(|_| None),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Capacity in items (the const parameter `N`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Returns `true` when no item is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` when every slot is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        usize::from(self.len) == N
+    }
+
+    /// Appends an item at the back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full.
+    pub fn push_back(&mut self, item: T) {
+        assert!(!self.is_full(), "ArrayFifo overflow (capacity {N})");
+        let idx = (usize::from(self.head) + usize::from(self.len)) % N;
+        debug_assert!(self.slots[idx].is_none());
+        self.slots[idx] = Some(item);
+        self.len += 1;
+    }
+
+    /// Removes and returns the item at the front.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[usize::from(self.head)].take();
+        debug_assert!(item.is_some());
+        self.head = ((usize::from(self.head) + 1) % N) as u8;
+        self.len -= 1;
+        item
+    }
+
+    /// The item at the front, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[usize::from(self.head)].as_ref()
+        }
+    }
+
+    /// Mutable access to the item at the front, if any.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[usize::from(self.head)].as_mut()
+        }
+    }
+
+    /// The `i`-th queued item in FIFO order (`0` is the front).
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len() {
+            None
+        } else {
+            self.slots[(usize::from(self.head) + i) % N].as_ref()
+        }
+    }
+
+    /// Drops every queued item and rewinds the cursor, leaving the FIFO
+    /// structurally identical to a freshly constructed one (so warm resets
+    /// reproduce cold state exactly).
+    pub fn clear(&mut self) {
+        while self.pop_front().is_some() {}
+        self.head = 0;
+    }
+
+    /// Iterates over the queued items in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len()).map(move |i| {
+            self.slots[(usize::from(self.head) + i) % N]
+                .as_ref()
+                .expect("occupied ring slot")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved_across_wraparound() {
+        let mut fifo: ArrayFifo<u32, 3> = ArrayFifo::new();
+        for round in 0..20u32 {
+            fifo.push_back(round);
+            fifo.push_back(round + 100);
+            assert_eq!(fifo.pop_front(), Some(round));
+            assert_eq!(fifo.pop_front(), Some(round + 100));
+        }
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.pop_front(), None);
+    }
+
+    #[test]
+    fn get_and_iter_follow_fifo_order() {
+        let mut fifo: ArrayFifo<u32, 4> = ArrayFifo::new();
+        fifo.push_back(1);
+        fifo.push_back(2);
+        fifo.pop_front();
+        fifo.push_back(3);
+        fifo.push_back(4);
+        assert_eq!(fifo.get(0), Some(&2));
+        assert_eq!(fifo.get(2), Some(&4));
+        assert_eq!(fifo.get(3), None);
+        let seen: Vec<u32> = fifo.iter().copied().collect();
+        assert_eq!(seen, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn front_mut_edits_the_head_in_place() {
+        let mut fifo: ArrayFifo<u32, 2> = ArrayFifo::new();
+        fifo.push_back(5);
+        *fifo.front_mut().unwrap() = 9;
+        assert_eq!(fifo.front(), Some(&9));
+        fifo.clear();
+        assert!(fifo.front_mut().is_none());
+    }
+
+    #[test]
+    fn clear_empties_and_the_storage_stays_usable() {
+        let mut fifo: ArrayFifo<u32, 2> = ArrayFifo::new();
+        fifo.push_back(1);
+        fifo.push_back(2);
+        assert!(fifo.is_full());
+        fifo.clear();
+        assert!(fifo.is_empty());
+        fifo.push_back(3);
+        assert_eq!(fifo.front(), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn pushing_into_a_full_fifo_panics() {
+        let mut fifo: ArrayFifo<u32, 1> = ArrayFifo::new();
+        fifo.push_back(1);
+        fifo.push_back(2);
+    }
+}

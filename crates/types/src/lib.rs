@@ -16,7 +16,9 @@
 //! * [`Packet`] and [`Flit`] — the units of transfer: packets are segmented
 //!   into 64-bit flits, only the head flit carries routing information,
 //! * [`VcId`], [`Credit`] — virtual-channel bookkeeping for credit-based
-//!   flow control.
+//!   flow control,
+//! * [`ArrayFifo`] — the inline, fixed-capacity ring FIFO behind every
+//!   virtual-channel buffer.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ mod coord;
 mod destset;
 mod direction;
 mod error;
+mod fifo;
 mod flit;
 mod message;
 mod packet;
@@ -46,6 +49,7 @@ pub use coord::{Coord, NodeId};
 pub use destset::DestinationSet;
 pub use direction::{Direction, Port, PortSet, PORT_COUNT};
 pub use error::{ConfigError, NocError};
+pub use fifo::ArrayFifo;
 pub use flit::{Flit, FlitId, FlitKind, FLIT_BITS};
 pub use message::{MessageClass, TrafficKind, MESSAGE_CLASS_COUNT};
 pub use packet::{Packet, PacketId, PacketKind};

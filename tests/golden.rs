@@ -1,12 +1,13 @@
-//! Golden tests: the pattern abstraction must not move a single bit of the
-//! historical traffic.
+//! Golden tests: refactors must not move a single bit of the historical
+//! curves.
 //!
-//! The destination sequences and sweep-point values below were captured from
+//! The destination sequences and fig5 sweep values below were captured from
 //! the generator *before* `SpatialPattern` existed (when the uniform draw
-//! was inlined in `TrafficGenerator::build_packet`). The default pattern —
-//! [`SpatialPattern::uniform_legacy`], with its successor-skip collision
-//! handling — must reproduce them exactly; updating these constants is a
-//! deliberate act, not a side effect of a refactor.
+//! was inlined in `TrafficGenerator::build_packet`); the low-load sweep
+//! values were captured *before* the data-oriented hot-path refactor
+//! (inline VC FIFOs, SoA port banks, active-set step scheduling). The
+//! default configurations must reproduce them exactly; updating these
+//! constants is a deliberate act, not a side effect of a refactor.
 
 use noc_repro::noc::{NetworkVariant, NocConfig, SweepRunner};
 use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficGenerator, TrafficMix};
@@ -101,17 +102,18 @@ const FIG5_GOLDEN_POINTS: [(f64, u64, u64, u64, u64); 3] = [
     ),
 ];
 
-#[test]
-fn default_configs_reproduce_the_pre_refactor_fig5_sweep_bit_for_bit() {
-    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
-    assert_eq!(config.pattern, SpatialPattern::uniform_legacy());
-    let rates: Vec<f64> = FIG5_GOLDEN_POINTS.iter().map(|p| p.0).collect();
+fn assert_sweep_matches(
+    config: NocConfig,
+    windows: (u64, u64),
+    golden_points: &[(f64, u64, u64, u64, u64)],
+) {
+    let rates: Vec<f64> = golden_points.iter().map(|p| p.0).collect();
     let outcome = SweepRunner::new(2)
-        .with_windows(200, 1000)
+        .with_windows(windows.0, windows.1)
         .unwrap()
         .run(config, &rates)
         .unwrap();
-    for (point, golden) in outcome.curve.points.iter().zip(FIG5_GOLDEN_POINTS) {
+    for (point, golden) in outcome.curve.points.iter().zip(golden_points) {
         assert_eq!(point.injection_rate, golden.0);
         assert_eq!(
             point.latency_cycles.to_bits(),
@@ -140,4 +142,62 @@ fn default_configs_reproduce_the_pre_refactor_fig5_sweep_bit_for_bit() {
             golden.0
         );
     }
+}
+
+#[test]
+fn default_configs_reproduce_the_pre_refactor_fig5_sweep_bit_for_bit() {
+    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+    assert_eq!(config.pattern, SpatialPattern::uniform_legacy());
+    assert_sweep_matches(config, (200, 1000), &FIG5_GOLDEN_POINTS);
+}
+
+/// Low-load sweep points of the proposed chip, captured before the
+/// data-oriented hot-path refactor (inline VC FIFOs, SoA port banks,
+/// active-set scheduling). This is the regime where the active-set
+/// scheduler actually skips work, so it pins exactly the cycles the
+/// scheduler decides not to simulate: (rate, latency, Gb/s, flits/cycle,
+/// bypass fraction) as exact `f64` bit patterns.
+const LOWLOAD_GOLDEN_POINTS: [(f64, u64, u64, u64, u64); 3] = [
+    (
+        0.005,
+        0x4035_4555_5555_5555,
+        0x400d_2f1a_9fbe_76c9,
+        0x3fad_2f1a_9fbe_76c9,
+        0x3feb_602f_5a44_11c2,
+    ),
+    (
+        0.02,
+        0x4031_4a00_0000_0000,
+        0x404e_353f_7ced_9168,
+        0x3fee_353f_7ced_9168,
+        0x3fe9_721e_d7e7_5347,
+    ),
+    (
+        0.05,
+        0x403c_6216_42c8_590b,
+        0x406d_c083_126e_978d,
+        0x400d_c083_126e_978d,
+        0x3fe8_00ca_a99c_732f,
+    ),
+];
+
+/// One 8×8 low-load point (rate 0.01, shorter windows), pinning the larger
+/// mesh — where idle-node skipping is most aggressive — through the same
+/// refactor.
+const LOWLOAD_8X8_GOLDEN_POINT: [(f64, u64, u64, u64, u64); 1] = [(
+    0.01,
+    0x4040_c200_0000_0000,
+    0x4022_c5f9_2c5f_92c6,
+    0x3fc2_c5f9_2c5f_92c6,
+    0x3fe8_3735_90ec_9c6d,
+)];
+
+#[test]
+fn lowload_sweeps_survive_the_active_set_refactor_bit_for_bit() {
+    let config = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass).unwrap();
+    assert_sweep_matches(config, (200, 1000), &LOWLOAD_GOLDEN_POINTS);
+    let config8 = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
+        .unwrap()
+        .with_side(8);
+    assert_sweep_matches(config8, (200, 600), &LOWLOAD_8X8_GOLDEN_POINT);
 }

@@ -5,10 +5,56 @@ use noc_repro::sim::{Lfsr, PrbsGenerator};
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::topology::{routing, Mesh};
 use noc_repro::traffic::SpatialPattern;
-use noc_repro::types::{Coord, DestinationSet, Packet, PacketKind, Port, PortSet};
+use noc_repro::types::{ArrayFifo, Coord, DestinationSet, Packet, PacketKind, Port, PortSet};
 use proptest::prelude::*;
 
 proptest! {
+    // ------------------------------------------------------------ array fifo
+
+    /// Pins `ArrayFifo` — the inline ring behind every VC buffer — against a
+    /// `VecDeque` reference model under random op sequences. Each word
+    /// encodes (op, value) as `value * 6 + op`: op 0 pushes (skipped when
+    /// full, since the fifo panics by contract), 1 pops, 2 peeks, 3 peeks
+    /// mutably and edits, 4 clears, 5 checks `get` at `value % capacity`.
+    #[test]
+    fn array_fifo_matches_a_vecdeque_model(ops in proptest::collection::vec(0u32..6000, 0..200)) {
+        let mut fifo: ArrayFifo<u32, 4> = ArrayFifo::new();
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for word in ops {
+            let (op, value) = (word % 6, word / 6);
+            match op {
+                0 => {
+                    if !fifo.is_full() {
+                        fifo.push_back(value);
+                        model.push_back(value);
+                    }
+                }
+                1 => prop_assert_eq!(fifo.pop_front(), model.pop_front()),
+                2 => prop_assert_eq!(fifo.front(), model.front()),
+                3 => {
+                    if let Some(head) = fifo.front_mut() {
+                        *head ^= value;
+                    }
+                    if let Some(head) = model.front_mut() {
+                        *head ^= value;
+                    }
+                }
+                4 => {
+                    fifo.clear();
+                    model.clear();
+                }
+                _ => {
+                    let i = value as usize % fifo.capacity();
+                    prop_assert_eq!(fifo.get(i), model.get(i));
+                }
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+            prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            prop_assert_eq!(fifo.iter().copied().collect::<Vec<_>>(),
+                            model.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
     // ------------------------------------------------------------ coordinates
 
     #[test]

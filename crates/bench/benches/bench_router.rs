@@ -2,6 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_router::{Lookahead, Router, RouterConfig};
+use noc_sim::FlitSlab;
 use noc_topology::{routing, Mesh};
 use noc_types::{Coord, Credit, DestinationSet, MessageClass, Packet, PacketKind, Port};
 use std::hint::black_box;
@@ -17,8 +18,11 @@ fn bench_bypass_hop(c: &mut Criterion) {
     let mesh = Mesh::new(4).unwrap();
     c.bench_function("router_bypassed_hop", |b| {
         b.iter_batched(
-            || Router::new(&RouterConfig::proposed(true), mesh, Coord::new(1, 1)),
-            |mut router| {
+            || {
+                let router = Router::new(&RouterConfig::proposed(true), mesh, Coord::new(1, 1));
+                (router, FlitSlab::new())
+            },
+            |(mut router, mut slab)| {
                 for i in 0..100u64 {
                     let flit = unicast_flit(i);
                     let ports =
@@ -27,12 +31,12 @@ fn bench_bypass_hop(c: &mut Criterion) {
                         Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports);
                     router.accept_flit(Port::West, flit);
                     router.accept_lookahead(Port::West, la);
-                    let out = black_box(router.step(i));
+                    let out = black_box(router.step(i, &mut slab));
                     // Model an always-ready downstream router: return the
                     // credit for every departed flit so flow control never
                     // stalls the benchmark loop.
-                    for departure in &out.departures {
-                        if let Some(vc) = departure.flit.vc() {
+                    for departure in out.departures {
+                        if let Some(vc) = slab.take(departure.flit).vc() {
                             router.accept_credit(
                                 departure.port,
                                 Credit::new(MessageClass::Request, vc),
@@ -40,7 +44,7 @@ fn bench_bypass_hop(c: &mut Criterion) {
                         }
                     }
                 }
-                router
+                (router, slab)
             },
             criterion::BatchSize::SmallInput,
         );
@@ -51,8 +55,12 @@ fn bench_buffered_hop(c: &mut Criterion) {
     let mesh = Mesh::new(4).unwrap();
     c.bench_function("router_buffered_hop", |b| {
         b.iter_batched(
-            || Router::new(&RouterConfig::aggressive_baseline(), mesh, Coord::new(1, 1)),
-            |mut router| {
+            || {
+                let router =
+                    Router::new(&RouterConfig::aggressive_baseline(), mesh, Coord::new(1, 1));
+                (router, FlitSlab::new())
+            },
+            |(mut router, mut slab)| {
                 for i in 0..100u64 {
                     // Inject a new flit only when its VC has drained, exactly
                     // as an upstream router limited by credits would.
@@ -65,9 +73,9 @@ fn bench_buffered_hop(c: &mut Criterion) {
                     {
                         router.accept_flit(Port::West, flit);
                     }
-                    let out = black_box(router.step(i));
-                    for departure in &out.departures {
-                        if let Some(vc) = departure.flit.vc() {
+                    let out = black_box(router.step(i, &mut slab));
+                    for departure in out.departures {
+                        if let Some(vc) = slab.take(departure.flit).vc() {
                             router.accept_credit(
                                 departure.port,
                                 Credit::new(MessageClass::Request, vc),
@@ -75,7 +83,7 @@ fn bench_buffered_hop(c: &mut Criterion) {
                         }
                     }
                 }
-                router
+                (router, slab)
             },
             criterion::BatchSize::SmallInput,
         );

@@ -1,51 +1,79 @@
 //! The cycle-accurate network orchestrator.
 //!
 //! All inter-component messages (flits on links, lookaheads, returning
-//! credits) travel at most a few cycles, so they are scheduled through a
-//! fixed-horizon [`EventWheel`] instead of a general priority queue: the
+//! credits) travel at most a few cycles, so they are scheduled through
+//! fixed-horizon [`EventWheel`]s instead of a general priority queue: the
 //! steady-state [`Network::step`] performs zero heap allocation — slot
 //! buffers, router outputs and NIC scratch space are all reused cycle after
 //! cycle.
 //!
-//! On top of the wheel sits an **active-set scheduler**: `step` visits only
+//! The wheel is split into **typed lanes**. Word-sized control messages
+//! (lookaheads and returning credits) ride a [`WordEvent`] lane, while flits
+//! park their payload in a pooled, refcounted [`FlitSlab`] and ride the
+//! [`FlitEvent`] lane as small handles — so saturated stepping moves ~8-byte
+//! tickets instead of ~100-byte enum variants, and a multicast fork becomes
+//! a handle copy per branch instead of a `Flit` clone. Each cycle drains the
+//! word lane, then the flit lane; the two classes touch disjoint component
+//! state and each lane preserves FIFO order, so the split is bit-identical
+//! to the old single mixed queue.
+//!
+//! On top of the lanes sits an **active-set scheduler**: `step` visits only
 //! the nodes that can do work this cycle. A dirty bitmask over routers is
-//! maintained by the wheel's deliveries (any flit, lookahead or credit
+//! maintained by the lanes' deliveries (any flit, lookahead or credit
 //! arriving at a router wakes it) and by post-step occupancy (a router that
 //! still buffers flits stays set); a second mask tracks NICs with queued
 //! flits so the drain phase skips empty ones. An idle router would spend its
 //! step doing nothing observable — no eligible heads means no arbitration,
 //! no arbiter state change and no departures — so skipping it is exact, and
 //! the per-router `cycles` activity counter is topped up in bulk from the
-//! network's idle-cycle ledger. At saturation every node is set and the
-//! masks cost one word scan; at the low-load end of a sweep most cycles
-//! visit a handful of nodes instead of all `k²`.
+//! network's idle-cycle ledger. While injecting, the scheduler also naps
+//! **quiescent NICs**: a NIC with an empty queue scouts its PRBS coin stream
+//! ([`noc_traffic::TrafficGenerator::idle_cycles_hint`]) and sleeps through
+//! flips that provably lose, replaying them in one batched
+//! [`Lfsr::leap16`](noc_sim::Lfsr::leap16)-powered skip at wake — bit-exact
+//! with the serial one-coin-per-cycle contract. At saturation every node is
+//! set and the masks cost one word scan; at the low-load end of a sweep most
+//! cycles visit a handful of nodes instead of all `k²`.
 
 use std::collections::HashMap;
 
 use noc_router::{Departure, Lookahead, Router, RouterOutput};
-use noc_sim::{ActivityCounters, Clock, EventWheel, LatencyStats, ThroughputStats};
+use noc_sim::{
+    ActivityCounters, Clock, EventWheel, FlitHandle, FlitSlab, LatencyStats, ThroughputStats,
+};
 use noc_topology::Mesh;
-use noc_types::{Credit, Cycle, Flit, NocError, NodeId, PacketId, Port};
+use noc_types::{Credit, Cycle, NocError, NodeId, PacketId, Port, PORT_COUNT};
 
 use crate::config::NocConfig;
 use crate::nic::{Nic, PacketRegistration};
 
-/// A message in flight between components, scheduled for a future cycle.
-#[derive(Debug, Clone)]
-enum Delivery {
-    FlitToRouter {
-        node: NodeId,
-        port: Port,
-        flit: Flit,
-    },
-    LookaheadToRouter {
+/// `port_code` value of a [`FlitEvent`] ejecting to the node's NIC (router
+/// input ports use their `Port::index()`, `0..PORT_COUNT`).
+const NIC_PORT_CODE: u8 = PORT_COUNT as u8;
+
+/// Cap on how far a NIC scouts its injection coin stream ahead: one full
+/// 16-bit LFSR word period. Bounds the scout's worst-case work; a NIC whose
+/// idle run is longer simply naps in `MAX_NIC_SCOUT` instalments.
+const MAX_NIC_SCOUT: u64 = 65_535;
+
+/// A flit hop in flight on the flit lane: the payload is parked in the
+/// network's [`FlitSlab`] and only this small ticket rides the wheel.
+#[derive(Debug, Clone, Copy)]
+struct FlitEvent {
+    node: NodeId,
+    /// Router input-port index (`Port::from_index`), or [`NIC_PORT_CODE`]
+    /// for ejection to the node's NIC.
+    port_code: u8,
+    handle: FlitHandle,
+}
+
+/// A word-sized control message in flight on the word lane.
+#[derive(Debug, Clone, Copy)]
+enum WordEvent {
+    Lookahead {
         node: NodeId,
         port: Port,
         lookahead: Lookahead,
-    },
-    FlitToNic {
-        node: NodeId,
-        flit: Flit,
     },
     CreditToRouter {
         node: NodeId,
@@ -80,15 +108,16 @@ pub struct Network {
     routers: Vec<Router>,
     nics: Vec<Nic>,
     clock: Clock,
-    /// Calendar of in-flight messages, sized by the largest link/credit
-    /// delay; slot buffers are recycled so scheduling never allocates in
-    /// steady state.
-    pending: EventWheel<Delivery>,
+    /// Calendar of in-flight word-sized control messages (lookaheads,
+    /// credits), sized by the largest link/credit delay; slot buffers are
+    /// recycled so scheduling never allocates in steady state.
+    word_lane: EventWheel<WordEvent>,
+    /// Calendar of in-flight flit hops, as slab handles.
+    flit_lane: EventWheel<FlitEvent>,
+    /// Pooled payload storage behind the flit lane's handles.
+    slab: FlitSlab,
     /// Reused output buffer for [`Router::step_into`].
     router_scratch: RouterOutput,
-    /// Flits currently scheduled on links (scoreboarded so
-    /// [`Network::in_flight_flits`] needs no wheel scan).
-    flits_on_links: usize,
     /// Active-set words over routers: bit `n` of word `n / 64` set ⇔ router
     /// `n` must step this cycle (woken by a delivery or still buffering
     /// flits after its last step).
@@ -99,6 +128,25 @@ pub struct Network {
     /// Router-cycles skipped by the active-set scheduler, folded back into
     /// the merged `cycles` activity counter so power accounting is unchanged.
     idle_router_cycles: u64,
+    /// Completed injecting steps (`step(true)` calls) — the ordinal clock the
+    /// NIC nap bookkeeping below is keyed by. Non-injecting steps flip no
+    /// PRBS coins and therefore do not advance it.
+    inject_steps: u64,
+    /// Bit `n` set ⇔ NIC `n` is awake (must flip its injection coin when an
+    /// injecting step runs). Quiescent NICs clear their bit and record when
+    /// to wake below.
+    nic_awake: Vec<u64>,
+    /// Per-NIC inject ordinal at which a sleeping NIC must be woken
+    /// (`u64::MAX` = never, i.e. a zero-rate generator).
+    nic_wake_at: Vec<u64>,
+    /// Per-NIC inject ordinal of the tick after which the NIC went to sleep.
+    nic_slept_at: Vec<u64>,
+    /// Minimum of `nic_wake_at` over sleeping NICs (`u64::MAX` when all are
+    /// awake) — the inject ordinal of the next required wake scan.
+    next_nic_wake: u64,
+    /// Chicken bit for the quiescent-NIC nap (on by default; `false` restores
+    /// the serial one-coin-per-NIC-per-cycle loop).
+    nic_idle_skip: bool,
     scoreboard: HashMap<PacketId, TrackedPacket>,
     latency: LatencyStats,
     throughput: ThroughputStats,
@@ -136,12 +184,19 @@ impl Network {
             routers,
             nics,
             clock: Clock::new(),
-            pending: EventWheel::new(horizon),
+            word_lane: EventWheel::new(horizon),
+            flit_lane: EventWheel::new(horizon),
+            slab: FlitSlab::new(),
             router_scratch: RouterOutput::default(),
-            flits_on_links: 0,
             router_wake: vec![0; words],
             nic_active: vec![0; words],
             idle_router_cycles: 0,
+            inject_steps: 0,
+            nic_awake: Self::full_awake_mask(words, mesh.node_count()),
+            nic_wake_at: vec![0; mesh.node_count()],
+            nic_slept_at: vec![0; mesh.node_count()],
+            next_nic_wake: u64::MAX,
+            nic_idle_skip: true,
             scoreboard: HashMap::new(),
             latency: LatencyStats::new(),
             throughput: ThroughputStats::new(),
@@ -197,12 +252,18 @@ impl Network {
             nic.reset(&config);
         }
         self.clock.reset();
-        self.pending.reset();
+        self.word_lane.reset();
+        self.flit_lane.reset();
+        self.slab.reset();
         self.router_scratch.clear();
-        self.flits_on_links = 0;
         self.router_wake.fill(0);
         self.nic_active.fill(0);
         self.idle_router_cycles = 0;
+        self.inject_steps = 0;
+        self.nic_awake = Self::full_awake_mask(self.nic_awake.len(), self.nics.len());
+        self.nic_wake_at.fill(0);
+        self.nic_slept_at.fill(0);
+        self.next_nic_wake = u64::MAX;
         self.scoreboard.clear();
         self.latency.reset();
         self.throughput.reset();
@@ -222,10 +283,24 @@ impl Network {
     }
 
     /// Changes the injection rate of every NIC.
+    ///
+    /// Sleeping NICs are woken first (replaying their napped-over coin
+    /// flips), because a nap's length was promised under the old rate's
+    /// Bernoulli threshold.
     pub fn set_rate(&mut self, rate: f64) {
+        self.wake_all_nics();
         for nic in &mut self.nics {
             nic.set_rate(rate);
         }
+    }
+
+    /// Enables or disables the quiescent-NIC nap (on by default). Disabling
+    /// restores the serial one-coin-per-NIC-per-cycle inject loop; the
+    /// traffic streams are bit-identical either way — this knob exists to
+    /// prove exactly that (`tests/determinism.rs`) and as an escape hatch.
+    pub fn set_nic_idle_skip(&mut self, enabled: bool) {
+        self.wake_all_nics();
+        self.nic_idle_skip = enabled;
     }
 
     /// Starts or stops counting receptions and latencies.
@@ -276,17 +351,10 @@ impl Network {
     pub fn in_flight_flits(&self) -> usize {
         let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
         let queued: usize = self.nics.iter().map(Nic::queued_flits).sum();
-        debug_assert_eq!(
-            self.flits_on_links,
-            self.pending
-                .iter()
-                .filter(|d| matches!(
-                    d,
-                    Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }
-                ))
-                .count()
-        );
-        buffered + queued + self.flits_on_links
+        // Between steps every live slab handle is exactly one scheduled
+        // flit-lane event, so the slab doubles as the on-links scoreboard.
+        debug_assert_eq!(self.slab.live(), self.flit_lane.pending());
+        buffered + queued + self.slab.live()
     }
 
     /// Number of tracked packets that have not yet reached every destination.
@@ -377,25 +445,54 @@ impl Network {
     pub fn step(&mut self, inject: bool) {
         let now = self.clock.now();
 
-        // Phase A: deliver everything scheduled for this cycle. The due slot
-        // is detached from the wheel so deliveries can schedule follow-up
-        // events, then its (drained) buffer is recycled. Every delivery to a
-        // router marks it in the wake mask phase B2 walks.
-        let mut due = self.pending.take_due(now);
-        while let Some(delivery) = due.pop_front() {
-            self.deliver(delivery, now);
+        // Phase A: deliver everything scheduled for this cycle — the word
+        // lane (credits and lookaheads) first, then the flit lane. Each due
+        // slot is detached from its wheel so deliveries can schedule
+        // follow-up events, then its (drained) buffer is recycled. Every
+        // delivery to a router marks it in the wake mask phase B2 walks.
+        // The two event classes touch disjoint component state and each lane
+        // preserves FIFO order, so lane-by-lane draining is bit-identical to
+        // the old single mixed queue.
+        let mut due_words = self.word_lane.take_due(now);
+        while let Some(event) = due_words.pop_front() {
+            self.deliver_word(event);
         }
-        self.pending.restore(due);
+        self.word_lane.restore(due_words);
+        let mut due_flits = self.flit_lane.take_due(now);
+        while let Some(event) = due_flits.pop_front() {
+            self.deliver_flit(event, now);
+        }
+        self.flit_lane.restore(due_flits);
 
-        // Phase B1: NICs create and inject traffic. While injecting, every
-        // NIC must tick every cycle — the Bernoulli PRBS coin is flipped per
-        // cycle, so skipping a tick would change the traffic stream. In the
-        // drain phase the generators are quiescent and only NICs that still
-        // hold queued flits can do anything.
+        // Phase B1: NICs create and inject traffic. While injecting, the
+        // serial contract is one Bernoulli PRBS coin per NIC per cycle;
+        // quiescent NICs (empty queue, scouted-idle generator) nap through
+        // provably losing flips and replay them in one batched leap at wake,
+        // so only awake NICs are ticked — bit-exact with ticking all of
+        // them (see `maybe_sleep_nic`). In the drain phase the generators
+        // are quiescent and only NICs that still hold queued flits can do
+        // anything.
         if inject {
-            for node in 0..self.nics.len() {
-                self.tick_nic(node, now, true);
+            let ordinal = self.inject_steps;
+            if self.nic_idle_skip {
+                if self.next_nic_wake <= ordinal {
+                    self.wake_due_nics(ordinal);
+                }
+                for w in 0..self.nic_awake.len() {
+                    let mut bits = self.nic_awake[w];
+                    while bits != 0 {
+                        let node = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        self.tick_nic(node, now, true);
+                        self.maybe_sleep_nic(node, ordinal);
+                    }
+                }
+            } else {
+                for node in 0..self.nics.len() {
+                    self.tick_nic(node, now, true);
+                }
             }
+            self.inject_steps += 1;
         } else {
             for w in 0..self.nic_active.len() {
                 let mut bits = self.nic_active[w];
@@ -444,18 +541,19 @@ impl Network {
         }
         if let Some(injection) = injection {
             let arrival = now + 1;
-            self.schedule(
+            let handle = self.slab.insert(injection.flit);
+            self.flit_lane.schedule(
                 arrival,
-                Delivery::FlitToRouter {
+                FlitEvent {
                     node: node as NodeId,
-                    port: Port::Local,
-                    flit: injection.flit,
+                    port_code: Port::Local.index() as u8,
+                    handle,
                 },
             );
             if let Some(lookahead) = injection.lookahead {
-                self.schedule(
+                self.word_lane.schedule(
                     arrival,
-                    Delivery::LookaheadToRouter {
+                    WordEvent::Lookahead {
                         node: node as NodeId,
                         port: Port::Local,
                         lookahead,
@@ -481,7 +579,7 @@ impl Network {
         credit_delay: u64,
         output: &mut RouterOutput,
     ) {
-        self.routers[node].step_into(now, output);
+        self.routers[node].step_into(now, &mut self.slab, output);
         let coord = self.mesh.coord_of(node as NodeId);
         for Departure {
             port,
@@ -490,11 +588,12 @@ impl Network {
         } in output.departures.drain(..)
         {
             if port.is_local() {
-                self.schedule(
+                self.flit_lane.schedule(
                     now + 1,
-                    Delivery::FlitToNic {
+                    FlitEvent {
                         node: node as NodeId,
-                        flit,
+                        port_code: NIC_PORT_CODE,
+                        handle: flit,
                     },
                 );
             } else {
@@ -506,18 +605,18 @@ impl Network {
                 let dest_node = self.mesh.id_of(neighbor);
                 let dest_port = dir.opposite().port();
                 let arrival = now + link_delay;
-                self.schedule(
+                self.flit_lane.schedule(
                     arrival,
-                    Delivery::FlitToRouter {
+                    FlitEvent {
                         node: dest_node,
-                        port: dest_port,
-                        flit,
+                        port_code: dest_port.index() as u8,
+                        handle: flit,
                     },
                 );
                 if let Some(lookahead) = lookahead {
-                    self.schedule(
+                    self.word_lane.schedule(
                         arrival,
-                        Delivery::LookaheadToRouter {
+                        WordEvent::Lookahead {
                             node: dest_node,
                             port: dest_port,
                             lookahead,
@@ -529,9 +628,9 @@ impl Network {
         for (in_port, credit) in output.credits.drain(..) {
             let arrival = now + credit_delay;
             if in_port.is_local() {
-                self.schedule(
+                self.word_lane.schedule(
                     arrival,
-                    Delivery::CreditToNic {
+                    WordEvent::CreditToNic {
                         node: node as NodeId,
                         credit,
                     },
@@ -542,9 +641,9 @@ impl Network {
                     .mesh
                     .neighbor(coord, dir)
                     .expect("credits only go to existing neighbours");
-                self.schedule(
+                self.word_lane.schedule(
                     arrival,
-                    Delivery::CreditToRouter {
+                    WordEvent::CreditToRouter {
                         node: self.mesh.id_of(upstream),
                         port: dir.opposite().port(),
                         credit,
@@ -561,39 +660,114 @@ impl Network {
         self.router_wake[node / 64] |= 1 << (node % 64);
     }
 
-    fn schedule(&mut self, at: Cycle, delivery: Delivery) {
-        if matches!(
-            delivery,
-            Delivery::FlitToRouter { .. } | Delivery::FlitToNic { .. }
-        ) {
-            self.flits_on_links += 1;
+    /// Mask with one set bit per NIC of a `count`-node network, spread over
+    /// `words` 64-bit words (the reset value of `nic_awake`).
+    fn full_awake_mask(words: usize, count: usize) -> Vec<u64> {
+        let mut mask = vec![u64::MAX; words];
+        if !count.is_multiple_of(64) {
+            if let Some(last) = mask.last_mut() {
+                *last = (1u64 << (count % 64)) - 1;
+            }
         }
-        self.pending.schedule(at, delivery);
+        mask
+    }
+
+    /// Puts NIC `node` to sleep after its tick at inject ordinal `ordinal`
+    /// if it provably cannot act for a while: its injection queue is empty
+    /// (nothing to send regardless of coins) and the scouted PRBS stream
+    /// promises `idle ≥ 1` losing coin flips ahead. The NIC then skips the
+    /// inject phase until ordinal `ordinal + idle + 1` — the first flip that
+    /// might win — and the skipped flips are replayed in one batched leap at
+    /// wake, keeping the coin stream bit-identical to serial ticking.
+    fn maybe_sleep_nic(&mut self, node: usize, ordinal: u64) {
+        if self.nics[node].queued_flits() > 0 {
+            return;
+        }
+        let idle = self.nics[node].idle_inject_cycles_hint(MAX_NIC_SCOUT);
+        if idle == 0 {
+            return;
+        }
+        let wake_at = if idle == u64::MAX {
+            u64::MAX
+        } else {
+            ordinal + idle + 1
+        };
+        self.nic_awake[node / 64] &= !(1 << (node % 64));
+        self.nic_wake_at[node] = wake_at;
+        self.nic_slept_at[node] = ordinal;
+        self.next_nic_wake = self.next_nic_wake.min(wake_at);
+    }
+
+    /// Wakes every sleeping NIC whose wake ordinal has arrived (replaying
+    /// its napped-over coin flips) and recomputes `next_nic_wake` from the
+    /// NICs still asleep.
+    fn wake_due_nics(&mut self, ordinal: u64) {
+        let mut next = u64::MAX;
+        for node in 0..self.nics.len() {
+            let bit = 1u64 << (node % 64);
+            if self.nic_awake[node / 64] & bit != 0 {
+                continue;
+            }
+            if self.nic_wake_at[node] <= ordinal {
+                // The nap covered inject ordinals slept_at+1 ..= ordinal-1;
+                // this ordinal's coin is consumed by the NIC's own tick.
+                let missed = ordinal.saturating_sub(self.nic_slept_at[node] + 1);
+                if missed > 0 {
+                    self.nics[node].skip_inject_cycles(missed);
+                }
+                self.nic_awake[node / 64] |= bit;
+            } else {
+                next = next.min(self.nic_wake_at[node]);
+            }
+        }
+        self.next_nic_wake = next;
+    }
+
+    /// Wakes every sleeping NIC immediately, replaying the coin flips of all
+    /// completed inject ordinals it napped through. Called before anything
+    /// that invalidates a promised nap (rate changes, toggling the nap
+    /// feature itself).
+    fn wake_all_nics(&mut self) {
+        for node in 0..self.nics.len() {
+            let bit = 1u64 << (node % 64);
+            if self.nic_awake[node / 64] & bit != 0 {
+                continue;
+            }
+            let missed = self
+                .inject_steps
+                .saturating_sub(self.nic_slept_at[node] + 1);
+            if missed > 0 {
+                self.nics[node].skip_inject_cycles(missed);
+            }
+            self.nic_awake[node / 64] |= bit;
+        }
+        self.next_nic_wake = u64::MAX;
     }
 
     fn register_packet(&mut self, registration: PacketRegistration) {
-        if self.measuring {
-            self.throughput
-                .record_injection(u64::from(registration.flits_per_reception));
+        // Packets created outside a measurement window were never recorded
+        // anywhere (`track_latency` would be false and receptions of
+        // unknown ids are ignored), so they skip the scoreboard entirely —
+        // at overdriven rates the map would otherwise grow without bound
+        // and put a cache-missing hash lookup on every reception.
+        if !self.measuring {
+            return;
         }
+        self.throughput
+            .record_injection(u64::from(registration.flits_per_reception));
         self.scoreboard.insert(
             registration.id,
             TrackedPacket {
                 created_at: registration.created_at,
                 remaining_receptions: registration.expected_receptions,
-                track_latency: self.measuring,
+                track_latency: true,
             },
         );
     }
 
-    fn deliver(&mut self, delivery: Delivery, now: Cycle) {
-        match delivery {
-            Delivery::FlitToRouter { node, port, flit } => {
-                self.flits_on_links -= 1;
-                self.wake_router(node);
-                self.routers[usize::from(node)].accept_flit(port, flit);
-            }
-            Delivery::LookaheadToRouter {
+    fn deliver_word(&mut self, event: WordEvent) {
+        match event {
+            WordEvent::Lookahead {
                 node,
                 port,
                 lookahead,
@@ -601,31 +775,44 @@ impl Network {
                 self.wake_router(node);
                 self.routers[usize::from(node)].accept_lookahead(port, lookahead);
             }
-            Delivery::CreditToRouter { node, port, credit } => {
+            WordEvent::CreditToRouter { node, port, credit } => {
                 self.wake_router(node);
                 self.routers[usize::from(node)].accept_credit(port, credit);
             }
-            Delivery::CreditToNic { node, credit } => {
+            WordEvent::CreditToNic { node, credit } => {
                 self.nics[usize::from(node)].accept_credit(credit);
             }
-            Delivery::FlitToNic { node, flit } => {
-                self.flits_on_links -= 1;
-                if let Some(reception) = self.nics[usize::from(node)].accept_flit(&flit, now) {
-                    if self.measuring {
-                        self.throughput.record_reception(u64::from(reception.flits));
-                    }
-                    if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
-                        tracked.remaining_receptions =
-                            tracked.remaining_receptions.saturating_sub(1);
-                        if tracked.remaining_receptions == 0 {
-                            if tracked.track_latency {
-                                self.latency.record(now - tracked.created_at);
-                            }
-                            self.scoreboard.remove(&reception.id);
+        }
+    }
+
+    fn deliver_flit(&mut self, event: FlitEvent, now: Cycle) {
+        let node = usize::from(event.node);
+        if event.port_code == NIC_PORT_CODE {
+            // NIC reception reads only override-independent payload fields
+            // (kind, packet id, packet length), so a fork replica's shared
+            // payload is peeked in place and never materialised.
+            let reception = self.nics[node].accept_flit(self.slab.peek_payload(event.handle), now);
+            self.slab.release(event.handle);
+            if let Some(reception) = reception {
+                if self.measuring {
+                    self.throughput.record_reception(u64::from(reception.flits));
+                }
+                if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
+                    tracked.remaining_receptions = tracked.remaining_receptions.saturating_sub(1);
+                    if tracked.remaining_receptions == 0 {
+                        if tracked.track_latency {
+                            self.latency.record(now - tracked.created_at);
                         }
+                        self.scoreboard.remove(&reception.id);
                     }
                 }
             }
+        } else {
+            self.wake_router(event.node);
+            let port = Port::from_index(usize::from(event.port_code))
+                .expect("flit events carry a valid router input port");
+            let flit = self.slab.take(event.handle);
+            self.routers[node].accept_flit(port, flit);
         }
     }
 }

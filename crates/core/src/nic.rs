@@ -13,9 +13,9 @@
 
 use noc_router::{Lookahead, OutputBank};
 use noc_sim::{ActivityCounters, RingQueue};
-use noc_topology::{routing, Mesh};
+use noc_topology::{routing::XyPortMasks, Mesh};
 use noc_traffic::TrafficGenerator;
-use noc_types::{Coord, Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
+use noc_types::{Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
 
 use crate::config::NocConfig;
 
@@ -64,8 +64,9 @@ pub struct Reception {
 #[derive(Debug, Clone)]
 pub struct Nic {
     node: NodeId,
-    coord: Coord,
-    mesh: Mesh,
+    /// Precomputed XY first-hop port masks for this node, so per-flit
+    /// lookahead generation avoids a destination-set scan.
+    port_masks: XyPortMasks,
     lookahead_enabled: bool,
     duplicate_broadcasts: bool,
     generator: TrafficGenerator,
@@ -99,8 +100,7 @@ impl Nic {
         );
         Self {
             node,
-            coord: mesh.coord_of(node),
-            mesh,
+            port_masks: XyPortMasks::new(&mesh, mesh.coord_of(node)),
             lookahead_enabled: config.lookahead_enabled(),
             duplicate_broadcasts: config.nic_duplicates_broadcasts(),
             generator,
@@ -156,6 +156,23 @@ impl Nic {
     #[must_use]
     pub fn queued_flits(&self) -> usize {
         self.inject_queue.len()
+    }
+
+    /// Scouts how many upcoming injecting ticks are guaranteed to create no
+    /// packet (see [`TrafficGenerator::idle_cycles_hint`]), capped at `cap`.
+    /// Only meaningful while the injection queue is empty — a queued flit
+    /// makes a tick observable regardless of the generator.
+    #[must_use]
+    pub fn idle_inject_cycles_hint(&self, cap: u64) -> u64 {
+        self.generator.idle_cycles_hint(cap)
+    }
+
+    /// Replays `cycles` skipped injecting ticks' PRBS coin flips at once
+    /// (each previously promised idle by
+    /// [`idle_inject_cycles_hint`](Nic::idle_inject_cycles_hint)), leaving
+    /// the generator exactly as `cycles` packet-less ticks would.
+    pub fn skip_inject_cycles(&mut self, cycles: u64) {
+        self.generator.skip_idle_cycles(cycles);
     }
 
     /// Flits injected into the router so far.
@@ -281,7 +298,7 @@ impl Nic {
         self.counters.local_link_traversals += 1;
 
         let lookahead = if self.lookahead_enabled {
-            let ports = routing::requested_ports(&self.mesh, self.coord, flit.destinations());
+            let ports = self.port_masks.ports(flit.destinations());
             self.counters.lookaheads_sent += 1;
             Some(Lookahead::new(flit.id(), class, vc, ports))
         } else {

@@ -3,8 +3,8 @@
 //! request vectors, plus the XY-tree fork cache and the reusable
 //! [`RouterOutput`] that keep the steady-state step allocation-free.
 
-use noc_sim::ActivityCounters;
-use noc_topology::routing::{self, BranchList, RouteBranch};
+use noc_sim::{ActivityCounters, FlitHandle, FlitSlab};
+use noc_topology::routing::{BranchList, RouteBranch, XyPortMasks};
 use noc_topology::Mesh;
 use noc_types::{
     Coord, Credit, Cycle, DestinationSet, Flit, FlitId, MessageClass, NodeId, Port, PortSet, VcId,
@@ -19,15 +19,17 @@ use crate::lookahead::Lookahead;
 use crate::output::{OutputBank, OutputPortRef};
 
 /// A flit leaving the router on one of its output ports during this cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Departure {
     /// Output port the flit leaves on ([`Port::Local`] means ejection to the
     /// NIC).
     pub port: Port,
-    /// The departing flit; its destination set has already been narrowed to
-    /// the destinations served through `port`, and its `vc` field names the
-    /// virtual channel allocated at the downstream input port.
-    pub flit: Flit,
+    /// Handle of the departing flit in the [`FlitSlab`] the router stepped
+    /// against. When materialised ([`FlitSlab::take`]) its destination set is
+    /// already narrowed to the destinations served through `port`, its `vc`
+    /// field names the virtual channel allocated at the downstream input
+    /// port, and any link hop has been recorded.
+    pub flit: FlitHandle,
     /// Lookahead to forward to the downstream router alongside the flit
     /// (only present when virtual bypassing is enabled).
     pub lookahead: Option<Lookahead>,
@@ -147,7 +149,6 @@ impl ForkCacheEntry {
 #[derive(Debug, Clone)]
 pub struct Router {
     config: RouterConfig,
-    mesh: Mesh,
     coord: Coord,
     node_id: NodeId,
     inputs: InputBank,
@@ -159,6 +160,14 @@ pub struct Router {
     arrived_lookaheads: Vec<Option<Lookahead>>,
     /// Per-(input port, flat VC) cached fork of the buffered head flit.
     fork_cache: Vec<ForkCacheEntry>,
+    /// Precomputed XY port partition at this router's coordinate: turns the
+    /// per-destination fork scan into five word-wide mask intersections.
+    port_masks: XyPortMasks,
+    /// The same partition at each neighbouring coordinate (indexed by
+    /// `Direction::index()`), used to build the lookahead a departing flit
+    /// carries. Edge directions keep this router's own masks as a never-read
+    /// placeholder — routing never departs off the mesh edge.
+    neighbor_masks: [XyPortMasks; 4],
 }
 
 impl Router {
@@ -175,9 +184,13 @@ impl Router {
             .collect();
         let mut counters = ActivityCounters::new();
         counters.routers = 1;
+        let port_masks = XyPortMasks::new(&mesh, coord);
+        let neighbor_masks = std::array::from_fn(|d| {
+            mesh.neighbor(coord, noc_types::Direction::ALL[d])
+                .map_or(port_masks, |next| XyPortMasks::new(&mesh, next))
+        });
         Self {
             config: *config,
-            mesh,
             node_id: mesh.id_of(coord),
             coord,
             inputs,
@@ -188,6 +201,8 @@ impl Router {
             arrived: vec![None; PORT_COUNT],
             arrived_lookaheads: vec![None; PORT_COUNT],
             fork_cache: vec![ForkCacheEntry::invalid(); PORT_COUNT * config.total_vcs()],
+            port_masks,
+            neighbor_masks,
         }
     }
 
@@ -219,8 +234,7 @@ impl Router {
     /// borrows of `self` can use it.
     fn fork_of(
         fork_cache: &mut [ForkCacheEntry],
-        mesh: &Mesh,
-        coord: Coord,
+        port_masks: &XyPortMasks,
         vc_count: usize,
         in_port: usize,
         vc_idx: usize,
@@ -230,7 +244,7 @@ impl Router {
         if entry.flit_id == flit.id() && entry.destinations == *flit.destinations() {
             return entry.branches;
         }
-        let branches = routing::multicast_branches(mesh, coord, flit.destinations());
+        let branches = port_masks.branches(flit.destinations());
         *entry = ForkCacheEntry {
             flit_id: flit.id(),
             destinations: *flit.destinations(),
@@ -313,36 +327,41 @@ impl Router {
     }
 
     /// Runs one allocation/traversal cycle and returns the flits, lookaheads
-    /// and credits produced.
+    /// and credits produced. Departing flit payloads are parked in `slab`;
+    /// the returned [`Departure`]s carry their handles.
     ///
     /// Allocates a fresh [`RouterOutput`] per call; the orchestrator's hot
     /// loop uses [`step_into`](Router::step_into) with a reused buffer
     /// instead.
-    pub fn step(&mut self, now: Cycle) -> RouterOutput {
+    pub fn step(&mut self, now: Cycle, slab: &mut FlitSlab) -> RouterOutput {
         let mut out = RouterOutput::default();
-        self.step_into(now, &mut out);
+        self.step_into(now, slab, &mut out);
         out
     }
 
-    /// Runs one allocation/traversal cycle, writing the produced flits,
-    /// lookaheads and credits into `out` (cleared first). Reusing one
-    /// `RouterOutput` across calls keeps the steady-state step free of heap
-    /// allocation.
-    pub fn step_into(&mut self, now: Cycle, out: &mut RouterOutput) {
+    /// Runs one allocation/traversal cycle, parking departing flit payloads
+    /// in `slab` and writing the produced departures, lookaheads and credits
+    /// into `out` (cleared first). Reusing one `RouterOutput` across calls
+    /// keeps the steady-state step free of heap allocation.
+    pub fn step_into(&mut self, now: Cycle, slab: &mut FlitSlab, out: &mut RouterOutput) {
         out.clear();
         self.counters.cycles += 1;
         let mut output_used = [false; PORT_COUNT];
-
         if self.config.kind.lookahead_enabled() {
-            self.bypass_phase(out, &mut output_used);
+            self.bypass_phase(slab, out, &mut output_used);
         }
-        self.buffered_phase(now, out, &mut output_used);
+        self.buffered_phase(now, slab, out, &mut output_used);
         self.write_arrivals(now);
     }
 
     // ----------------------------------------------------------------- bypass
 
-    fn bypass_phase(&mut self, out: &mut RouterOutput, output_used: &mut [bool; PORT_COUNT]) {
+    fn bypass_phase(
+        &mut self,
+        slab: &mut FlitSlab,
+        out: &mut RouterOutput,
+        output_used: &mut [bool; PORT_COUNT],
+    ) {
         // Collect candidates: arriving flits accompanied by a matching
         // lookahead whose input VC is empty (so bypassing cannot reorder a
         // packet) and, for body/tail flits, whose VC has route state. The
@@ -365,7 +384,7 @@ impl Router {
             if !flit.kind().is_head() && self.inputs.route(i, flat).is_none() {
                 continue;
             }
-            let branches = routing::multicast_branches(&self.mesh, self.coord, flit.destinations());
+            let branches = self.port_masks.branches(flit.destinations());
             *candidate = Some((branches.ports(), branches));
         }
 
@@ -418,7 +437,7 @@ impl Router {
             if is_head {
                 self.counters.route_computations += 1;
             }
-            self.execute_traversal(flit, class, i, in_vc, &plan, true, out, output_used);
+            self.execute_traversal(flit, class, i, in_vc, &plan, true, slab, out, output_used);
             out.credits.push((Port::ALL[i], Credit::new(class, in_vc)));
         }
     }
@@ -428,6 +447,7 @@ impl Router {
     fn buffered_phase(
         &mut self,
         now: Cycle,
+        slab: &mut FlitSlab,
         out: &mut RouterOutput,
         output_used: &mut [bool; PORT_COUNT],
     ) {
@@ -468,15 +488,8 @@ impl Router {
                 let flit = self.inputs.head(i, v).expect("occupied VC has a head");
                 let class = flit.message_class();
                 let eligible = if flit.kind().is_head() {
-                    let fork = Self::fork_of(
-                        &mut self.fork_cache,
-                        &self.mesh,
-                        self.coord,
-                        vc_count,
-                        i,
-                        v,
-                        flit,
-                    );
+                    let fork =
+                        Self::fork_of(&mut self.fork_cache, &self.port_masks, vc_count, i, v, flit);
                     fork.ports().bits() & head_ok[class.index()] != 0
                 } else {
                     let route = self
@@ -502,16 +515,7 @@ impl Router {
             let Some(v) = winners[i] else { continue };
             let flit = self.inputs.head(i, v).expect("winner has a head flit");
             let ports = if flit.kind().is_head() {
-                Self::fork_of(
-                    &mut self.fork_cache,
-                    &self.mesh,
-                    self.coord,
-                    vc_count,
-                    i,
-                    v,
-                    flit,
-                )
-                .ports()
+                Self::fork_of(&mut self.fork_cache, &self.port_masks, vc_count, i, v, flit).ports()
             } else {
                 PortSet::single(
                     self.inputs
@@ -557,8 +561,7 @@ impl Router {
             if is_head {
                 let fork = Self::fork_of(
                     &mut self.fork_cache,
-                    &self.mesh,
-                    self.coord,
+                    &self.port_masks,
                     vc_count,
                     i,
                     v,
@@ -600,7 +603,7 @@ impl Router {
                 head.set_destinations(remaining);
                 copy
             };
-            self.execute_traversal(flit, class, i, in_vc, &plan, false, out, output_used);
+            self.execute_traversal(flit, class, i, in_vc, &plan, false, slab, out, output_used);
         }
     }
 
@@ -679,10 +682,12 @@ impl Router {
 
     /// Moves a flit through the crossbar onto every branch of `plan`.
     ///
-    /// The flit is consumed: it departs by value on the last branch, and only
-    /// a multicast fork (more than one granted branch) clones it for the
-    /// additional replicas — the unicast fast path moves the flit from the
-    /// input buffer to the output link without a single copy.
+    /// The flit is consumed into `slab`: the unicast fast path applies its
+    /// per-branch overrides in place and parks the flit once, while a
+    /// multicast fork (more than one granted branch) parks the payload once
+    /// and issues a refcounted replica handle per branch — no branch clones
+    /// the flit here; replicas materialise lazily at delivery (ejection
+    /// branches never do).
     #[allow(clippy::too_many_arguments)]
     fn execute_traversal(
         &mut self,
@@ -692,16 +697,23 @@ impl Router {
         in_vc: VcId,
         plan: &PlanList,
         bypassed: bool,
+        slab: &mut FlitSlab,
         out: &mut RouterOutput,
         output_used: &mut [bool; PORT_COUNT],
     ) {
-        if plan.len > 1 {
+        let fork = plan.len > 1;
+        if fork {
             self.counters.multicast_forks += 1;
         }
         let kind = flit.kind();
         let flit_id = flit.id();
-        let mut remaining = Some(flit);
-        for (bi, b) in plan.iter().enumerate() {
+        let mut solo = Some(flit);
+        let base = if fork {
+            Some(slab.insert(solo.take().expect("fork parks the payload once")))
+        } else {
+            None
+        };
+        for b in plan.iter() {
             output_used[b.port.index()] = true;
             if b.newly_allocated {
                 self.outputs.allocate_vc(b.port.index(), class, b.out_vc);
@@ -711,45 +723,45 @@ impl Router {
                 .send_flit(b.port.index(), class, b.out_vc, kind.is_tail());
             self.counters.crossbar_traversals += 1;
 
-            let mut departing = if bi + 1 == plan.len {
-                remaining.take().expect("flit departs on the last branch")
-            } else {
-                remaining
-                    .as_ref()
-                    .expect("flit present until the last branch")
-                    .clone()
-            };
-            departing.set_destinations(b.destinations);
-            departing.set_vc(b.out_vc);
-
             let lookahead = if self.config.kind.lookahead_enabled() && !b.port.is_local() {
-                let dir = b.port.direction().expect("non-local port has a direction");
-                let next = self
-                    .mesh
-                    .neighbor(self.coord, dir)
-                    .expect("routing never leaves the mesh");
-                let next_ports = routing::requested_ports(&self.mesh, next, &b.destinations);
+                let next_ports = self.neighbor_masks[b.port.index()].ports(&b.destinations);
                 self.counters.lookaheads_sent += 1;
                 Some(Lookahead::new(flit_id, class, b.out_vc, next_ports))
             } else {
                 None
             };
 
-            if b.port.is_local() {
+            let hop = if b.port.is_local() {
                 self.counters.local_link_traversals += 1;
                 if kind.is_tail() {
                     self.counters.ejections += 1;
                 }
+                None
             } else {
                 self.counters.link_traversals += 1;
-                departing.record_hop(bypassed);
-            }
+                Some(bypassed)
+            };
+
+            let handle = if let Some(base) = base {
+                slab.replicate(base, b.destinations, b.out_vc, hop)
+            } else {
+                let mut departing = solo.take().expect("single-branch plan departs once");
+                departing.set_destinations(b.destinations);
+                departing.set_vc(b.out_vc);
+                if let Some(bypassed) = hop {
+                    departing.record_hop(bypassed);
+                }
+                slab.insert(departing)
+            };
 
             out.departures.push(Departure {
                 port: b.port,
-                flit: departing,
+                flit: handle,
                 lookahead,
             });
+        }
+        if let Some(base) = base {
+            slab.release(base);
         }
 
         // Maintain per-VC route state so body/tail flits of multi-flit
@@ -827,8 +839,11 @@ mod tests {
     }
 
     fn lookahead_for(router: &Router, flit: &Flit) -> Lookahead {
-        let ports =
-            routing::requested_ports(&Mesh::new(4).unwrap(), router.coord(), flit.destinations());
+        let ports = noc_topology::routing::requested_ports(
+            &Mesh::new(4).unwrap(),
+            router.coord(),
+            flit.destinations(),
+        );
         Lookahead::new(flit.id(), flit.message_class(), flit.vc().unwrap(), ports)
     }
 
@@ -836,6 +851,7 @@ mod tests {
     fn buffered_unicast_departs_after_pipeline_delay() {
         // Aggressive baseline: arrive at t, depart at t+2 (3 cycles per hop
         // counting the link the orchestrator adds).
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(
             &RouterConfig::aggressive_baseline(),
             mesh4(),
@@ -843,14 +859,14 @@ mod tests {
         );
         let flit = unicast_flit(1, 0, 15); // needs to keep going East/North
         r.accept_flit(Port::West, flit);
-        let out0 = r.step(10);
+        let out0 = r.step(10, &mut slab);
         assert!(
             out0.departures.is_empty(),
             "flit is only being buffered at t"
         );
-        let out1 = r.step(11);
+        let out1 = r.step(11, &mut slab);
         assert!(out1.departures.is_empty(), "pipeline delay not yet elapsed");
-        let out2 = r.step(12);
+        let out2 = r.step(12, &mut slab);
         assert_eq!(out2.departures.len(), 1);
         assert_eq!(out2.departures[0].port, Port::East);
         assert!(out2.departures[0].lookahead.is_none());
@@ -861,15 +877,16 @@ mod tests {
 
     #[test]
     fn bypassed_unicast_departs_in_its_arrival_cycle() {
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
         let flit = unicast_flit(1, 0, 7); // destination (3,1): continue East
         let la = lookahead_for(&r, &flit);
         r.accept_flit(Port::West, flit);
         r.accept_lookahead(Port::West, la);
-        let out = r.step(10);
+        let out = r.step(10, &mut slab);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::East);
-        assert_eq!(out.departures[0].flit.bypassed_hops(), 1);
+        assert_eq!(slab.take(out.departures[0].flit).bypassed_hops(), 1);
         assert!(
             out.departures[0].lookahead.is_some(),
             "bypass keeps pre-allocating downstream"
@@ -882,10 +899,11 @@ mod tests {
 
     #[test]
     fn without_lookahead_the_proposed_router_buffers() {
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
         let flit = unicast_flit(1, 0, 7);
         r.accept_flit(Port::West, flit);
-        let out = r.step(10);
+        let out = r.step(10, &mut slab);
         assert!(out.departures.is_empty());
         assert_eq!(r.counters().buffer_writes, 1);
         assert_eq!(r.buffered_flits(), 1);
@@ -895,12 +913,13 @@ mod tests {
     fn broadcast_flit_forks_in_the_crossbar() {
         // Broadcast from node 5 = (1,1) observed at its source router: the
         // XY-tree forks East, West, North and South.
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
         let flit = broadcast_flit(1, 5);
         let la = lookahead_for(&r, &flit);
         r.accept_flit(Port::Local, flit);
         r.accept_lookahead(Port::Local, la);
-        let out = r.step(0);
+        let out = r.step(0, &mut slab);
         assert_eq!(out.departures.len(), 4);
         let ports: Vec<Port> = out.departures.iter().map(|d| d.port).collect();
         assert!(ports.contains(&Port::East) && ports.contains(&Port::West));
@@ -911,19 +930,20 @@ mod tests {
         let total: usize = out
             .departures
             .iter()
-            .map(|d| d.flit.destinations().len())
+            .map(|d| slab.take(d.flit).destinations().len())
             .sum();
         assert_eq!(total, 15);
     }
 
     #[test]
     fn ejection_goes_to_the_local_port() {
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(2, 2));
         let flit = unicast_flit(1, 0, 10); // node 10 == (2,2)
         let la = lookahead_for(&r, &flit);
         r.accept_flit(Port::West, flit);
         r.accept_lookahead(Port::West, la);
-        let out = r.step(0);
+        let out = r.step(0, &mut slab);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::Local);
         assert!(
@@ -936,6 +956,7 @@ mod tests {
     #[test]
     fn contending_lookaheads_buffer_the_loser() {
         // Two flits arrive in the same cycle, both needing the East port.
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(true), mesh4(), Coord::new(1, 1));
         let f_a = unicast_flit(1, 0, 7);
         let f_b = unicast_flit(2, 4, 7);
@@ -945,7 +966,7 @@ mod tests {
         r.accept_lookahead(Port::West, la_a);
         r.accept_flit(Port::South, f_b);
         r.accept_lookahead(Port::South, la_b);
-        let out = r.step(0);
+        let out = r.step(0, &mut slab);
         assert_eq!(
             out.departures.len(),
             1,
@@ -959,6 +980,7 @@ mod tests {
     #[test]
     fn credits_are_required_to_depart() {
         // Exhaust the East output's request VCs, then check a flit stays put.
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(1, 1));
         for vc in 0..4 {
             r.outputs
@@ -968,9 +990,9 @@ mod tests {
         }
         let flit = unicast_flit(9, 0, 7);
         r.accept_flit(Port::West, flit);
-        r.step(0);
-        r.step(1);
-        let out = r.step(2);
+        r.step(0, &mut slab);
+        r.step(1, &mut slab);
+        let out = r.step(2, &mut slab);
         assert!(
             out.departures.is_empty(),
             "no downstream VC/credit available"
@@ -978,7 +1000,7 @@ mod tests {
         assert_eq!(r.buffered_flits(), 1);
         // Return one credit; the flit can now leave.
         r.accept_credit(Port::East, Credit::new(MessageClass::Request, 0));
-        let out = r.step(3);
+        let out = r.step(3, &mut slab);
         assert_eq!(out.departures.len(), 1);
     }
 
@@ -986,6 +1008,7 @@ mod tests {
     fn partial_multicast_service_keeps_remaining_destinations() {
         // A broadcast needs East and North, but North has no free VCs: only
         // the East branch is served and the rest stays buffered.
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(&RouterConfig::proposed(false), mesh4(), Coord::new(0, 0));
         for vc in 0..4 {
             r.outputs
@@ -995,9 +1018,9 @@ mod tests {
         }
         let flit = broadcast_flit(1, 0);
         r.accept_flit(Port::Local, flit);
-        r.step(0);
-        r.step(1);
-        let out = r.step(2);
+        r.step(0, &mut slab);
+        r.step(1, &mut slab);
+        let out = r.step(2, &mut slab);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::East);
         assert!(out.credits.is_empty(), "flit still owns its buffer slot");
@@ -1014,7 +1037,7 @@ mod tests {
         for vc in 0..4 {
             r.accept_credit(Port::North, Credit::new(MessageClass::Request, vc));
         }
-        let out = r.step(3);
+        let out = r.step(3, &mut slab);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].port, Port::North);
         assert_eq!(out.credits.len(), 1);
@@ -1023,6 +1046,7 @@ mod tests {
 
     #[test]
     fn five_flit_response_streams_in_order_on_one_vc() {
+        let mut slab = FlitSlab::new();
         let mut r = Router::new(
             &RouterConfig::aggressive_baseline(),
             mesh4(),
@@ -1050,10 +1074,10 @@ mod tests {
                 r.accept_flit(Port::West, flits[next_to_send].clone());
                 next_to_send += 1;
             }
-            let out = r.step(cycle);
+            let out = r.step(cycle, &mut slab);
             for d in out.departures {
                 assert_eq!(d.port, Port::East);
-                received.push(d.flit.sequence());
+                received.push(slab.take(d.flit).sequence());
             }
             // Model the downstream router always making room promptly.
             for (_, credit) in out.credits {

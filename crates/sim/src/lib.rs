@@ -13,7 +13,12 @@
 //!   and NIC traversals through without steady-state heap allocation,
 //! * [`Lfsr`] and [`PrbsGenerator`] — the pseudo-random binary sequence
 //!   generators the chip's NICs use to produce traffic (including the
-//!   "identical seeds on every NIC" artifact the paper discusses),
+//!   "identical seeds on every NIC" artifact the paper discusses), with a
+//!   precomputed GF(2) 16-step leap ([`Lfsr::leap16`]) and a scout/skip API
+//!   that lets schedulers fast-forward quiescent traffic sources bit-exactly,
+//! * [`FlitSlab`] and [`FlitHandle`] — pooled refcounted payload storage so
+//!   the wheel's flit lane moves 8-byte handles instead of whole flits and
+//!   multicast forks share one payload across branches,
 //! * [`LatencyStats`], [`ThroughputStats`] — measurement helpers for the
 //!   latency/throughput curves of Figs. 5 and 13,
 //! * [`ActivityCounters`] — per-component event counts (buffer reads/writes,
@@ -52,11 +57,13 @@
 mod clock;
 mod counters;
 mod prbs;
+mod slab;
 mod stats;
 mod wheel;
 
 pub use clock::Clock;
 pub use counters::ActivityCounters;
-pub use prbs::{Lfsr, PrbsGenerator};
+pub use prbs::{bernoulli_threshold, Lfsr, PrbsGenerator};
+pub use slab::{FlitHandle, FlitSlab};
 pub use stats::{LatencyStats, SweepPoint, ThroughputStats};
 pub use wheel::{EventWheel, RingQueue};

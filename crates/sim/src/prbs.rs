@@ -9,6 +9,60 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One serial step of the 16-bit Fibonacci LFSR (taps 16, 15, 13, 4),
+/// returning `(next_state << 16) | output_bit` packed for const evaluation.
+const fn lfsr_step(state: u16) -> (u16, u16) {
+    let bit = (state ^ (state >> 1) ^ (state >> 3) ^ (state >> 12)) & 1;
+    ((state >> 1) | (bit << 15), bit)
+}
+
+/// Sixteen serial LFSR steps from `state`, packed as
+/// `(end_state << 16) | word` where `word` collects the output bits MSB-first
+/// — exactly what [`Lfsr::next_bits`]`(16)` computes one bit at a time.
+const fn lfsr_serial16(mut state: u16) -> u32 {
+    let mut word: u16 = 0;
+    let mut i = 0;
+    while i < 16 {
+        let (next, bit) = lfsr_step(state);
+        state = next;
+        word = (word << 1) | bit;
+        i += 1;
+    }
+    ((state as u32) << 16) | word as u32
+}
+
+/// Builds one byte-indexed half of the 16-step leap table: entry `b` is the
+/// packed 16-step image of the state `b << shift`.
+///
+/// Both the LFSR state update and the output word are GF(2)-linear in the
+/// state bits (every produced bit is an XOR of initial state bits, and the
+/// zero state maps to zero), so the image of any state is the XOR of the
+/// images of its low and high bytes. The two 256-entry tables below are the
+/// precomputed transition matrix of the 16-step leap in byte-sliced form.
+const fn build_leap16_table(shift: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut b = 0;
+    while b < 256 {
+        table[b] = lfsr_serial16((b as u16) << shift);
+        b += 1;
+    }
+    table
+}
+
+/// Packed 16-step images of the 256 low-byte basis states.
+static LEAP16_LO: [u32; 256] = build_leap16_table(0);
+/// Packed 16-step images of the 256 high-byte basis states.
+static LEAP16_HI: [u32; 256] = build_leap16_table(8);
+
+/// Converts a probability into the 16-bit comparison threshold a PRBS
+/// Bernoulli trial ([`PrbsGenerator::coin`]) uses: a trial wins when the next
+/// 16-bit rate word is strictly below the threshold, giving a resolution of
+/// 1/65535 on the probability.
+#[must_use]
+pub fn bernoulli_threshold(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * f64::from(u16::MAX)) as u32
+}
+
 /// A 16-bit maximal-length Fibonacci linear-feedback shift register
 /// (taps 16, 15, 13, 4 — the classic x^16 + x^15 + x^13 + x^4 + 1 polynomial).
 ///
@@ -64,6 +118,22 @@ impl Lfsr {
         }
         word
     }
+
+    /// Advances the register sixteen steps in one leap and returns the same
+    /// 16-bit word sixteen [`next_bit`](Self::next_bit) calls would have
+    /// produced (MSB first), leaving the register in the identical state.
+    ///
+    /// The leap XOR-combines two byte-sliced images of the precomputed
+    /// GF(2) 16-step transition matrix, replacing 16 serial shift/tap
+    /// evaluations with two table lookups. Bit-exactness against serial
+    /// stepping is pinned exhaustively over every state below and by
+    /// proptest in `tests/properties.rs`.
+    pub fn leap16(&mut self) -> u16 {
+        let packed =
+            LEAP16_LO[usize::from(self.state & 0xFF)] ^ LEAP16_HI[usize::from(self.state >> 8)];
+        self.state = (packed >> 16) as u16;
+        packed as u16
+    }
 }
 
 /// A PRBS-based traffic randomness source.
@@ -95,8 +165,49 @@ impl PrbsGenerator {
     /// 1/65535 on the injection rate — fine-grained enough for every rate
     /// swept in the paper's figures.
     pub fn chance(&mut self, p: f64) -> bool {
-        let threshold = (p.clamp(0.0, 1.0) * f64::from(u16::MAX)) as u32;
-        u32::from(self.rate_lfsr.next_bits(16)) < threshold
+        let threshold = bernoulli_threshold(p);
+        self.coin(threshold)
+    }
+
+    /// A Bernoulli trial against a precomputed [`bernoulli_threshold`],
+    /// letting per-cycle callers hoist the probability-to-threshold
+    /// conversion out of their hot loop. `coin(bernoulli_threshold(p))` is
+    /// bit-identical to [`chance`](Self::chance)`(p)`.
+    pub fn coin(&mut self, threshold: u32) -> bool {
+        u32::from(self.rate_lfsr.leap16()) < threshold
+    }
+
+    /// Counts the losing [`coin`](Self::coin) flips ahead of the current
+    /// rate-LFSR state, without consuming them: the returned run length is
+    /// the number of upcoming trials guaranteed to come up `false` before
+    /// the first (unconsumed) winning flip, saturating at `cap`.
+    ///
+    /// A zero threshold can never win a trial, so the scout reports
+    /// `u64::MAX` ("quiescent forever") without walking the sequence.
+    /// Active-set schedulers use this to put an idle traffic source to sleep
+    /// and later replay exactly the scouted flips with
+    /// [`skip_coin_flips`](Self::skip_coin_flips).
+    #[must_use]
+    pub fn scout_coin_run(&self, threshold: u32, cap: u64) -> u64 {
+        if threshold == 0 {
+            return u64::MAX;
+        }
+        let mut probe = self.rate_lfsr;
+        let mut run = 0;
+        while run < cap && u32::from(probe.leap16()) >= threshold {
+            run += 1;
+        }
+        run
+    }
+
+    /// Consumes `flips` Bernoulli trials without inspecting their outcomes —
+    /// each flip is one 16-bit leap of the rate LFSR, so the generator lands
+    /// in exactly the state `flips` serial [`coin`](Self::coin) calls would
+    /// have left it in.
+    pub fn skip_coin_flips(&mut self, flips: u64) {
+        for _ in 0..flips {
+            self.rate_lfsr.leap16();
+        }
     }
 
     /// Returns a value in `0..bound` (used for uniform destination choice).
@@ -106,12 +217,12 @@ impl PrbsGenerator {
     /// Panics if `bound == 0`.
     pub fn next_below(&mut self, bound: u16) -> u16 {
         assert!(bound > 0, "bound must be positive");
-        self.dest_lfsr.next_bits(16) % bound
+        self.dest_lfsr.leap16() % bound
     }
 
     /// Returns the next raw 16-bit word of the destination LFSR.
     pub fn next_word(&mut self) -> u16 {
-        self.dest_lfsr.next_bits(16)
+        self.dest_lfsr.leap16()
     }
 }
 
@@ -203,5 +314,69 @@ mod tests {
     fn next_below_zero_bound_panics() {
         let mut g = PrbsGenerator::new(1);
         let _ = g.next_below(0);
+    }
+
+    #[test]
+    fn leap16_matches_sixteen_serial_steps_for_every_state() {
+        // Exhaustive over the whole non-zero state space: the leap must
+        // reproduce both the 16-bit output word and the end state of sixteen
+        // serial shift/tap evaluations, bit for bit.
+        for seed in 1..=u16::MAX {
+            let mut serial = Lfsr::new(seed);
+            let mut leaping = Lfsr::new(seed);
+            let word = serial.next_bits(16);
+            assert_eq!(leaping.leap16(), word, "word diverged at state {seed:#06x}");
+            assert_eq!(
+                leaping.state(),
+                serial.state(),
+                "state diverged at seed {seed:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn coin_with_precomputed_threshold_matches_chance() {
+        let mut a = PrbsGenerator::new(0x1CE5);
+        let mut b = PrbsGenerator::new(0x1CE5);
+        for p in [0.0, 0.013, 0.14, 0.5, 0.999, 1.0] {
+            let threshold = bernoulli_threshold(p);
+            for _ in 0..64 {
+                assert_eq!(a.chance(p), b.coin(threshold));
+            }
+        }
+    }
+
+    #[test]
+    fn scout_and_skip_reproduce_the_serial_coin_stream() {
+        // Serial reference: flip every cycle. Scouted: sleep through the
+        // scouted run, replay it with skip_coin_flips, then flip. Both must
+        // observe winning flips on exactly the same cycles and end in the
+        // same state.
+        let threshold = bernoulli_threshold(0.02);
+        let mut serial = PrbsGenerator::new(0xB00B);
+        let mut scouted = PrbsGenerator::new(0xB00B);
+        let mut cycle = 0u64;
+        while cycle < 20_000 {
+            let run = scouted.scout_coin_run(threshold, 1_000);
+            for _ in 0..run {
+                assert!(!serial.coin(threshold), "scouted flip must lose");
+            }
+            scouted.skip_coin_flips(run);
+            cycle += run;
+            if run < 1_000 {
+                // The first unscouted flip must win on both sides.
+                assert!(serial.coin(threshold));
+                assert!(scouted.coin(threshold));
+                cycle += 1;
+            }
+            assert_eq!(serial, scouted, "states diverged at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn scouting_a_zero_threshold_reports_forever() {
+        let g = PrbsGenerator::new(0x1234);
+        assert_eq!(g.scout_coin_run(0, 1_000), u64::MAX);
+        assert_eq!(g.scout_coin_run(bernoulli_threshold(0.0), 10), u64::MAX);
     }
 }

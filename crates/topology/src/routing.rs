@@ -196,6 +196,77 @@ pub fn requested_ports(mesh: &Mesh, current: Coord, dests: &DestinationSet) -> P
     multicast_branches(mesh, current, dests).ports()
 }
 
+/// Precomputed XY-routing port partition of one observer coordinate.
+///
+/// For a fixed `current` node, XY dimension-order routing sends every
+/// destination of the mesh through one specific output port — so the five
+/// per-port destination subsets of [`multicast_branches`] are intersections
+/// of the flit's destination set with five *fixed* masks. Components that
+/// route from a fixed coordinate every cycle (a router's fork paths, a NIC's
+/// lookahead generation) precompute the masks once and turn the per-flit
+/// per-destination scan into a handful of word-wide ANDs.
+///
+/// [`branches`](Self::branches) and [`ports`](Self::ports) are bit-exact
+/// drop-in replacements for [`multicast_branches`] / [`requested_ports`] at
+/// the precomputed coordinate (same branch order, same subsets); a test pins
+/// the equivalence for every observer of the largest supported mesh.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{routing, Mesh};
+/// use noc_types::{Coord, DestinationSet};
+///
+/// let mesh = Mesh::new(4)?;
+/// let at = Coord::new(1, 1);
+/// let masks = routing::XyPortMasks::new(&mesh, at);
+/// let dests = DestinationSet::broadcast(4, at.node_id(4));
+/// assert_eq!(masks.branches(&dests), routing::multicast_branches(&mesh, at, &dests));
+/// # Ok::<(), noc_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct XyPortMasks {
+    masks: [DestinationSet; PORT_COUNT],
+}
+
+impl XyPortMasks {
+    /// Builds the per-port destination masks of the observer at `current`.
+    #[must_use]
+    pub fn new(mesh: &Mesh, current: Coord) -> Self {
+        let mut masks = [DestinationSet::empty(); PORT_COUNT];
+        for dest in mesh.nodes() {
+            let port = xy_next_port(mesh, current, dest);
+            masks[port.index()].insert(mesh.id_of(dest));
+        }
+        Self { masks }
+    }
+
+    /// [`multicast_branches`] at the precomputed coordinate.
+    #[must_use]
+    pub fn branches(&self, dests: &DestinationSet) -> BranchList {
+        let mut branches = BranchList::new();
+        for port in Port::ALL {
+            let destinations = dests.intersection(&self.masks[port.index()]);
+            if !destinations.is_empty() {
+                branches.push(RouteBranch { port, destinations });
+            }
+        }
+        branches
+    }
+
+    /// [`requested_ports`] at the precomputed coordinate.
+    #[must_use]
+    pub fn ports(&self, dests: &DestinationSet) -> PortSet {
+        let mut ports = PortSet::empty();
+        for port in Port::ALL {
+            if !dests.intersection(&self.masks[port.index()]).is_empty() {
+                ports.insert(port);
+            }
+        }
+        ports
+    }
+}
+
 /// Number of link traversals an XY-tree multicast from `source` to `dests`
 /// performs in total (used by the theoretical energy accounting and by tests
 /// that check the tree never re-visits a link).

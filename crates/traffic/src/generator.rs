@@ -2,7 +2,7 @@
 //! chip's NICs implement in RTL (§4.1), including the identical-seed
 //! artifact the paper measures and the per-node-seed "fixed RTL" variant.
 
-use noc_sim::PrbsGenerator;
+use noc_sim::{bernoulli_threshold, PrbsGenerator};
 use noc_types::{Cycle, DestinationSet, NodeId, Packet, PacketId, PacketKind, TrafficKind};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,10 @@ pub struct TrafficGenerator {
     mix: TrafficMix,
     pattern: SpatialPattern,
     rate: f64,
+    /// Fixed-point Bernoulli threshold for `rate / expected_flits_per_packet`,
+    /// cached so the per-cycle coin flip is one table-leap compare instead of
+    /// a divide (recomputed only when the rate changes).
+    coin_threshold: u32,
     prbs: PrbsGenerator,
     next_packet_seq: u64,
 }
@@ -116,12 +120,14 @@ impl TrafficGenerator {
             SeedMode::Identical => base_seed,
             SeedMode::PerNode => base_seed ^ (node.wrapping_mul(0x9E37) | 1),
         };
+        let coin_threshold = bernoulli_threshold(rate / mix.expected_flits_per_packet());
         Self {
             node,
             k,
             mix,
             pattern,
             rate,
+            coin_threshold,
             prbs: PrbsGenerator::new(seed),
             next_packet_seq: 0,
         }
@@ -143,6 +149,7 @@ impl TrafficGenerator {
     pub fn set_rate(&mut self, rate: f64) {
         assert!(rate >= 0.0, "injection rate must be non-negative");
         self.rate = rate;
+        self.coin_threshold = bernoulli_threshold(rate / self.mix.expected_flits_per_packet());
     }
 
     /// Traffic mix.
@@ -167,13 +174,33 @@ impl TrafficGenerator {
     /// NICs inject at most one packet per cycle, so no container — and no
     /// allocation — is needed).
     pub fn generate(&mut self, cycle: Cycle) -> Option<Packet> {
-        let packet_probability = self.rate / self.mix.expected_flits_per_packet();
-        if !self.prbs.chance(packet_probability) {
+        if !self.prbs.coin(self.coin_threshold) {
             return None;
         }
         let kind_sample = f64::from(self.prbs.next_word()) / f64::from(u16::MAX);
         let kind = self.mix.pick(kind_sample.min(0.999_999));
         Some(self.build_packet(kind, cycle))
+    }
+
+    /// Scouts how many upcoming [`generate`](Self::generate) calls are
+    /// guaranteed to produce no packet, without mutating any PRBS state.
+    ///
+    /// Returns `u64::MAX` when the generator can never inject (zero rate),
+    /// otherwise the exact number of losing coin flips ahead, capped at
+    /// `cap`. A scheduler may skip that many cycles and replay them later
+    /// through [`skip_idle_cycles`](Self::skip_idle_cycles) with a bit-exact
+    /// resulting stream.
+    #[must_use]
+    pub fn idle_cycles_hint(&self, cap: u64) -> u64 {
+        self.prbs.scout_coin_run(self.coin_threshold, cap)
+    }
+
+    /// Replays `cycles` injection coin flips at once (each one a losing flip
+    /// previously promised by [`idle_cycles_hint`](Self::idle_cycles_hint)),
+    /// leaving the PRBS state exactly as `cycles` calls to
+    /// [`generate`](Self::generate) returning `None` would.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        self.prbs.skip_coin_flips(cycles);
     }
 
     /// Builds one packet of the given kind at `cycle` (also used by tests and
@@ -333,6 +360,42 @@ mod tests {
         use crate::pattern::SpatialPattern;
         let gen = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.1);
         assert_eq!(gen.pattern(), &SpatialPattern::uniform_legacy());
+    }
+
+    #[test]
+    fn idle_hint_and_skip_replay_the_serial_coin_stream() {
+        let mut serial = TrafficGenerator::new(3, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.01);
+        let mut skipping = serial.clone();
+        let mut cycle = 0;
+        while cycle < 50_000 {
+            let idle = skipping.idle_cycles_hint(1_000);
+            if idle > 0 {
+                let run = idle.min(1_000);
+                for c in cycle..cycle + run {
+                    assert!(serial.generate(c).is_none(), "promised-idle cycle {c}");
+                }
+                skipping.skip_idle_cycles(run);
+                cycle += run;
+            } else {
+                assert_eq!(serial.generate(cycle), skipping.generate(cycle));
+                cycle += 1;
+            }
+        }
+        assert_eq!(serial, skipping, "PRBS states must converge identically");
+    }
+
+    #[test]
+    fn zero_rate_scouts_as_forever_idle() {
+        let gen = TrafficGenerator::new(3, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.0);
+        assert_eq!(gen.idle_cycles_hint(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn set_rate_recomputes_the_cached_threshold() {
+        let fresh = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.5);
+        let mut updated = TrafficGenerator::new(0, 4, TrafficMix::mixed(), SeedMode::PerNode, 0.05);
+        updated.set_rate(0.5);
+        assert_eq!(fresh, updated, "set_rate must match construction exactly");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! `Network::reset`, all buffer capacity retained) must behave
 //! bit-identically to a cold-constructed one.
 
-use noc_repro::noc::{sweep, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner};
+use noc_repro::noc::{
+    sweep, Network, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner,
+};
 use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficMix};
 
 fn run_once(config: NocConfig, rate: f64) -> SimulationResult {
@@ -181,6 +183,69 @@ fn non_uniform_patterns_keep_every_determinism_guarantee() {
             again,
             run_once(config, 0.25),
             "{pattern:?} repeated runs diverged"
+        );
+    }
+}
+
+#[test]
+fn nic_idle_skip_is_bit_identical_to_serial_injection() {
+    // The quiescent-NIC nap (scout the PRBS coin run, sleep, replay the
+    // skipped flips on wake) is a pure scheduling shortcut: with the chicken
+    // bit off, every NIC flips its coin serially each cycle. Both modes must
+    // produce the same traffic bit for bit — including across drain phases
+    // with injection off and a mid-run rate change, which force the
+    // wake/catch-up paths.
+    for (mix, rate) in [
+        (TrafficMix::default(), 0.03),
+        (TrafficMix::unicast_only(), 0.18),
+        (TrafficMix::broadcast_only(), 0.02),
+    ] {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_mix(mix)
+            .with_seed_mode(SeedMode::PerNode);
+        let mut napping = Network::new(config, rate).expect("valid configuration");
+        let mut serial = Network::new(config, rate).expect("valid configuration");
+        serial.set_nic_idle_skip(false);
+        napping.set_measuring(true);
+        serial.set_measuring(true);
+
+        // Interleave inject and drain phases, changing the rate mid-run.
+        let phases = [(250usize, true), (60, false), (120, true), (40, false)];
+        for (round, (steps, inject)) in phases.into_iter().enumerate() {
+            for _ in 0..steps {
+                napping.step(inject);
+                serial.step(inject);
+                assert_eq!(
+                    napping.in_flight_flits(),
+                    serial.in_flight_flits(),
+                    "in-flight flits diverged ({mix:?}, round {round})"
+                );
+            }
+            assert_eq!(
+                napping.injected_packets(),
+                serial.injected_packets(),
+                "injection streams diverged ({mix:?}, round {round})"
+            );
+            if round == 1 {
+                napping.set_rate(rate * 3.0);
+                serial.set_rate(rate * 3.0);
+            }
+        }
+        assert_eq!(
+            napping.counters(),
+            serial.counters(),
+            "activity counters diverged ({mix:?})"
+        );
+        assert_eq!(
+            format!("{:?}", napping.latency()),
+            format!("{:?}", serial.latency()),
+            "latency statistics diverged ({mix:?})"
+        );
+        assert_eq!(
+            format!("{:?}", napping.throughput()),
+            format!("{:?}", serial.throughput()),
+            "throughput statistics diverged ({mix:?})"
         );
     }
 }

@@ -201,3 +201,43 @@ fn lowload_sweeps_survive_the_active_set_refactor_bit_for_bit() {
         .with_side(8);
     assert_sweep_matches(config8, (200, 600), &LOWLOAD_8X8_GOLDEN_POINT);
 }
+
+/// First 12 16-bit words of the rate LFSR from the default seed, MSB-first —
+/// captured from the serial one-bit-per-step register before `leap16`
+/// existed. The leap tables must reproduce this stream exactly.
+const LFSR_ACE1_WORDS: [u16; 12] = [
+    0xee10, 0x46df, 0x0d4d, 0xa7c7, 0xacbe, 0x7745, 0x74ae, 0xd5d8, 0x55f5, 0x01ad, 0xd2b3, 0xdfb1,
+];
+
+#[test]
+fn leap16_reproduces_the_serial_lfsr_word_stream_bit_for_bit() {
+    // Independent serial reference, re-implemented here so a bug in the
+    // leap tables cannot hide behind a matching bug in `Lfsr::next_bit`.
+    let serial_words = |seed: u16, count: usize| -> Vec<u16> {
+        let mut state = seed;
+        (0..count)
+            .map(|_| {
+                let mut word = 0u16;
+                for _ in 0..16 {
+                    let bit = (state ^ (state >> 1) ^ (state >> 3) ^ (state >> 12)) & 1;
+                    state = (state >> 1) | (bit << 15);
+                    word = (word << 1) | bit;
+                }
+                word
+            })
+            .collect()
+    };
+
+    let mut leaping = noc_repro::sim::Lfsr::new(0xACE1);
+    let leapt: Vec<u16> = (0..2000).map(|_| leaping.leap16()).collect();
+    assert_eq!(leapt[..12], LFSR_ACE1_WORDS, "pinned prefix moved");
+    assert_eq!(
+        leapt,
+        serial_words(0xACE1, 2000),
+        "leap16 diverged from the serial register"
+    );
+    // A second seed guards against tables that only work for one orbit.
+    let mut other = noc_repro::sim::Lfsr::new(0x0001);
+    let other_leapt: Vec<u16> = (0..500).map(|_| other.leap16()).collect();
+    assert_eq!(other_leapt, serial_words(0x0001, 500));
+}

@@ -1,7 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
+use noc_repro::noc::{Network, NocConfig};
 use noc_repro::router::{MatrixArbiter, RoundRobinArbiter};
-use noc_repro::sim::{Lfsr, PrbsGenerator};
+use noc_repro::sim::{bernoulli_threshold, FlitHandle, FlitSlab, Lfsr, PrbsGenerator};
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::topology::{routing, Mesh};
 use noc_repro::traffic::SpatialPattern;
@@ -371,5 +372,135 @@ proptest! {
         let low_hits: u32 = (0..trials).map(|_| u32::from(low.chance(p))).sum();
         let high_hits: u32 = (0..trials).map(|_| u32::from(high.chance(p + 0.4))).sum();
         prop_assert!(high_hits >= low_hits);
+    }
+
+    /// `Lfsr::leap16` must be a drop-in for sixteen serial register steps:
+    /// same output word (MSB first), same end state, from any nonzero seed
+    /// and across consecutive leaps.
+    #[test]
+    fn leap16_matches_sixteen_serial_steps(seed in 1u16.., leaps in 1usize..64) {
+        let mut serial = Lfsr::new(seed);
+        let mut leaping = Lfsr::new(seed);
+        for _ in 0..leaps {
+            let word = serial.next_bits(16);
+            prop_assert_eq!(leaping.leap16(), word);
+            prop_assert_eq!(leaping.state(), serial.state());
+        }
+    }
+
+    /// The nap protocol (`scout_coin_run` + `skip_coin_flips`) must replay
+    /// the exact Bernoulli stream a serial `coin` loop draws: every scouted
+    /// flip is a loss, the first flip after the run wins, and the generator
+    /// lands in the bit-identical end state.
+    #[test]
+    fn scout_then_skip_replays_the_exact_coin_stream(
+        seed in 1u16..,
+        p in 0.0f64..0.3,
+        draws in 1usize..200,
+    ) {
+        let threshold = bernoulli_threshold(p);
+        let mut serial = PrbsGenerator::new(seed);
+        let serial_hits: Vec<bool> = (0..draws).map(|_| serial.coin(threshold)).collect();
+
+        let mut napping = PrbsGenerator::new(seed);
+        let mut i = 0usize;
+        while i < draws {
+            let run = napping
+                .scout_coin_run(threshold, (draws - i) as u64)
+                .min((draws - i) as u64);
+            for hit in &serial_hits[i..i + run as usize] {
+                prop_assert!(!hit, "scouted flips must all lose");
+            }
+            napping.skip_coin_flips(run);
+            i += run as usize;
+            if i < draws {
+                prop_assert!(serial_hits[i], "the flip after a scouted run wins");
+                prop_assert!(napping.coin(threshold));
+                i += 1;
+            }
+        }
+        prop_assert_eq!(napping, serial);
+    }
+
+    // ------------------------------------------------------------- flit slab
+
+    /// Random insert/fork/take/release traffic against a shadow map: a
+    /// recycled slot or handle must never alias a payload that is still
+    /// live, and every live handle keeps resolving to its own packet.
+    #[test]
+    fn slab_handle_recycling_never_aliases_live_payloads(
+        ops in proptest::collection::vec(0u32..4000, 0..120),
+    ) {
+        let flit_with_id = |id: u64| {
+            let packet = Packet::new(id, 0, DestinationSet::unicast(3), PacketKind::Request, 0);
+            packet.to_flits().remove(0)
+        };
+        let mut slab = FlitSlab::new();
+        let mut live: Vec<(FlitHandle, u64)> = Vec::new();
+        let mut next_id = 1u64;
+        for op in ops {
+            match op % 4 {
+                0 => {
+                    live.push((slab.insert(flit_with_id(next_id)), next_id));
+                    next_id += 1;
+                }
+                1 => {
+                    // A two-way fork: base inserted, replicated, released.
+                    let base = slab.insert(flit_with_id(next_id));
+                    for vc in 0..2 {
+                        let replica = slab.replicate(
+                            base,
+                            DestinationSet::unicast(u16::from(vc)),
+                            vc,
+                            Some(vc == 0),
+                        );
+                        live.push((replica, next_id));
+                    }
+                    slab.release(base);
+                    next_id += 1;
+                }
+                2 if !live.is_empty() => {
+                    let victim = (op as usize / 4) % live.len();
+                    let (handle, id) = live.swap_remove(victim);
+                    prop_assert_eq!(slab.take(handle).packet_id(), id);
+                }
+                3 if !live.is_empty() => {
+                    let victim = (op as usize / 4) % live.len();
+                    let (handle, id) = live.swap_remove(victim);
+                    prop_assert_eq!(slab.peek_payload(handle).packet_id(), id);
+                    slab.release(handle);
+                }
+                _ => {}
+            }
+            // The aliasing invariant proper: recycling never redirected a
+            // live handle to another packet's payload.
+            for (handle, id) in &live {
+                prop_assert_eq!(slab.peek_payload(*handle).packet_id(), *id);
+            }
+            prop_assert_eq!(slab.live(), live.len());
+        }
+        for (handle, id) in live.drain(..) {
+            prop_assert_eq!(slab.take(handle).packet_id(), id);
+        }
+        prop_assert!(slab.is_empty());
+    }
+
+    /// A warm `Network::reset` must leave the pooled flit slab and event
+    /// lanes observably cold: nothing in flight, and a post-reset drain with
+    /// injection off stays empty instead of replaying stale handles.
+    #[test]
+    fn warm_network_reset_drains_the_slab_to_cold(seed in 0u64..u64::MAX, steps in 1usize..100) {
+        let config = NocConfig::proposed_chip().unwrap().with_side(4);
+        let mut network = Network::new(config, 0.4).unwrap();
+        for _ in 0..steps {
+            network.step(true);
+        }
+        network.reset(seed);
+        prop_assert_eq!(network.in_flight_flits(), 0);
+        for _ in 0..32 {
+            network.step(false);
+        }
+        prop_assert_eq!(network.in_flight_flits(), 0);
+        prop_assert_eq!(network.latency().count(), 0);
     }
 }

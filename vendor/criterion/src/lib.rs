@@ -11,7 +11,12 @@
 //! * **Smoke profile:** setting `NOC_BENCH_SMOKE=1` caps warm-up and
 //!   measurement at a few milliseconds so CI can exercise every harness
 //!   end-to-end without multi-minute runs.
+//! * **JSON sink:** setting `NOC_BENCH_JSON=<path>` additionally appends each
+//!   result to an in-process list and rewrites `<path>` as a JSON document
+//!   after every benchmark, so a partial run still leaves a parseable file
+//!   for `tools/bench_diff`.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -19,6 +24,49 @@ pub use std::hint::black_box;
 /// Environment variable that switches every benchmark to a milliseconds-long
 /// smoke run (used by CI).
 pub const SMOKE_ENV: &str = "NOC_BENCH_SMOKE";
+
+/// Environment variable naming a file that receives every benchmark result as
+/// JSON (`{"schema":1,"results":[{"id","mean_ns","samples"},...]}`).
+pub const JSON_ENV: &str = "NOC_BENCH_JSON";
+
+/// Results accumulated by this process, mirrored to the `NOC_BENCH_JSON` file
+/// after every benchmark completes.
+static JSON_RESULTS: Mutex<Vec<(String, f64, usize)>> = Mutex::new(Vec::new());
+
+/// Escapes a benchmark id for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Records one result and rewrites the JSON sink file, if configured.
+fn record_json(id: &str, mean_ns: f64, samples: usize) {
+    let Some(path) = std::env::var_os(JSON_ENV).filter(|v| !v.is_empty()) else {
+        return;
+    };
+    let mut results = JSON_RESULTS.lock().expect("bench JSON sink poisoned");
+    results.push((id.to_string(), mean_ns, samples));
+    let mut doc = String::from("{\n  \"schema\": 1,\n  \"results\": [\n");
+    for (i, (id, mean_ns, samples)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        doc.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"mean_ns\": {mean_ns:.1}, \"samples\": {samples} }}{sep}\n",
+            json_escape(id)
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, doc) {
+        eprintln!("warning: failed to write {}: {err}", path.to_string_lossy());
+    }
+}
 
 /// How a batched routine's per-iteration setup output is grouped. The shim
 /// runs one setup per routine call regardless, so the variants only exist for
@@ -166,6 +214,7 @@ impl Criterion {
             "{id:<50} time: {:>12.1} ns/iter ({} samples)",
             bencher.last_mean_ns, bencher.samples_taken
         );
+        record_json(id, bencher.last_mean_ns, bencher.samples_taken);
         self
     }
 }
@@ -214,6 +263,13 @@ mod tests {
         c.bench_function("shim_self_test", |b| {
             b.iter(|| black_box((0..100u64).sum::<u64>()));
         });
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("plain_id"), "plain_id");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 
     #[test]

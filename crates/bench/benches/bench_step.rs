@@ -66,6 +66,45 @@ fn bench_step_8x8_saturated(c: &mut Criterion) {
     });
 }
 
+/// Partitioned stepping: the same saturated 8×8 workload stepped by two
+/// row-strip partitions through the persistent pool. On a multi-core host
+/// this should approach half the serial cost; on a single-core runner it
+/// instead measures the barrier + mailbox-merge overhead (the `_2t` suffix
+/// is how `bench_diff` knows the thread count).
+fn bench_step_8x8_saturated_2t(c: &mut Criterion) {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_side(8)
+        .with_seed_mode(SeedMode::PerNode);
+    let mut network = Network::with_step_threads(config, 0.28, 2).unwrap();
+    for _ in 0..1_000 {
+        network.step(true);
+    }
+    c.bench_function("step_8x8_saturated_mixed_2t", |b| {
+        b.iter(|| {
+            network.step(true);
+            black_box(network.now())
+        });
+    });
+}
+
+/// The 16×16 stressor behind the `stress16` experiment: 256 nodes of
+/// saturated mixed traffic, stepped serially as the scaling anchor the
+/// partitioned variants are judged against.
+fn bench_step_16x16_saturated(c: &mut Criterion) {
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_side(16)
+        .with_seed_mode(SeedMode::PerNode);
+    let mut network = warmed_network(config, 0.10, 1_000);
+    c.bench_function("step_16x16_saturated_mixed", |b| {
+        b.iter(|| {
+            network.step(true);
+            black_box(network.now())
+        });
+    });
+}
+
 /// Low-load variants: the regime where the active-set scheduler pays off.
 /// Most cycles most routers are idle, so `step` should visit only the
 /// handful of woken nodes instead of all k². The mixed points sit at the
@@ -170,6 +209,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_step_4x4_saturated, bench_step_4x4_baseline_saturated, bench_step_8x8_saturated,
-        bench_step_lowload, bench_step_drain_idle, bench_reset_vs_new
+        bench_step_8x8_saturated_2t, bench_step_16x16_saturated, bench_step_lowload,
+        bench_step_drain_idle, bench_reset_vs_new
 }
 criterion_main!(benches);

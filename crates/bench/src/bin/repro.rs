@@ -3,18 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--json PATH] <experiment>...   # e.g. repro table1 fig5
-//! repro [--quick] [--jobs N] [--json PATH] all               # every experiment in order
+//! repro [--quick] [--jobs N] [--step-threads N] [--json PATH] <experiment>...
+//! repro [--quick] [--jobs N] [--step-threads N] [--json PATH] all
 //! repro list                                                 # ids + descriptions
 //! ```
 //!
 //! Experiments come from the typed registry (`noc_bench::REGISTRY`); `list`
 //! prints each id with its description. `--jobs N` runs sweep-backed
-//! experiments (`fig5`, `fig13`, `stress8`, `patterns`) with N worker
-//! threads; results are bit-identical for any N. Whenever a run produces
-//! sweep data, a machine-readable JSON document (per-point rates, latencies,
-//! throughputs and wall-clock times) is written next to the printed tables —
-//! `BENCH_sweep.json` by default, or the path given with `--json`.
+//! experiments (`fig5`, `fig13`, `stress8`, `stress16`, `patterns`) with N
+//! worker threads; `--step-threads N` additionally steps each worker's mesh
+//! with N partition threads (most useful for the big `stress16` mesh — jobs
+//! take precedence when the product would oversubscribe the machine).
+//! Results are bit-identical for any combination of thread counts. Whenever
+//! a run produces sweep data, a machine-readable JSON document (per-point
+//! rates, latencies, throughputs and wall-clock times) is written next to
+//! the printed tables — `BENCH_sweep.json` by default, or the path given
+//! with `--json`.
 
 use std::process::ExitCode;
 
@@ -24,6 +28,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
     let mut jobs: usize = 1;
+    let mut step_threads: usize = 1;
     let mut json_path = "BENCH_sweep.json".to_owned();
     let mut selected: Vec<&'static dyn Experiment> = Vec::new();
     let mut iter = args.into_iter();
@@ -39,6 +44,19 @@ fn main() -> ExitCode {
                     Ok(n) if n >= 1 => jobs = n,
                     _ => {
                         eprintln!("--jobs needs a positive integer, got '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--step-threads" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--step-threads needs a thread count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => step_threads = n,
+                    _ => {
+                        eprintln!("--step-threads needs a positive integer, got '{value}'");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -68,14 +86,17 @@ fn main() -> ExitCode {
         }
     }
     if selected.is_empty() {
-        eprintln!("usage: repro [--quick] [--jobs N] [--json PATH] <experiment>... | all | list");
+        eprintln!(
+            "usage: repro [--quick] [--jobs N] [--step-threads N] [--json PATH] \
+             <experiment>... | all | list"
+        );
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id()).collect();
         eprintln!("experiments: {}", ids.join(", "));
         return ExitCode::FAILURE;
     }
     let mut sweeps: Vec<SweepRecord> = Vec::new();
     for experiment in selected {
-        let report = experiment.run(effort, jobs);
+        let report = experiment.run(effort, jobs, step_threads);
         println!("==================================================================");
         println!("{}", report.render_text());
         sweeps.extend(report.sweeps);

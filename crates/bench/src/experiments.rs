@@ -147,6 +147,7 @@ fn latency_throughput_full(
     rates: &[f64],
     effort: Effort,
     jobs: usize,
+    step_threads: usize,
 ) -> (String, Vec<SweepRecord>) {
     let proposed_cfg = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
         .expect("valid preset")
@@ -157,7 +158,9 @@ fn latency_throughput_full(
     let rates = effort.thin(rates);
     let runner = SweepRunner::new(jobs)
         .with_windows(effort.warmup(), effort.measure())
-        .expect("effort windows are non-zero");
+        .expect("effort windows are non-zero")
+        .with_step_threads(step_threads)
+        .expect("callers pass a positive step-thread count");
     let proposed_outcome = runner
         .run(proposed_cfg, &rates)
         .expect("built-in sweep configuration is valid");
@@ -170,6 +173,7 @@ fn latency_throughput_full(
             "proposed",
             proposed_cfg.k,
             runner.jobs(),
+            runner.step_threads(),
             &proposed_outcome,
         ),
         SweepRecord::from_outcome(
@@ -177,6 +181,7 @@ fn latency_throughput_full(
             "baseline",
             baseline_cfg.k,
             runner.jobs(),
+            runner.step_threads(),
             &baseline_outcome,
         ),
     ];
@@ -246,13 +251,13 @@ fn latency_throughput_full(
 /// requests, 25% unicast requests, 25% unicast responses) at 1 GHz.
 #[must_use]
 pub fn fig5_report(effort: Effort) -> String {
-    fig5_full(effort, 1).0
+    fig5_full(effort, 1, 1).0
 }
 
-/// [`fig5_report`] with a worker-thread count, also returning the
-/// machine-readable sweep records.
+/// [`fig5_report`] with worker-thread and mesh-partition counts, also
+/// returning the machine-readable sweep records.
 #[must_use]
-pub fn fig5_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
+pub fn fig5_full(effort: Effort, jobs: usize, step_threads: usize) -> (String, Vec<SweepRecord>) {
     let rates = [0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28];
     latency_throughput_full(
         "fig5",
@@ -261,19 +266,20 @@ pub fn fig5_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
         &rates,
         effort,
         jobs,
+        step_threads,
     )
 }
 
 /// Fig. 13: latency versus throughput under broadcast-only traffic.
 #[must_use]
 pub fn fig13_report(effort: Effort) -> String {
-    fig13_full(effort, 1).0
+    fig13_full(effort, 1, 1).0
 }
 
-/// [`fig13_report`] with a worker-thread count, also returning the
-/// machine-readable sweep records.
+/// [`fig13_report`] with worker-thread and mesh-partition counts, also
+/// returning the machine-readable sweep records.
 #[must_use]
-pub fn fig13_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
+pub fn fig13_full(effort: Effort, jobs: usize, step_threads: usize) -> (String, Vec<SweepRecord>) {
     let rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.075];
     latency_throughput_full(
         "fig13",
@@ -282,6 +288,7 @@ pub fn fig13_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
         &rates,
         effort,
         jobs,
+        step_threads,
     )
 }
 
@@ -293,22 +300,82 @@ pub fn fig13_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
 /// parallel [`SweepRunner`] measurable on a workload 4× the prototype's
 /// node count (the paper's own Table 2 models the chip as an 8×8 network).
 #[must_use]
-pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
+pub fn stress8_full(
+    effort: Effort,
+    jobs: usize,
+    step_threads: usize,
+) -> (String, Vec<SweepRecord>) {
     let config = NocConfig::proposed_chip()
         .expect("valid preset")
         .with_side(8)
         .with_seed_mode(SeedMode::PerNode);
     let rates = effort.thin(&[0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]);
+    stress_mesh_full(
+        "stress8",
+        "Stress 8x8",
+        config,
+        &rates,
+        effort,
+        jobs,
+        step_threads,
+    )
+}
+
+/// `stress16`: a 16×16-mesh mixed-traffic sweep — the scaling stressor for
+/// the *partitioned* stepper. Not a paper figure; at 256 nodes the
+/// single-threaded step loop dominates sweep wall-clock, so this is the
+/// workload where `--step-threads N` pays off (and where CI exercises the
+/// partition/mailbox/merge machinery end to end — results stay bit-identical
+/// for any thread count).
+#[must_use]
+pub fn stress16_full(
+    effort: Effort,
+    jobs: usize,
+    step_threads: usize,
+) -> (String, Vec<SweepRecord>) {
+    let config = NocConfig::proposed_chip()
+        .expect("valid preset")
+        .with_side(16)
+        .with_seed_mode(SeedMode::PerNode);
+    let rates = effort.thin(&[0.01, 0.03, 0.06, 0.10]);
+    stress_mesh_full(
+        "stress16",
+        "Stress 16x16",
+        config,
+        &rates,
+        effort,
+        jobs,
+        step_threads,
+    )
+}
+
+fn stress_mesh_full(
+    experiment: &str,
+    title: &str,
+    config: NocConfig,
+    rates: &[f64],
+    effort: Effort,
+    jobs: usize,
+    step_threads: usize,
+) -> (String, Vec<SweepRecord>) {
     let runner = SweepRunner::new(jobs)
         .with_windows(effort.warmup(), effort.measure())
-        .expect("effort windows are non-zero");
+        .expect("effort windows are non-zero")
+        .with_step_threads(step_threads)
+        .expect("callers pass a positive step-thread count");
     let outcome = runner
-        .run(config, &rates)
+        .run(config, rates)
         .expect("built-in sweep configuration is valid");
-    let record =
-        SweepRecord::from_outcome("stress8", "proposed", config.k, runner.jobs(), &outcome);
+    let record = SweepRecord::from_outcome(
+        experiment,
+        "proposed",
+        config.k,
+        runner.jobs(),
+        runner.step_threads(),
+        &outcome,
+    );
 
-    let mut out = String::from("Stress 8x8 - proposed network, mixed traffic, per-node seeds\n\n");
+    let mut out = format!("{title} - proposed network, mixed traffic, per-node seeds\n\n");
     let mut table = Table::new([
         "offered rate (flits/node/cyc)",
         "latency (cyc)",
@@ -334,10 +401,13 @@ pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
         record.saturation_gbps, record.saturation_rate, record.zero_load_latency_cycles
     ));
     out.push_str(&format!(
-        "total wall-clock {:.0} ms on {} thread{} (identical results for any thread count)\n",
+        "total wall-clock {:.0} ms on {} sweep thread{} x {} step thread{} \
+         (identical results for any thread counts)\n",
         record.total_wall_ms,
         runner.jobs(),
-        if runner.jobs() == 1 { "" } else { "s" }
+        if runner.jobs() == 1 { "" } else { "s" },
+        runner.step_threads(),
+        if runner.step_threads() == 1 { "" } else { "s" }
     ));
     (out, vec![record])
 }
@@ -353,10 +423,12 @@ pub fn stress8_full(effort: Effort, jobs: usize) -> (String, Vec<SweepRecord>) {
 /// averages away. Quick effort sweeps the 4×4 chip; full effort adds the
 /// 8×8 scaled mesh.
 #[must_use]
-pub fn patterns_report(effort: Effort, jobs: usize) -> Report {
+pub fn patterns_report(effort: Effort, jobs: usize, step_threads: usize) -> Report {
     let runner = SweepRunner::new(jobs)
         .with_windows(effort.warmup(), effort.measure())
-        .expect("effort windows are non-zero");
+        .expect("effort windows are non-zero")
+        .with_step_threads(step_threads)
+        .expect("callers pass a positive step-thread count");
     let mut report = Report::new("patterns");
     let sides: &[u16] = match effort {
         Effort::Quick => &[4],
@@ -385,8 +457,14 @@ pub fn patterns_report(effort: Effort, jobs: usize) -> Report {
             let outcome = scenario
                 .sweep(&runner, &rates)
                 .expect("built-in sweep configuration is valid");
-            let record =
-                SweepRecord::from_outcome("patterns", pattern.name(), k, runner.jobs(), &outcome);
+            let record = SweepRecord::from_outcome(
+                "patterns",
+                pattern.name(),
+                k,
+                runner.jobs(),
+                runner.step_threads(),
+                &outcome,
+            );
             table.row([
                 pattern.name().to_owned(),
                 num(record.zero_load_latency_cycles, 1),

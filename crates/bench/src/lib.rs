@@ -3,7 +3,7 @@
 //! The experiment harness. Every table and figure of the paper (plus the
 //! simulator's own scaling scenarios) is an [`Experiment`] object in the
 //! typed [`REGISTRY`]: it has a stable id, a one-line description, and a
-//! `run(effort, jobs)` method returning a structured [`Report`] (titled
+//! `run(effort, jobs, step_threads)` method returning a structured [`Report`] (titled
 //! sections plus machine-readable [`SweepRecord`]s, renderable as text or
 //! JSON). The `repro` binary iterates the registry; the Criterion benches in
 //! `benches/` measure the performance of the underlying models.
@@ -18,7 +18,7 @@
 //! use noc_bench::{registry, Effort};
 //!
 //! let table1 = registry::find("table1").expect("registered");
-//! let report = table1.run(Effort::Quick, 1);
+//! let report = table1.run(Effort::Quick, 1, 1);
 //! assert!(report.render_text().contains("Theoretical limits"));
 //! assert!(report.render_json().contains("\"experiment\": \"table1\""));
 //! ```
@@ -45,7 +45,7 @@ pub use report::{Report, ReportSection};
 /// Returns `None` when the id is unknown.
 #[must_use]
 pub fn run_experiment(id: &str, effort: Effort) -> Option<String> {
-    registry::find(id).map(|e| e.run(effort, 1).render_text())
+    registry::find(id).map(|e| e.run(effort, 1, 1).render_text())
 }
 
 #[cfg(test)]
@@ -55,7 +55,7 @@ mod tests {
     #[test]
     fn every_registered_experiment_runs_in_quick_mode() {
         for experiment in REGISTRY {
-            let report = experiment.run(Effort::Quick, 1);
+            let report = experiment.run(Effort::Quick, 1, 1);
             assert_eq!(report.experiment, experiment.id());
             let text = report.render_text();
             assert!(
@@ -76,8 +76,13 @@ mod tests {
 
     #[test]
     fn sweep_backed_experiments_attach_records() {
-        for (id, expected_sweeps) in [("fig5", 2), ("stress8", 1), ("patterns", 8)] {
-            let report = find_experiment(id).unwrap().run(Effort::Quick, 2);
+        for (id, expected_sweeps) in [
+            ("fig5", 2),
+            ("stress8", 1),
+            ("stress16", 1),
+            ("patterns", 8),
+        ] {
+            let report = find_experiment(id).unwrap().run(Effort::Quick, 2, 2);
             assert_eq!(
                 report.sweeps.len(),
                 expected_sweeps,

@@ -42,6 +42,9 @@ pub struct SweepRecord {
     pub k: u16,
     /// Worker threads the sweep ran on.
     pub jobs: usize,
+    /// Mesh-partition threads each worker's network stepped with (the
+    /// requested `--step-threads`; results are bit-identical regardless).
+    pub step_threads: usize,
     /// Zero-load latency of the curve (cycles).
     pub zero_load_latency_cycles: f64,
     /// Saturation throughput (Gb/s).
@@ -62,6 +65,7 @@ impl SweepRecord {
         network: &str,
         k: u16,
         jobs: usize,
+        step_threads: usize,
         outcome: &SweepOutcome,
     ) -> Self {
         Self {
@@ -69,6 +73,7 @@ impl SweepRecord {
             network: network.to_owned(),
             k,
             jobs,
+            step_threads,
             zero_load_latency_cycles: outcome.curve.zero_load_latency_cycles,
             saturation_gbps: outcome.curve.saturation_gbps,
             saturation_rate: outcome.curve.saturation_rate,
@@ -136,6 +141,10 @@ pub(crate) fn sweep_record_json(r: &SweepRecord, indent: &str) -> String {
     out.push_str(&format!("{indent}  \"k\": {},\n", r.k));
     out.push_str(&format!("{indent}  \"jobs\": {},\n", r.jobs));
     out.push_str(&format!(
+        "{indent}  \"step_threads\": {},\n",
+        r.step_threads
+    ));
+    out.push_str(&format!(
         "{indent}  \"zero_load_latency_cycles\": {},\n",
         num(r.zero_load_latency_cycles)
     ));
@@ -196,6 +205,7 @@ mod tests {
             network: "proposed".into(),
             k: 4,
             jobs: 2,
+            step_threads: 2,
             zero_load_latency_cycles: 8.25,
             saturation_gbps: 890.0,
             saturation_rate: 0.24,
@@ -221,6 +231,7 @@ mod tests {
             "\"network\": \"proposed\"",
             "\"k\": 4",
             "\"jobs\": 2",
+            "\"step_threads\": 2",
             "\"injection_rate\": 0.01",
             "\"measured_packets\": 321",
             "\"wall_ms\": 4.5",

@@ -53,6 +53,7 @@
 mod config;
 mod network;
 mod nic;
+mod partition;
 mod result;
 mod scenario;
 mod simulation;

@@ -2,89 +2,37 @@
 //!
 //! All inter-component messages (flits on links, lookaheads, returning
 //! credits) travel at most a few cycles, so they are scheduled through
-//! fixed-horizon [`EventWheel`]s instead of a general priority queue: the
-//! steady-state [`Network::step`] performs zero heap allocation — slot
-//! buffers, router outputs and NIC scratch space are all reused cycle after
-//! cycle.
+//! fixed-horizon [`noc_sim::EventWheel`]s instead of a general priority
+//! queue: the steady-state [`Network::step`] performs zero heap allocation —
+//! slot buffers, router outputs and NIC scratch space are all reused cycle
+//! after cycle. The wheel is split into **typed lanes** (word-sized control
+//! messages vs. slab-parked flit handles), and an **active-set scheduler**
+//! visits only the routers woken by a delivery and naps quiescent NICs
+//! through provably losing injection coin flips — both bit-identical to the
+//! naive full scan (see `crate::partition` for the per-cycle phase
+//! machinery).
 //!
-//! The wheel is split into **typed lanes**. Word-sized control messages
-//! (lookaheads and returning credits) ride a [`WordEvent`] lane, while flits
-//! park their payload in a pooled, refcounted [`FlitSlab`] and ride the
-//! [`FlitEvent`] lane as small handles — so saturated stepping moves ~8-byte
-//! tickets instead of ~100-byte enum variants, and a multicast fork becomes
-//! a handle copy per branch instead of a `Flit` clone. Each cycle drains the
-//! word lane, then the flit lane; the two classes touch disjoint component
-//! state and each lane preserves FIFO order, so the split is bit-identical
-//! to the old single mixed queue.
-//!
-//! On top of the lanes sits an **active-set scheduler**: `step` visits only
-//! the nodes that can do work this cycle. A dirty bitmask over routers is
-//! maintained by the lanes' deliveries (any flit, lookahead or credit
-//! arriving at a router wakes it) and by post-step occupancy (a router that
-//! still buffers flits stays set); a second mask tracks NICs with queued
-//! flits so the drain phase skips empty ones. An idle router would spend its
-//! step doing nothing observable — no eligible heads means no arbitration,
-//! no arbiter state change and no departures — so skipping it is exact, and
-//! the per-router `cycles` activity counter is topped up in bulk from the
-//! network's idle-cycle ledger. While injecting, the scheduler also naps
-//! **quiescent NICs**: a NIC with an empty queue scouts its PRBS coin stream
-//! ([`noc_traffic::TrafficGenerator::idle_cycles_hint`]) and sleeps through
-//! flips that provably lose, replaying them in one batched
-//! [`Lfsr::leap16`](noc_sim::Lfsr::leap16)-powered skip at wake — bit-exact
-//! with the serial one-coin-per-cycle contract. At saturation every node is
-//! set and the masks cost one word scan; at the low-load end of a sweep most
-//! cycles visit a handful of nodes instead of all `k²`.
+//! On top of that, the mesh is sharded into **spatial partitions**
+//! (contiguous row strips, [`noc_topology::PartitionMap`]) so
+//! [`Network::with_step_threads`] can step strips on a persistent worker
+//! pool. Each partition owns private wheels, slab and masks; events crossing
+//! a strip boundary ride per-edge FIFO mailboxes and are merged — together
+//! with the partitions' buffered receptions and packet registrations — by
+//! the main thread in fixed partition order at a single merge point per
+//! cycle. Because every within-cycle delivery commutes and the merge order
+//! is fixed, a partitioned run is **bit-identical to the serial one for any
+//! thread count** (`tests/determinism.rs` pins this). With one partition
+//! (the default) the step runs inline with no barriers, pool or locking.
 
 use std::collections::HashMap;
 
-use noc_router::{Departure, Lookahead, Router, RouterOutput};
-use noc_sim::{
-    ActivityCounters, Clock, EventWheel, FlitHandle, FlitSlab, LatencyStats, ThroughputStats,
-};
-use noc_topology::Mesh;
-use noc_types::{Credit, Cycle, NocError, NodeId, PacketId, Port, PORT_COUNT};
+use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
+use noc_topology::{Mesh, PartitionMap};
+use noc_types::{ConfigError, Cycle, NocError, PacketId, Port};
 
 use crate::config::NocConfig;
-use crate::nic::{Nic, PacketRegistration};
-
-/// `port_code` value of a [`FlitEvent`] ejecting to the node's NIC (router
-/// input ports use their `Port::index()`, `0..PORT_COUNT`).
-const NIC_PORT_CODE: u8 = PORT_COUNT as u8;
-
-/// Cap on how far a NIC scouts its injection coin stream ahead: one full
-/// 16-bit LFSR word period. Bounds the scout's worst-case work; a NIC whose
-/// idle run is longer simply naps in `MAX_NIC_SCOUT` instalments.
-const MAX_NIC_SCOUT: u64 = 65_535;
-
-/// A flit hop in flight on the flit lane: the payload is parked in the
-/// network's [`FlitSlab`] and only this small ticket rides the wheel.
-#[derive(Debug, Clone, Copy)]
-struct FlitEvent {
-    node: NodeId,
-    /// Router input-port index (`Port::from_index`), or [`NIC_PORT_CODE`]
-    /// for ejection to the node's NIC.
-    port_code: u8,
-    handle: FlitHandle,
-}
-
-/// A word-sized control message in flight on the word lane.
-#[derive(Debug, Clone, Copy)]
-enum WordEvent {
-    Lookahead {
-        node: NodeId,
-        port: Port,
-        lookahead: Lookahead,
-    },
-    CreditToRouter {
-        node: NodeId,
-        port: Port,
-        credit: Credit,
-    },
-    CreditToNic {
-        node: NodeId,
-        credit: Credit,
-    },
-}
+use crate::nic::{PacketRegistration, Reception};
+use crate::partition::{BoundaryEvent, EdgeMailboxes, Partition, StepCtx, StepPool};
 
 /// Scoreboard entry tracking one packet until every destination received it.
 #[derive(Debug, Clone, Copy)]
@@ -100,50 +48,30 @@ struct TrackedPacket {
 /// injection and measurement are controlled per cycle so that a
 /// [`crate::Simulation`] can run warmup / measurement / drain phases over the
 /// same instance. Cloning snapshots the complete simulation state (used by
-/// benches to replay from a fixed mid-flight state).
-#[derive(Debug, Clone)]
+/// benches to replay from a fixed mid-flight state); the clone steps with
+/// the same thread count but spawns its own worker pool lazily.
+#[derive(Debug)]
 pub struct Network {
     config: NocConfig,
     mesh: Mesh,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
+    /// Current per-NIC injection rate (kept so repartitioning can rebuild).
+    rate: f64,
+    /// Row-strip shards of the mesh, in ascending node order. One partition
+    /// means the serial inline step; more mean pool-stepped strips.
+    partitions: Vec<Partition>,
+    /// Boundary mailboxes, one pair per adjacent-partition edge
+    /// (`edges[e]` sits between partitions `e` and `e + 1`).
+    edges: Vec<EdgeMailboxes>,
+    /// Reused drain buffer for the merge point's mailbox sweeps.
+    boundary_scratch: Vec<BoundaryEvent>,
+    /// Worker pool stepping partitions `1..` (`None` until the first
+    /// multi-partition step, and on clones).
+    pool: Option<StepPool>,
     clock: Clock,
-    /// Calendar of in-flight word-sized control messages (lookaheads,
-    /// credits), sized by the largest link/credit delay; slot buffers are
-    /// recycled so scheduling never allocates in steady state.
-    word_lane: EventWheel<WordEvent>,
-    /// Calendar of in-flight flit hops, as slab handles.
-    flit_lane: EventWheel<FlitEvent>,
-    /// Pooled payload storage behind the flit lane's handles.
-    slab: FlitSlab,
-    /// Reused output buffer for [`Router::step_into`].
-    router_scratch: RouterOutput,
-    /// Active-set words over routers: bit `n` of word `n / 64` set ⇔ router
-    /// `n` must step this cycle (woken by a delivery or still buffering
-    /// flits after its last step).
-    router_wake: Vec<u64>,
-    /// Bit `n` set ⇔ NIC `n` has queued flits; the drain phase (no
-    /// injection, so no PRBS draws are owed) ticks only these.
-    nic_active: Vec<u64>,
-    /// Router-cycles skipped by the active-set scheduler, folded back into
-    /// the merged `cycles` activity counter so power accounting is unchanged.
-    idle_router_cycles: u64,
     /// Completed injecting steps (`step(true)` calls) — the ordinal clock the
-    /// NIC nap bookkeeping below is keyed by. Non-injecting steps flip no
-    /// PRBS coins and therefore do not advance it.
+    /// NIC nap bookkeeping is keyed by. Non-injecting steps flip no PRBS
+    /// coins and therefore do not advance it.
     inject_steps: u64,
-    /// Bit `n` set ⇔ NIC `n` is awake (must flip its injection coin when an
-    /// injecting step runs). Quiescent NICs clear their bit and record when
-    /// to wake below.
-    nic_awake: Vec<u64>,
-    /// Per-NIC inject ordinal at which a sleeping NIC must be woken
-    /// (`u64::MAX` = never, i.e. a zero-rate generator).
-    nic_wake_at: Vec<u64>,
-    /// Per-NIC inject ordinal of the tick after which the NIC went to sleep.
-    nic_slept_at: Vec<u64>,
-    /// Minimum of `nic_wake_at` over sleeping NICs (`u64::MAX` when all are
-    /// awake) — the inject ordinal of the next required wake scan.
-    next_nic_wake: u64,
     /// Chicken bit for the quiescent-NIC nap (on by default; `false` restores
     /// the serial one-coin-per-NIC-per-cycle loop).
     nic_idle_skip: bool,
@@ -153,49 +81,86 @@ pub struct Network {
     measuring: bool,
 }
 
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            mesh: self.mesh,
+            rate: self.rate,
+            partitions: self.partitions.clone(),
+            // Mailboxes are empty between steps; a clone gets fresh ones.
+            edges: (0..self.edges.len())
+                .map(|_| EdgeMailboxes::default())
+                .collect(),
+            boundary_scratch: Vec::new(),
+            // Worker pools are per-instance; the clone respawns lazily.
+            pool: None,
+            clock: self.clock,
+            inject_steps: self.inject_steps,
+            nic_idle_skip: self.nic_idle_skip,
+            scoreboard: self.scoreboard.clone(),
+            latency: self.latency.clone(),
+            throughput: self.throughput,
+            measuring: self.measuring,
+        }
+    }
+}
+
 impl Network {
-    /// Builds a network from `config` with all NICs injecting at `rate`
-    /// flits/cycle.
+    /// Builds a network from `config` with all NICs injecting at `rate`,
+    /// stepped serially (one partition).
     ///
     /// # Errors
     ///
     /// Returns [`NocError::Config`] when the configuration is invalid.
     pub fn new(config: NocConfig, rate: f64) -> Result<Self, NocError> {
+        Self::build(config, rate, 1)
+    }
+
+    /// Builds a network like [`Network::new`] and configures it to step with
+    /// `threads` partition worker threads (see
+    /// [`set_step_threads`](Network::set_step_threads) for clamping and
+    /// determinism guarantees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the configuration is invalid or
+    /// `threads` is zero.
+    pub fn with_step_threads(
+        config: NocConfig,
+        rate: f64,
+        threads: usize,
+    ) -> Result<Self, NocError> {
+        if threads == 0 {
+            return Err(ConfigError::InvalidParallelism {
+                jobs: 1,
+                step_threads: 0,
+            }
+            .into());
+        }
+        Self::build(config, rate, threads)
+    }
+
+    fn build(config: NocConfig, rate: f64, threads: usize) -> Result<Self, NocError> {
         config.validate()?;
         let mesh = Mesh::new(config.k).map_err(NocError::from)?;
-        let routers = mesh
-            .nodes()
-            .map(|coord| Router::new(&config.router, mesh, coord))
+        let map = PartitionMap::rows(&mesh, threads);
+        let partitions = (0..map.len())
+            .map(|index| Partition::new(&config, mesh, &map, index, rate))
+            .collect::<Vec<_>>();
+        let edges = (0..map.len().saturating_sub(1))
+            .map(|_| EdgeMailboxes::default())
             .collect();
-        let nics = (0..mesh.node_count() as NodeId)
-            .map(|node| Nic::new(&config, mesh, node, rate))
-            .collect();
-        // The wheel must cover the furthest any message is ever scheduled:
-        // NIC<->router traversals (1 cycle), link traversals and credit
-        // returns.
-        let horizon = config
-            .link_delay_cycles()
-            .max(config.credit_delay_cycles)
-            .max(1);
-        let words = mesh.node_count().div_ceil(64);
         Ok(Self {
             config,
             mesh,
-            routers,
-            nics,
+            rate,
+            partitions,
+            edges,
+            boundary_scratch: Vec::new(),
+            pool: None,
             clock: Clock::new(),
-            word_lane: EventWheel::new(horizon),
-            flit_lane: EventWheel::new(horizon),
-            slab: FlitSlab::new(),
-            router_scratch: RouterOutput::default(),
-            router_wake: vec![0; words],
-            nic_active: vec![0; words],
-            idle_router_cycles: 0,
             inject_steps: 0,
-            nic_awake: Self::full_awake_mask(words, mesh.node_count()),
-            nic_wake_at: vec![0; mesh.node_count()],
-            nic_slept_at: vec![0; mesh.node_count()],
-            next_nic_wake: u64::MAX,
             nic_idle_skip: true,
             scoreboard: HashMap::new(),
             latency: LatencyStats::new(),
@@ -210,14 +175,58 @@ impl Network {
         &self.config
     }
 
+    /// Reconfigures how many threads step the mesh: the mesh is re-sharded
+    /// into `threads` row strips (clamped to the mesh's row count — a strip
+    /// must own at least one row; deliberately *not* clamped to the
+    /// machine's core count, so determinism across thread counts can be
+    /// exercised anywhere) and subsequent [`step`](Network::step)s run one
+    /// strip per thread on a persistent worker pool. Results are
+    /// bit-identical for every thread count; `threads == 1` restores the
+    /// inline serial step.
+    ///
+    /// Repartitioning determines where every in-flight event lives, so this
+    /// is a *configuration-time* operation: when the partition count
+    /// actually changes, the network is rebuilt cold (same config, seed and
+    /// rate; clock, traffic and statistics state reset) — call it before
+    /// running, or follow it with [`reset`](Network::reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] with
+    /// [`ConfigError::InvalidParallelism`] when `threads` is zero.
+    pub fn set_step_threads(&mut self, threads: usize) -> Result<(), NocError> {
+        if threads == 0 {
+            return Err(ConfigError::InvalidParallelism {
+                jobs: 1,
+                step_threads: 0,
+            }
+            .into());
+        }
+        let effective = threads.min(usize::from(self.config.k)).max(1);
+        if effective == self.partitions.len() {
+            return Ok(());
+        }
+        let nic_idle_skip = self.nic_idle_skip;
+        *self = Self::build(self.config, self.rate, effective)?;
+        self.nic_idle_skip = nic_idle_skip;
+        Ok(())
+    }
+
+    /// Number of threads (partitions) the network currently steps with.
+    #[must_use]
+    pub fn step_threads(&self) -> usize {
+        self.partitions.len()
+    }
+
     /// Restores the network to the state of a freshly built one whose
     /// configuration carries the given PRBS base seed, while keeping every
-    /// warmed-up buffer capacity: the event wheel's slot rings, the NIC
+    /// warmed-up buffer capacity: the event wheels' slot rings, the NIC
     /// injection rings and segmentation scratch, the routers' VC buffers and
-    /// fork caches, and the shared router-output scratch all survive with
-    /// their high-water-mark storage intact. This is what lets a sweep
-    /// runner batch many points through one network per worker thread
-    /// without re-paying cold-start allocation per point.
+    /// fork caches, and the per-partition router-output scratch all survive
+    /// with their high-water-mark storage intact — as do the partition
+    /// structure and the worker pool. This is what lets a sweep runner batch
+    /// many points through one network per worker thread without re-paying
+    /// cold-start allocation (or thread spawning) per point.
     ///
     /// `seed` is folded (XOR of its 16-bit limbs, zero remapped to a fixed
     /// non-zero constant) into the 16-bit domain of the chip's PRBS LFSRs;
@@ -244,26 +253,17 @@ impl Network {
     pub fn reset(&mut self, seed: u64) {
         let folded = (seed ^ (seed >> 16) ^ (seed >> 32) ^ (seed >> 48)) as u16;
         self.config.base_seed = if folded == 0 { 0x1D0C } else { folded };
-        for router in &mut self.routers {
-            router.reset();
-        }
         let config = self.config;
-        for nic in &mut self.nics {
-            nic.reset(&config);
+        for partition in &mut self.partitions {
+            partition.reset(&config);
         }
+        debug_assert!(self
+            .edges
+            .iter()
+            .all(|e| e.up.is_empty() && e.down.is_empty()));
+        self.boundary_scratch.clear();
         self.clock.reset();
-        self.word_lane.reset();
-        self.flit_lane.reset();
-        self.slab.reset();
-        self.router_scratch.clear();
-        self.router_wake.fill(0);
-        self.nic_active.fill(0);
-        self.idle_router_cycles = 0;
         self.inject_steps = 0;
-        self.nic_awake = Self::full_awake_mask(self.nic_awake.len(), self.nics.len());
-        self.nic_wake_at.fill(0);
-        self.nic_slept_at.fill(0);
-        self.next_nic_wake = u64::MAX;
         self.scoreboard.clear();
         self.latency.reset();
         self.throughput.reset();
@@ -288,9 +288,10 @@ impl Network {
     /// flips), because a nap's length was promised under the old rate's
     /// Bernoulli threshold.
     pub fn set_rate(&mut self, rate: f64) {
-        self.wake_all_nics();
-        for nic in &mut self.nics {
-            nic.set_rate(rate);
+        self.rate = rate;
+        let inject_steps = self.inject_steps;
+        for partition in &mut self.partitions {
+            partition.set_rate(rate, inject_steps);
         }
     }
 
@@ -299,7 +300,10 @@ impl Network {
     /// traffic streams are bit-identical either way — this knob exists to
     /// prove exactly that (`tests/determinism.rs`) and as an escape hatch.
     pub fn set_nic_idle_skip(&mut self, enabled: bool) {
-        self.wake_all_nics();
+        let inject_steps = self.inject_steps;
+        for partition in &mut self.partitions {
+            partition.wake_all_nics(inject_steps);
+        }
         self.nic_idle_skip = enabled;
     }
 
@@ -330,18 +334,28 @@ impl Network {
     ///
     /// Routers skipped by the active-set scheduler never stepped, so their
     /// individual `cycles` counters undercount wall-clock cycles; the
-    /// network's idle-cycle ledger makes up the difference here, keeping the
-    /// merged counters identical to stepping every router every cycle.
+    /// partitions' idle-cycle ledgers make up the difference here, keeping
+    /// the merged counters identical to stepping every router every cycle.
+    /// Partitions are visited in ascending order, so the merge is the same
+    /// fold a serial node scan performs.
     #[must_use]
     pub fn counters(&self) -> ActivityCounters {
         let mut total = ActivityCounters::new();
-        for router in &self.routers {
-            total.merge(router.counters());
+        for partition in &self.partitions {
+            for router in partition.routers() {
+                total.merge(router.counters());
+            }
         }
-        for nic in &self.nics {
-            total.merge(nic.counters());
+        for partition in &self.partitions {
+            for nic in partition.nics() {
+                total.merge(nic.counters());
+            }
         }
-        total.cycles += self.idle_router_cycles;
+        total.cycles += self
+            .partitions
+            .iter()
+            .map(|p| p.idle_router_cycles)
+            .sum::<u64>();
         total
     }
 
@@ -349,12 +363,13 @@ impl Network {
     /// (used to detect drain completion and saturation).
     #[must_use]
     pub fn in_flight_flits(&self) -> usize {
-        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
-        let queued: usize = self.nics.iter().map(Nic::queued_flits).sum();
-        // Between steps every live slab handle is exactly one scheduled
-        // flit-lane event, so the slab doubles as the on-links scoreboard.
-        debug_assert_eq!(self.slab.live(), self.flit_lane.pending());
-        buffered + queued + self.slab.live()
+        // Between steps the boundary mailboxes are drained; nothing hides
+        // in transit between partitions.
+        debug_assert!(self
+            .edges
+            .iter()
+            .all(|e| e.up.is_empty() && e.down.is_empty()));
+        self.partitions.iter().map(Partition::in_flight_flits).sum()
     }
 
     /// Number of tracked packets that have not yet reached every destination.
@@ -369,59 +384,72 @@ impl Network {
     /// Total packets injected by all NICs so far.
     #[must_use]
     pub fn injected_packets(&self) -> u64 {
-        self.nics.iter().map(Nic::injected_packets).sum()
+        self.partitions
+            .iter()
+            .flat_map(|p| p.nics().iter())
+            .map(crate::nic::Nic::injected_packets)
+            .sum()
     }
 
     /// Prints the location of every buffered or queued flit to stderr
     /// (diagnostic aid used by tests and examples when a network fails to
     /// drain).
     pub fn debug_dump(&self) {
-        for (node, nic) in self.nics.iter().enumerate() {
-            if nic.queued_flits() > 0 {
-                eprintln!("nic {node}: {} queued flits", nic.queued_flits());
+        for partition in &self.partitions {
+            for (local, nic) in partition.nics().iter().enumerate() {
+                let node = partition.first_node() + local;
+                if nic.queued_flits() > 0 {
+                    eprintln!("nic {node}: {} queued flits", nic.queued_flits());
+                }
             }
         }
-        for (node, router) in self.routers.iter().enumerate() {
-            if router.buffered_flits() == 0 {
-                continue;
-            }
-            for port in Port::ALL {
-                let input = router.input(port);
-                for vc_idx in 0..input.vc_count() {
-                    let vc = input.vc_at(vc_idx);
-                    if vc.occupancy() > 0 {
-                        let head = vc.head().expect("non-empty VC has a head");
-                        eprintln!(
-                            "router {node} port {port} vc#{vc_idx} ({:?} vc {:?}): {} flits, head packet {} kind {:?} dests {:?} route {:?}",
-                            vc.class(),
-                            vc.id(),
-                            vc.occupancy(),
-                            head.packet_id(),
-                            head.kind(),
-                            head.destinations(),
-                            vc.route(),
-                        );
+        for partition in &self.partitions {
+            for (local, router) in partition.routers().iter().enumerate() {
+                let node = partition.first_node() + local;
+                if router.buffered_flits() == 0 {
+                    continue;
+                }
+                for port in Port::ALL {
+                    let input = router.input(port);
+                    for vc_idx in 0..input.vc_count() {
+                        let vc = input.vc_at(vc_idx);
+                        if vc.occupancy() > 0 {
+                            let head = vc.head().expect("non-empty VC has a head");
+                            eprintln!(
+                                "router {node} port {port} vc#{vc_idx} ({:?} vc {:?}): {} flits, head packet {} kind {:?} dests {:?} route {:?}",
+                                vc.class(),
+                                vc.id(),
+                                vc.occupancy(),
+                                head.packet_id(),
+                                head.kind(),
+                                head.destinations(),
+                                vc.route(),
+                            );
+                        }
                     }
                 }
             }
         }
-        for (node, router) in self.routers.iter().enumerate() {
-            if router.buffered_flits() == 0 {
-                continue;
-            }
-            for port in Port::ALL {
-                if port.is_local() {
+        for partition in &self.partitions {
+            for (local, router) in partition.routers().iter().enumerate() {
+                let node = partition.first_node() + local;
+                if router.buffered_flits() == 0 {
                     continue;
                 }
-                let output = router.output(port);
-                for class in noc_types::MessageClass::ALL {
-                    for vc in 0..2u8 {
-                        if let Some(state) = output.downstream_vc(class, vc) {
-                            if state.allocated || state.credits < state.depth() {
-                                eprintln!(
-                                    "router {node} output {port} {class:?} vc {vc}: allocated={} credits={} tail_sent={}",
-                                    state.allocated, state.credits, state.tail_sent
-                                );
+                for port in Port::ALL {
+                    if port.is_local() {
+                        continue;
+                    }
+                    let output = router.output(port);
+                    for class in noc_types::MessageClass::ALL {
+                        for vc in 0..2u8 {
+                            if let Some(state) = output.downstream_vc(class, vc) {
+                                if state.allocated || state.credits < state.depth() {
+                                    eprintln!(
+                                        "router {node} output {port} {class:?} vc {vc}: allocated={} credits={} tail_sent={}",
+                                        state.allocated, state.credits, state.tail_sent
+                                    );
+                                }
                             }
                         }
                     }
@@ -442,306 +470,78 @@ impl Network {
     ///
     /// `inject` enables the NIC traffic generators for this cycle (warmup and
     /// measurement phases inject; the drain phase does not).
+    ///
+    /// With one partition the cycle runs inline; with more, each partition
+    /// steps on its own thread between two barriers and this (main) thread
+    /// then performs the deterministic merge: boundary mailboxes are drained
+    /// in fixed edge order and each partition's buffered receptions and
+    /// packet registrations are applied in ascending partition order —
+    /// exactly the order a serial node scan would have produced them in.
     pub fn step(&mut self, inject: bool) {
-        let now = self.clock.now();
-
-        // Phase A: deliver everything scheduled for this cycle — the word
-        // lane (credits and lookaheads) first, then the flit lane. Each due
-        // slot is detached from its wheel so deliveries can schedule
-        // follow-up events, then its (drained) buffer is recycled. Every
-        // delivery to a router marks it in the wake mask phase B2 walks.
-        // The two event classes touch disjoint component state and each lane
-        // preserves FIFO order, so lane-by-lane draining is bit-identical to
-        // the old single mixed queue.
-        let mut due_words = self.word_lane.take_due(now);
-        while let Some(event) = due_words.pop_front() {
-            self.deliver_word(event);
-        }
-        self.word_lane.restore(due_words);
-        let mut due_flits = self.flit_lane.take_due(now);
-        while let Some(event) = due_flits.pop_front() {
-            self.deliver_flit(event, now);
-        }
-        self.flit_lane.restore(due_flits);
-
-        // Phase B1: NICs create and inject traffic. While injecting, the
-        // serial contract is one Bernoulli PRBS coin per NIC per cycle;
-        // quiescent NICs (empty queue, scouted-idle generator) nap through
-        // provably losing flips and replay them in one batched leap at wake,
-        // so only awake NICs are ticked — bit-exact with ticking all of
-        // them (see `maybe_sleep_nic`). In the drain phase the generators
-        // are quiescent and only NICs that still hold queued flits can do
-        // anything.
-        if inject {
-            let ordinal = self.inject_steps;
-            if self.nic_idle_skip {
-                if self.next_nic_wake <= ordinal {
-                    self.wake_due_nics(ordinal);
-                }
-                for w in 0..self.nic_awake.len() {
-                    let mut bits = self.nic_awake[w];
-                    while bits != 0 {
-                        let node = w * 64 + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        self.tick_nic(node, now, true);
-                        self.maybe_sleep_nic(node, ordinal);
-                    }
-                }
-            } else {
-                for node in 0..self.nics.len() {
-                    self.tick_nic(node, now, true);
-                }
-            }
-            self.inject_steps += 1;
+        let ctx = StepCtx {
+            now: self.clock.now(),
+            inject,
+            inject_ordinal: self.inject_steps,
+            nic_idle_skip: self.nic_idle_skip,
+            link_delay: self.config.link_delay_cycles(),
+            credit_delay: self.config.credit_delay_cycles,
+        };
+        if self.partitions.len() == 1 {
+            self.partitions[0].step_cycle(&ctx, &self.edges);
         } else {
-            for w in 0..self.nic_active.len() {
-                let mut bits = self.nic_active[w];
-                while bits != 0 {
-                    let node = w * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    self.tick_nic(node, now, false);
-                }
-            }
+            let pool = self
+                .pool
+                .get_or_insert_with(|| StepPool::spawn(self.partitions.len()));
+            pool.step(&mut self.partitions, &self.edges, ctx);
         }
-
-        // Phase B2: step only the woken routers (ascending node order, the
-        // same relative order a full scan used — skipped routers would have
-        // produced nothing). Each word is detached first so the carryover
-        // bits routers set for the next cycle do not feed back into this
-        // one's scan.
-        let link_delay = self.config.link_delay_cycles();
-        let credit_delay = self.config.credit_delay_cycles;
-        let mut output = std::mem::take(&mut self.router_scratch);
-        let mut stepped = 0usize;
-        for w in 0..self.router_wake.len() {
-            let mut bits = std::mem::take(&mut self.router_wake[w]);
-            stepped += bits.count_ones() as usize;
-            while bits != 0 {
-                let offset = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let node = w * 64 + offset;
-                self.step_router(node, now, link_delay, credit_delay, &mut output);
-                if self.routers[node].buffered_flits() > 0 {
-                    self.router_wake[w] |= 1 << offset;
-                }
-            }
+        self.merge_cycle();
+        if inject {
+            self.inject_steps += 1;
         }
-        self.idle_router_cycles += (self.routers.len() - stepped) as u64;
-        self.router_scratch = output;
-
         self.clock.tick();
     }
 
-    /// Ticks NIC `node` (phase B1), schedules whatever it produced, and
-    /// refreshes its bit in the queued-flits mask.
-    fn tick_nic(&mut self, node: usize, now: Cycle, inject: bool) {
-        let (injection, registration) = self.nics[node].tick(now, inject);
-        if let Some(registration) = registration {
-            self.register_packet(registration);
-        }
-        if let Some(injection) = injection {
-            let arrival = now + 1;
-            let handle = self.slab.insert(injection.flit);
-            self.flit_lane.schedule(
-                arrival,
-                FlitEvent {
-                    node: node as NodeId,
-                    port_code: Port::Local.index() as u8,
-                    handle,
-                },
-            );
-            if let Some(lookahead) = injection.lookahead {
-                self.word_lane.schedule(
-                    arrival,
-                    WordEvent::Lookahead {
-                        node: node as NodeId,
-                        port: Port::Local,
-                        lookahead,
-                    },
-                );
-            }
-        }
-        let bit = 1u64 << (node % 64);
-        if self.nics[node].queued_flits() > 0 {
-            self.nic_active[node / 64] |= bit;
-        } else {
-            self.nic_active[node / 64] &= !bit;
-        }
-    }
-
-    /// Runs router `node`'s allocation/traversal cycle (phase B2) and
-    /// schedules its departures and credits, reusing `output` as scratch.
-    fn step_router(
-        &mut self,
-        node: usize,
-        now: Cycle,
-        link_delay: u64,
-        credit_delay: u64,
-        output: &mut RouterOutput,
-    ) {
-        self.routers[node].step_into(now, &mut self.slab, output);
-        let coord = self.mesh.coord_of(node as NodeId);
-        for Departure {
-            port,
-            flit,
-            lookahead,
-        } in output.departures.drain(..)
-        {
-            if port.is_local() {
-                self.flit_lane.schedule(
-                    now + 1,
-                    FlitEvent {
-                        node: node as NodeId,
-                        port_code: NIC_PORT_CODE,
-                        handle: flit,
-                    },
-                );
-            } else {
-                let dir = port.direction().expect("non-local port has a direction");
-                let neighbor = self
-                    .mesh
-                    .neighbor(coord, dir)
-                    .expect("routers never send off the mesh edge");
-                let dest_node = self.mesh.id_of(neighbor);
-                let dest_port = dir.opposite().port();
-                let arrival = now + link_delay;
-                self.flit_lane.schedule(
-                    arrival,
-                    FlitEvent {
-                        node: dest_node,
-                        port_code: dest_port.index() as u8,
-                        handle: flit,
-                    },
-                );
-                if let Some(lookahead) = lookahead {
-                    self.word_lane.schedule(
-                        arrival,
-                        WordEvent::Lookahead {
-                            node: dest_node,
-                            port: dest_port,
-                            lookahead,
-                        },
-                    );
+    /// The single-threaded merge point closing one cycle: re-homes boundary
+    /// events into their destination partitions (fixed edge order, FIFO
+    /// within an edge) and applies the buffered packet registrations and
+    /// receptions to the shared scoreboard and statistics in ascending
+    /// partition order. Everything applied here commutes within a cycle, so
+    /// the result is bit-identical to the serial interleaving.
+    fn merge_cycle(&mut self) {
+        for e in 0..self.edges.len() {
+            self.edges[e].up.drain_into(&mut self.boundary_scratch);
+            if !self.boundary_scratch.is_empty() {
+                let mut batch = std::mem::take(&mut self.boundary_scratch);
+                for event in batch.drain(..) {
+                    self.partitions[e + 1].accept_boundary(event);
                 }
+                self.boundary_scratch = batch;
             }
-        }
-        for (in_port, credit) in output.credits.drain(..) {
-            let arrival = now + credit_delay;
-            if in_port.is_local() {
-                self.word_lane.schedule(
-                    arrival,
-                    WordEvent::CreditToNic {
-                        node: node as NodeId,
-                        credit,
-                    },
-                );
-            } else {
-                let dir = in_port.direction().expect("non-local port has a direction");
-                let upstream = self
-                    .mesh
-                    .neighbor(coord, dir)
-                    .expect("credits only go to existing neighbours");
-                self.word_lane.schedule(
-                    arrival,
-                    WordEvent::CreditToRouter {
-                        node: self.mesh.id_of(upstream),
-                        port: dir.opposite().port(),
-                        credit,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Marks router `node` as having work this cycle.
-    #[inline]
-    fn wake_router(&mut self, node: NodeId) {
-        let node = usize::from(node);
-        self.router_wake[node / 64] |= 1 << (node % 64);
-    }
-
-    /// Mask with one set bit per NIC of a `count`-node network, spread over
-    /// `words` 64-bit words (the reset value of `nic_awake`).
-    fn full_awake_mask(words: usize, count: usize) -> Vec<u64> {
-        let mut mask = vec![u64::MAX; words];
-        if !count.is_multiple_of(64) {
-            if let Some(last) = mask.last_mut() {
-                *last = (1u64 << (count % 64)) - 1;
-            }
-        }
-        mask
-    }
-
-    /// Puts NIC `node` to sleep after its tick at inject ordinal `ordinal`
-    /// if it provably cannot act for a while: its injection queue is empty
-    /// (nothing to send regardless of coins) and the scouted PRBS stream
-    /// promises `idle ≥ 1` losing coin flips ahead. The NIC then skips the
-    /// inject phase until ordinal `ordinal + idle + 1` — the first flip that
-    /// might win — and the skipped flips are replayed in one batched leap at
-    /// wake, keeping the coin stream bit-identical to serial ticking.
-    fn maybe_sleep_nic(&mut self, node: usize, ordinal: u64) {
-        if self.nics[node].queued_flits() > 0 {
-            return;
-        }
-        let idle = self.nics[node].idle_inject_cycles_hint(MAX_NIC_SCOUT);
-        if idle == 0 {
-            return;
-        }
-        let wake_at = if idle == u64::MAX {
-            u64::MAX
-        } else {
-            ordinal + idle + 1
-        };
-        self.nic_awake[node / 64] &= !(1 << (node % 64));
-        self.nic_wake_at[node] = wake_at;
-        self.nic_slept_at[node] = ordinal;
-        self.next_nic_wake = self.next_nic_wake.min(wake_at);
-    }
-
-    /// Wakes every sleeping NIC whose wake ordinal has arrived (replaying
-    /// its napped-over coin flips) and recomputes `next_nic_wake` from the
-    /// NICs still asleep.
-    fn wake_due_nics(&mut self, ordinal: u64) {
-        let mut next = u64::MAX;
-        for node in 0..self.nics.len() {
-            let bit = 1u64 << (node % 64);
-            if self.nic_awake[node / 64] & bit != 0 {
-                continue;
-            }
-            if self.nic_wake_at[node] <= ordinal {
-                // The nap covered inject ordinals slept_at+1 ..= ordinal-1;
-                // this ordinal's coin is consumed by the NIC's own tick.
-                let missed = ordinal.saturating_sub(self.nic_slept_at[node] + 1);
-                if missed > 0 {
-                    self.nics[node].skip_inject_cycles(missed);
+            self.edges[e].down.drain_into(&mut self.boundary_scratch);
+            if !self.boundary_scratch.is_empty() {
+                let mut batch = std::mem::take(&mut self.boundary_scratch);
+                for event in batch.drain(..) {
+                    self.partitions[e].accept_boundary(event);
                 }
-                self.nic_awake[node / 64] |= bit;
-            } else {
-                next = next.min(self.nic_wake_at[node]);
+                self.boundary_scratch = batch;
             }
         }
-        self.next_nic_wake = next;
-    }
-
-    /// Wakes every sleeping NIC immediately, replaying the coin flips of all
-    /// completed inject ordinals it napped through. Called before anything
-    /// that invalidates a promised nap (rate changes, toggling the nap
-    /// feature itself).
-    fn wake_all_nics(&mut self) {
-        for node in 0..self.nics.len() {
-            let bit = 1u64 << (node % 64);
-            if self.nic_awake[node / 64] & bit != 0 {
-                continue;
+        for p in 0..self.partitions.len() {
+            if !self.partitions[p].registrations.is_empty() {
+                let mut registrations = std::mem::take(&mut self.partitions[p].registrations);
+                for registration in registrations.drain(..) {
+                    self.register_packet(registration);
+                }
+                self.partitions[p].registrations = registrations;
             }
-            let missed = self
-                .inject_steps
-                .saturating_sub(self.nic_slept_at[node] + 1);
-            if missed > 0 {
-                self.nics[node].skip_inject_cycles(missed);
+            if !self.partitions[p].receptions.is_empty() {
+                let mut receptions = std::mem::take(&mut self.partitions[p].receptions);
+                for reception in receptions.drain(..) {
+                    self.apply_reception(reception);
+                }
+                self.partitions[p].receptions = receptions;
             }
-            self.nic_awake[node / 64] |= bit;
         }
-        self.next_nic_wake = u64::MAX;
     }
 
     fn register_packet(&mut self, registration: PacketRegistration) {
@@ -765,54 +565,18 @@ impl Network {
         );
     }
 
-    fn deliver_word(&mut self, event: WordEvent) {
-        match event {
-            WordEvent::Lookahead {
-                node,
-                port,
-                lookahead,
-            } => {
-                self.wake_router(node);
-                self.routers[usize::from(node)].accept_lookahead(port, lookahead);
-            }
-            WordEvent::CreditToRouter { node, port, credit } => {
-                self.wake_router(node);
-                self.routers[usize::from(node)].accept_credit(port, credit);
-            }
-            WordEvent::CreditToNic { node, credit } => {
-                self.nics[usize::from(node)].accept_credit(credit);
-            }
+    fn apply_reception(&mut self, reception: Reception) {
+        if self.measuring {
+            self.throughput.record_reception(u64::from(reception.flits));
         }
-    }
-
-    fn deliver_flit(&mut self, event: FlitEvent, now: Cycle) {
-        let node = usize::from(event.node);
-        if event.port_code == NIC_PORT_CODE {
-            // NIC reception reads only override-independent payload fields
-            // (kind, packet id, packet length), so a fork replica's shared
-            // payload is peeked in place and never materialised.
-            let reception = self.nics[node].accept_flit(self.slab.peek_payload(event.handle), now);
-            self.slab.release(event.handle);
-            if let Some(reception) = reception {
-                if self.measuring {
-                    self.throughput.record_reception(u64::from(reception.flits));
+        if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
+            tracked.remaining_receptions = tracked.remaining_receptions.saturating_sub(1);
+            if tracked.remaining_receptions == 0 {
+                if tracked.track_latency {
+                    self.latency.record(reception.at - tracked.created_at);
                 }
-                if let Some(tracked) = self.scoreboard.get_mut(&reception.id) {
-                    tracked.remaining_receptions = tracked.remaining_receptions.saturating_sub(1);
-                    if tracked.remaining_receptions == 0 {
-                        if tracked.track_latency {
-                            self.latency.record(now - tracked.created_at);
-                        }
-                        self.scoreboard.remove(&reception.id);
-                    }
-                }
+                self.scoreboard.remove(&reception.id);
             }
-        } else {
-            self.wake_router(event.node);
-            let port = Port::from_index(usize::from(event.port_code))
-                .expect("flit events carry a valid router input port");
-            let flit = self.slab.take(event.handle);
-            self.routers[node].accept_flit(port, flit);
         }
     }
 }
@@ -966,5 +730,61 @@ mod tests {
             "every measured packet must complete all receptions"
         );
         assert!(network.throughput().received_flits() > 0);
+    }
+
+    #[test]
+    fn partitioned_stepping_matches_serial_exactly() {
+        // The heavyweight cross-product lives in tests/determinism.rs; this
+        // in-module test pins the core contract on one saturated run.
+        let config = NocConfig::proposed_chip().unwrap();
+        let run = |threads: usize| {
+            let mut network = Network::with_step_threads(config, 0.2, threads).unwrap();
+            assert_eq!(network.step_threads(), threads);
+            network.set_measuring(true);
+            run_cycles(&mut network, 400, true);
+            run_cycles(&mut network, 400, false);
+            (
+                network.injected_packets(),
+                network.in_flight_flits(),
+                format!("{:?}", network.latency()),
+                format!("{:?}", network.throughput()),
+                network.counters(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "2-thread run diverged from serial");
+        assert_eq!(run(4), serial, "4-thread run diverged from serial");
+    }
+
+    #[test]
+    fn step_thread_requests_are_validated_and_clamped() {
+        let config = NocConfig::proposed_chip().unwrap();
+        assert!(matches!(
+            Network::with_step_threads(config, 0.0, 0),
+            Err(NocError::Config(ConfigError::InvalidParallelism { .. }))
+        ));
+        // Requests beyond the row count clamp to one strip per row (k = 4).
+        let network = Network::with_step_threads(config, 0.0, 64).unwrap();
+        assert_eq!(network.step_threads(), 4);
+        // Reconfiguring to the same effective count is a cheap no-op.
+        let mut network = Network::new(config, 0.0).unwrap();
+        network.set_step_threads(1).unwrap();
+        assert_eq!(network.step_threads(), 1);
+        network.set_step_threads(2).unwrap();
+        assert_eq!(network.step_threads(), 2);
+        assert!(network.set_step_threads(0).is_err());
+    }
+
+    #[test]
+    fn clones_of_partitioned_networks_step_independently() {
+        let config = NocConfig::proposed_chip().unwrap();
+        let mut network = Network::with_step_threads(config, 0.15, 2).unwrap();
+        run_cycles(&mut network, 200, true);
+        let mut clone = network.clone();
+        run_cycles(&mut network, 100, true);
+        run_cycles(&mut clone, 100, true);
+        assert_eq!(network.injected_packets(), clone.injected_packets());
+        assert_eq!(network.in_flight_flits(), clone.in_flight_flits());
+        assert_eq!(network.counters(), clone.counters());
     }
 }

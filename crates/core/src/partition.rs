@@ -1,0 +1,875 @@
+//! Spatial partitions of the network and the persistent worker pool that
+//! steps them in parallel.
+//!
+//! The mesh is sharded into contiguous row strips
+//! ([`noc_topology::PartitionMap`]); each [`Partition`] owns the routers,
+//! NICs, event-wheel lanes and flit slab of its node range and can run one
+//! full network cycle touching nothing but its own state — except for events
+//! crossing a partition boundary, which it accumulates into per-direction
+//! outboxes and hands to the neighbouring strip through a
+//! [`BoundaryMailbox`] at the cycle barrier. The `Network` then drains the
+//! mailboxes and merges buffered receptions/registrations in **fixed
+//! partition order** at a single-threaded merge point, which is what makes a
+//! partitioned run bit-identical to the serial one for any thread count (see
+//! `ARCHITECTURE.md`, "Partitioned parallel stepping").
+//!
+//! Within one cycle every delivery commutes: a router input port receives at
+//! most one flit and one lookahead per cycle (one link per port, one
+//! departure per output port), credits are per-VC counter increments, wake
+//! bits are idempotent ORs, and the latency/throughput accumulators are sums
+//! and histograms. Cross-partition events therefore only need to arrive in
+//! the right *cycle* — their order within a wheel slot is free — and the
+//! per-edge FIFO mailboxes keep even that order deterministic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
+
+use noc_router::{Departure, Lookahead, Router, RouterOutput};
+use noc_sim::{BoundaryMailbox, EventWheel, FlitHandle, FlitSlab};
+use noc_topology::Mesh;
+use noc_types::{Credit, Cycle, Flit, NodeId, Port, PORT_COUNT};
+
+use crate::config::NocConfig;
+use crate::nic::{Nic, PacketRegistration, Reception};
+
+/// `port_code` value of a [`FlitEvent`] ejecting to the node's NIC (router
+/// input ports use their `Port::index()`, `0..PORT_COUNT`).
+pub(crate) const NIC_PORT_CODE: u8 = PORT_COUNT as u8;
+
+/// Cap on how far a NIC scouts its injection coin stream ahead: one full
+/// 16-bit LFSR word period. Bounds the scout's worst-case work; a NIC whose
+/// idle run is longer simply naps in `MAX_NIC_SCOUT` instalments.
+const MAX_NIC_SCOUT: u64 = 65_535;
+
+/// A flit hop in flight on the flit lane: the payload is parked in the
+/// owning partition's [`FlitSlab`] and only this small ticket rides the
+/// wheel. `node` is the *global* node id.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitEvent {
+    node: NodeId,
+    /// Router input-port index (`Port::from_index`), or [`NIC_PORT_CODE`]
+    /// for ejection to the node's NIC.
+    port_code: u8,
+    handle: FlitHandle,
+}
+
+/// A word-sized control message in flight on the word lane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WordEvent {
+    Lookahead {
+        node: NodeId,
+        port: Port,
+        lookahead: Lookahead,
+    },
+    CreditToRouter {
+        node: NodeId,
+        port: Port,
+        credit: Credit,
+    },
+    CreditToNic {
+        node: NodeId,
+        credit: Credit,
+    },
+}
+
+/// An event produced in one partition for delivery in another: a flit hop
+/// (payload by value — it changes slabs), a lookahead or a returning credit
+/// on a cut North/South link. `at` is the absolute delivery cycle, always in
+/// the future of the cycle that produced it (link and credit delays are at
+/// least one cycle), so the destination partition can schedule it after its
+/// own phase A has passed.
+#[derive(Debug, Clone)]
+pub(crate) enum BoundaryEvent {
+    /// A flit crossing the boundary; re-homed into the destination
+    /// partition's slab on arrival.
+    Flit {
+        at: Cycle,
+        node: NodeId,
+        port_code: u8,
+        flit: Flit,
+    },
+    /// A lookahead accompanying a boundary flit.
+    Lookahead {
+        at: Cycle,
+        node: NodeId,
+        port: Port,
+        lookahead: Lookahead,
+    },
+    /// A credit returning upstream across the boundary.
+    Credit {
+        at: Cycle,
+        node: NodeId,
+        port: Port,
+        credit: Credit,
+    },
+}
+
+/// The pair of directed mailboxes on one partition boundary. Edge `e` sits
+/// between partitions `e` and `e + 1`: `up` carries events from `e` to
+/// `e + 1` (northward), `down` the reverse.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeMailboxes {
+    pub(crate) up: BoundaryMailbox<BoundaryEvent>,
+    pub(crate) down: BoundaryMailbox<BoundaryEvent>,
+}
+
+/// Per-cycle parameters shared by every partition's step, copied into the
+/// worker pool's job slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepCtx {
+    pub(crate) now: Cycle,
+    pub(crate) inject: bool,
+    /// Completed injecting steps before this one — the ordinal clock the
+    /// quiescent-NIC nap bookkeeping is keyed by.
+    pub(crate) inject_ordinal: u64,
+    pub(crate) nic_idle_skip: bool,
+    pub(crate) link_delay: u64,
+    pub(crate) credit_delay: u64,
+}
+
+/// One contiguous row strip of the mesh: the routers and NICs of a node
+/// range plus private copies of all per-cycle machinery (event-wheel lanes,
+/// flit slab, active-set masks, NIC nap bookkeeping), so a full cycle can
+/// run without touching any other partition's state.
+#[derive(Debug, Clone)]
+pub(crate) struct Partition {
+    /// Index of this partition in the network's partition vector.
+    index: usize,
+    /// First (global) node id owned by this partition.
+    first_node: usize,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    word_lane: EventWheel<WordEvent>,
+    flit_lane: EventWheel<FlitEvent>,
+    slab: FlitSlab,
+    router_scratch: RouterOutput,
+    /// Active-set words over this partition's routers (bit indices are
+    /// partition-local: `node - first_node`).
+    router_wake: Vec<u64>,
+    /// Bit set ⇔ the local NIC has queued flits (drain-phase active set).
+    nic_active: Vec<u64>,
+    /// Router-cycles skipped by the active-set scheduler, folded back into
+    /// the merged `cycles` activity counter.
+    pub(crate) idle_router_cycles: u64,
+    /// Bit set ⇔ the local NIC is awake (must flip its injection coin when
+    /// an injecting step runs).
+    nic_awake: Vec<u64>,
+    /// Per-NIC inject ordinal at which a sleeping NIC must be woken
+    /// (`u64::MAX` = never).
+    nic_wake_at: Vec<u64>,
+    /// Per-NIC inject ordinal of the tick after which the NIC went to sleep.
+    nic_slept_at: Vec<u64>,
+    /// Minimum of `nic_wake_at` over sleeping NICs (`u64::MAX` when all are
+    /// awake).
+    next_nic_wake: u64,
+    /// Packet receptions completed this cycle, in local delivery order; the
+    /// network merges them into the scoreboard/statistics in partition
+    /// order at the deterministic merge point.
+    pub(crate) receptions: Vec<Reception>,
+    /// Packets registered by local NICs this cycle, in local tick order.
+    pub(crate) registrations: Vec<PacketRegistration>,
+    /// Events bound for the partition above, accumulated over the cycle and
+    /// pushed to the edge mailbox in one batch.
+    outbox_up: Vec<BoundaryEvent>,
+    /// Events bound for the partition below.
+    outbox_down: Vec<BoundaryEvent>,
+}
+
+impl Partition {
+    /// Builds partition `index` of `map` over `mesh`, with every NIC
+    /// injecting at `rate`.
+    pub(crate) fn new(
+        config: &NocConfig,
+        mesh: Mesh,
+        map: &noc_topology::PartitionMap,
+        index: usize,
+        rate: f64,
+    ) -> Self {
+        let range = map.node_range(index);
+        let first_node = range.start;
+        let count = range.len();
+        let routers = range
+            .clone()
+            .map(|node| Router::new(&config.router, mesh, mesh.coord_of(node as NodeId)))
+            .collect();
+        let nics = range
+            .clone()
+            .map(|node| Nic::new(config, mesh, node as NodeId, rate))
+            .collect();
+        let horizon = config
+            .link_delay_cycles()
+            .max(config.credit_delay_cycles)
+            .max(1);
+        let words = count.div_ceil(64);
+        Self {
+            index,
+            first_node,
+            routers,
+            nics,
+            word_lane: EventWheel::new(horizon),
+            flit_lane: EventWheel::new(horizon),
+            slab: FlitSlab::new(),
+            router_scratch: RouterOutput::default(),
+            router_wake: vec![0; words],
+            nic_active: vec![0; words],
+            idle_router_cycles: 0,
+            nic_awake: full_awake_mask(words, count),
+            nic_wake_at: vec![0; count],
+            nic_slept_at: vec![0; count],
+            next_nic_wake: u64::MAX,
+            receptions: Vec::new(),
+            registrations: Vec::new(),
+            outbox_up: Vec::new(),
+            outbox_down: Vec::new(),
+        }
+    }
+
+    /// Restores the partition to its post-construction state, keeping every
+    /// warmed-up buffer capacity (the partition half of `Network::reset`).
+    pub(crate) fn reset(&mut self, config: &NocConfig) {
+        for router in &mut self.routers {
+            router.reset();
+        }
+        for nic in &mut self.nics {
+            nic.reset(config);
+        }
+        self.word_lane.reset();
+        self.flit_lane.reset();
+        self.slab.reset();
+        self.router_scratch.clear();
+        self.router_wake.fill(0);
+        self.nic_active.fill(0);
+        self.idle_router_cycles = 0;
+        let count = self.nics.len();
+        self.nic_awake = full_awake_mask(self.nic_awake.len(), count);
+        self.nic_wake_at.fill(0);
+        self.nic_slept_at.fill(0);
+        self.next_nic_wake = u64::MAX;
+        self.receptions.clear();
+        self.registrations.clear();
+        self.outbox_up.clear();
+        self.outbox_down.clear();
+    }
+
+    /// The partition's routers, in ascending node order.
+    pub(crate) fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// The partition's NICs, in ascending node order.
+    pub(crate) fn nics(&self) -> &[Nic] {
+        &self.nics
+    }
+
+    /// First (global) node id owned by this partition.
+    pub(crate) fn first_node(&self) -> usize {
+        self.first_node
+    }
+
+    /// Changes the injection rate of every local NIC (waking sleepers first;
+    /// see `Network::set_rate`).
+    pub(crate) fn set_rate(&mut self, rate: f64, inject_steps: u64) {
+        self.wake_all_nics(inject_steps);
+        for nic in &mut self.nics {
+            nic.set_rate(rate);
+        }
+    }
+
+    /// Flits currently buffered in local routers plus queued in local NICs
+    /// plus parked in the local slab (in flight on local links).
+    pub(crate) fn in_flight_flits(&self) -> usize {
+        let buffered: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let queued: usize = self.nics.iter().map(Nic::queued_flits).sum();
+        // Between steps every live slab handle is exactly one scheduled
+        // flit-lane event, so the slab doubles as the on-links scoreboard.
+        debug_assert_eq!(self.slab.live(), self.flit_lane.pending());
+        buffered + queued + self.slab.live()
+    }
+
+    /// Runs one full network cycle over this partition's nodes. Events bound
+    /// for other partitions are batched into the edge mailboxes; everything
+    /// else is indistinguishable from the serial step restricted to this
+    /// node range.
+    pub(crate) fn step_cycle(&mut self, ctx: &StepCtx, edges: &[EdgeMailboxes]) {
+        let now = ctx.now;
+
+        // Phase A: deliver everything scheduled for this cycle — the word
+        // lane (credits and lookaheads) first, then the flit lane. Each due
+        // slot is detached from its wheel so deliveries can schedule
+        // follow-up events, then its (drained) buffer is recycled. Every
+        // delivery to a router marks it in the wake mask phase B2 walks.
+        let mut due_words = self.word_lane.take_due(now);
+        while let Some(event) = due_words.pop_front() {
+            self.deliver_word(event);
+        }
+        self.word_lane.restore(due_words);
+        let mut due_flits = self.flit_lane.take_due(now);
+        while let Some(event) = due_flits.pop_front() {
+            self.deliver_flit(event, now);
+        }
+        self.flit_lane.restore(due_flits);
+
+        // Phase B1: NICs create and inject traffic. While injecting, the
+        // serial contract is one Bernoulli PRBS coin per NIC per cycle;
+        // quiescent NICs nap through provably losing flips and replay them
+        // in one batched leap at wake (see `maybe_sleep_nic`). In the drain
+        // phase only NICs that still hold queued flits can do anything.
+        if ctx.inject {
+            let ordinal = ctx.inject_ordinal;
+            if ctx.nic_idle_skip {
+                if self.next_nic_wake <= ordinal {
+                    self.wake_due_nics(ordinal);
+                }
+                for w in 0..self.nic_awake.len() {
+                    let mut bits = self.nic_awake[w];
+                    while bits != 0 {
+                        let local = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        self.tick_nic(local, now, true);
+                        self.maybe_sleep_nic(local, ordinal);
+                    }
+                }
+            } else {
+                for local in 0..self.nics.len() {
+                    self.tick_nic(local, now, true);
+                }
+            }
+        } else {
+            for w in 0..self.nic_active.len() {
+                let mut bits = self.nic_active[w];
+                while bits != 0 {
+                    let local = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.tick_nic(local, now, false);
+                }
+            }
+        }
+
+        // Phase B2: step only the woken routers (ascending node order). Each
+        // word is detached first so the carryover bits routers set for the
+        // next cycle do not feed back into this one's scan.
+        let mut output = std::mem::take(&mut self.router_scratch);
+        let mut stepped = 0usize;
+        for w in 0..self.router_wake.len() {
+            let mut bits = std::mem::take(&mut self.router_wake[w]);
+            stepped += bits.count_ones() as usize;
+            while bits != 0 {
+                let offset = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let local = w * 64 + offset;
+                self.step_router(local, now, ctx.link_delay, ctx.credit_delay, &mut output);
+                if self.routers[local].buffered_flits() > 0 {
+                    self.router_wake[w] |= 1 << offset;
+                }
+            }
+        }
+        self.idle_router_cycles += (self.routers.len() - stepped) as u64;
+        self.router_scratch = output;
+
+        // Hand this cycle's boundary batches to the edge mailboxes. The
+        // strip shape guarantees at most two neighbours: `edges[index]`
+        // above, `edges[index - 1]` below.
+        if self.index < edges.len() {
+            edges[self.index].up.push_batch(&mut self.outbox_up);
+        }
+        if self.index > 0 {
+            edges[self.index - 1].down.push_batch(&mut self.outbox_down);
+        }
+        debug_assert!(self.outbox_up.is_empty(), "northward events off the mesh");
+        debug_assert!(self.outbox_down.is_empty(), "southward events off the mesh");
+    }
+
+    /// Schedules a boundary event arriving from a neighbouring partition
+    /// (called by the network's merge point, after the cycle barrier).
+    pub(crate) fn accept_boundary(&mut self, event: BoundaryEvent) {
+        match event {
+            BoundaryEvent::Flit {
+                at,
+                node,
+                port_code,
+                flit,
+            } => {
+                let handle = self.slab.insert(flit);
+                self.flit_lane.schedule(
+                    at,
+                    FlitEvent {
+                        node,
+                        port_code,
+                        handle,
+                    },
+                );
+            }
+            BoundaryEvent::Lookahead {
+                at,
+                node,
+                port,
+                lookahead,
+            } => {
+                self.word_lane.schedule(
+                    at,
+                    WordEvent::Lookahead {
+                        node,
+                        port,
+                        lookahead,
+                    },
+                );
+            }
+            BoundaryEvent::Credit {
+                at,
+                node,
+                port,
+                credit,
+            } => {
+                self.word_lane
+                    .schedule(at, WordEvent::CreditToRouter { node, port, credit });
+            }
+        }
+    }
+
+    /// Ticks local NIC `local` (phase B1), schedules whatever it produced,
+    /// and refreshes its bit in the queued-flits mask. Registrations are
+    /// buffered for the merge point rather than applied to the (shared)
+    /// scoreboard.
+    fn tick_nic(&mut self, local: usize, now: Cycle, inject: bool) {
+        let (injection, registration) = self.nics[local].tick(now, inject);
+        if let Some(registration) = registration {
+            self.registrations.push(registration);
+        }
+        if let Some(injection) = injection {
+            let arrival = now + 1;
+            let node = (self.first_node + local) as NodeId;
+            let handle = self.slab.insert(injection.flit);
+            self.flit_lane.schedule(
+                arrival,
+                FlitEvent {
+                    node,
+                    port_code: Port::Local.index() as u8,
+                    handle,
+                },
+            );
+            if let Some(lookahead) = injection.lookahead {
+                self.word_lane.schedule(
+                    arrival,
+                    WordEvent::Lookahead {
+                        node,
+                        port: Port::Local,
+                        lookahead,
+                    },
+                );
+            }
+        }
+        let bit = 1u64 << (local % 64);
+        if self.nics[local].queued_flits() > 0 {
+            self.nic_active[local / 64] |= bit;
+        } else {
+            self.nic_active[local / 64] &= !bit;
+        }
+    }
+
+    /// Runs local router `local`'s allocation/traversal cycle (phase B2) and
+    /// schedules its departures and credits, reusing `output` as scratch.
+    /// Events for nodes outside this partition's range go to the outboxes;
+    /// boundary flits are taken out of the local slab by value (they are
+    /// re-homed into the destination slab at the merge point).
+    fn step_router(
+        &mut self,
+        local: usize,
+        now: Cycle,
+        link_delay: u64,
+        credit_delay: u64,
+        output: &mut RouterOutput,
+    ) {
+        self.routers[local].step_into(now, &mut self.slab, output);
+        let node = (self.first_node + local) as NodeId;
+        for Departure {
+            port,
+            flit,
+            lookahead,
+        } in output.departures.drain(..)
+        {
+            if port.is_local() {
+                self.flit_lane.schedule(
+                    now + 1,
+                    FlitEvent {
+                        node,
+                        port_code: NIC_PORT_CODE,
+                        handle: flit,
+                    },
+                );
+            } else {
+                let dir = port.direction().expect("non-local port has a direction");
+                let dest_node = self.routers[local]
+                    .neighbor_id(dir)
+                    .expect("routers never send off the mesh edge");
+                let dest_port = dir.opposite().port();
+                let arrival = now + link_delay;
+                if self.owns(dest_node) {
+                    self.flit_lane.schedule(
+                        arrival,
+                        FlitEvent {
+                            node: dest_node,
+                            port_code: dest_port.index() as u8,
+                            handle: flit,
+                        },
+                    );
+                    if let Some(lookahead) = lookahead {
+                        self.word_lane.schedule(
+                            arrival,
+                            WordEvent::Lookahead {
+                                node: dest_node,
+                                port: dest_port,
+                                lookahead,
+                            },
+                        );
+                    }
+                } else {
+                    let payload = self.slab.take(flit);
+                    let outbox = if usize::from(dest_node) < self.first_node {
+                        &mut self.outbox_down
+                    } else {
+                        &mut self.outbox_up
+                    };
+                    outbox.push(BoundaryEvent::Flit {
+                        at: arrival,
+                        node: dest_node,
+                        port_code: dest_port.index() as u8,
+                        flit: payload,
+                    });
+                    if let Some(lookahead) = lookahead {
+                        outbox.push(BoundaryEvent::Lookahead {
+                            at: arrival,
+                            node: dest_node,
+                            port: dest_port,
+                            lookahead,
+                        });
+                    }
+                }
+            }
+        }
+        for (in_port, credit) in output.credits.drain(..) {
+            let arrival = now + credit_delay;
+            if in_port.is_local() {
+                self.word_lane
+                    .schedule(arrival, WordEvent::CreditToNic { node, credit });
+            } else {
+                let dir = in_port.direction().expect("non-local port has a direction");
+                let upstream = self.routers[local]
+                    .neighbor_id(dir)
+                    .expect("credits only go to existing neighbours");
+                let up_port = dir.opposite().port();
+                if self.owns(upstream) {
+                    self.word_lane.schedule(
+                        arrival,
+                        WordEvent::CreditToRouter {
+                            node: upstream,
+                            port: up_port,
+                            credit,
+                        },
+                    );
+                } else {
+                    let outbox = if usize::from(upstream) < self.first_node {
+                        &mut self.outbox_down
+                    } else {
+                        &mut self.outbox_up
+                    };
+                    outbox.push(BoundaryEvent::Credit {
+                        at: arrival,
+                        node: upstream,
+                        port: up_port,
+                        credit,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether global node id `node` lies in this partition's range.
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        let node = usize::from(node);
+        node >= self.first_node && node < self.first_node + self.routers.len()
+    }
+
+    /// Marks the router of global node `node` as having work this cycle.
+    #[inline]
+    fn wake_router(&mut self, node: NodeId) {
+        let local = usize::from(node) - self.first_node;
+        self.router_wake[local / 64] |= 1 << (local % 64);
+    }
+
+    /// Puts local NIC `local` to sleep after its tick at inject ordinal
+    /// `ordinal` if it provably cannot act for a while (empty queue, scouted
+    /// PRBS stream promises `idle ≥ 1` losing coin flips). Skipped flips are
+    /// replayed in one batched leap at wake, keeping the coin stream
+    /// bit-identical to serial ticking.
+    fn maybe_sleep_nic(&mut self, local: usize, ordinal: u64) {
+        if self.nics[local].queued_flits() > 0 {
+            return;
+        }
+        let idle = self.nics[local].idle_inject_cycles_hint(MAX_NIC_SCOUT);
+        if idle == 0 {
+            return;
+        }
+        let wake_at = if idle == u64::MAX {
+            u64::MAX
+        } else {
+            ordinal + idle + 1
+        };
+        self.nic_awake[local / 64] &= !(1 << (local % 64));
+        self.nic_wake_at[local] = wake_at;
+        self.nic_slept_at[local] = ordinal;
+        self.next_nic_wake = self.next_nic_wake.min(wake_at);
+    }
+
+    /// Wakes every sleeping local NIC whose wake ordinal has arrived
+    /// (replaying its napped-over coin flips) and recomputes
+    /// `next_nic_wake` from the NICs still asleep.
+    fn wake_due_nics(&mut self, ordinal: u64) {
+        let mut next = u64::MAX;
+        for local in 0..self.nics.len() {
+            let bit = 1u64 << (local % 64);
+            if self.nic_awake[local / 64] & bit != 0 {
+                continue;
+            }
+            if self.nic_wake_at[local] <= ordinal {
+                // The nap covered inject ordinals slept_at+1 ..= ordinal-1;
+                // this ordinal's coin is consumed by the NIC's own tick.
+                let missed = ordinal.saturating_sub(self.nic_slept_at[local] + 1);
+                if missed > 0 {
+                    self.nics[local].skip_inject_cycles(missed);
+                }
+                self.nic_awake[local / 64] |= bit;
+            } else {
+                next = next.min(self.nic_wake_at[local]);
+            }
+        }
+        self.next_nic_wake = next;
+    }
+
+    /// Wakes every sleeping local NIC immediately, replaying the coin flips
+    /// of all completed inject ordinals it napped through. Called before
+    /// anything that invalidates a promised nap (rate changes, toggling the
+    /// nap feature).
+    pub(crate) fn wake_all_nics(&mut self, inject_steps: u64) {
+        for local in 0..self.nics.len() {
+            let bit = 1u64 << (local % 64);
+            if self.nic_awake[local / 64] & bit != 0 {
+                continue;
+            }
+            let missed = inject_steps.saturating_sub(self.nic_slept_at[local] + 1);
+            if missed > 0 {
+                self.nics[local].skip_inject_cycles(missed);
+            }
+            self.nic_awake[local / 64] |= bit;
+        }
+        self.next_nic_wake = u64::MAX;
+    }
+
+    fn deliver_word(&mut self, event: WordEvent) {
+        match event {
+            WordEvent::Lookahead {
+                node,
+                port,
+                lookahead,
+            } => {
+                self.wake_router(node);
+                let local = usize::from(node) - self.first_node;
+                self.routers[local].accept_lookahead(port, lookahead);
+            }
+            WordEvent::CreditToRouter { node, port, credit } => {
+                self.wake_router(node);
+                let local = usize::from(node) - self.first_node;
+                self.routers[local].accept_credit(port, credit);
+            }
+            WordEvent::CreditToNic { node, credit } => {
+                let local = usize::from(node) - self.first_node;
+                self.nics[local].accept_credit(credit);
+            }
+        }
+    }
+
+    fn deliver_flit(&mut self, event: FlitEvent, now: Cycle) {
+        let local = usize::from(event.node) - self.first_node;
+        if event.port_code == NIC_PORT_CODE {
+            // NIC reception reads only override-independent payload fields
+            // (kind, packet id, packet length), so a fork replica's shared
+            // payload is peeked in place and never materialised. Completed
+            // receptions are buffered for the merge point: the scoreboard
+            // and statistics they feed are shared across partitions.
+            let reception = self.nics[local].accept_flit(self.slab.peek_payload(event.handle), now);
+            self.slab.release(event.handle);
+            if let Some(reception) = reception {
+                self.receptions.push(reception);
+            }
+        } else {
+            self.wake_router(event.node);
+            let port = Port::from_index(usize::from(event.port_code))
+                .expect("flit events carry a valid router input port");
+            let flit = self.slab.take(event.handle);
+            self.routers[local].accept_flit(port, flit);
+        }
+    }
+}
+
+/// Mask with one set bit per NIC of a `count`-node partition, spread over
+/// `words` 64-bit words (the reset value of `nic_awake`).
+fn full_awake_mask(words: usize, count: usize) -> Vec<u64> {
+    let mut mask = vec![u64::MAX; words];
+    if !count.is_multiple_of(64) {
+        if let Some(last) = mask.last_mut() {
+            *last = (1u64 << (count % 64)) - 1;
+        }
+    }
+    mask
+}
+
+/// The work order the main thread publishes to the pool for one cycle:
+/// raw access to the partition slice and edge mailboxes plus the copied
+/// step parameters. Workers only ever touch `partitions[slot + 1]` for
+/// their own fixed slot, so the `*mut` aliases are disjoint; the mailboxes
+/// are shared read-only structure with interior mutability.
+#[derive(Debug, Clone, Copy)]
+struct StepJob {
+    partitions: *mut Partition,
+    count: usize,
+    edges: *const EdgeMailboxes,
+    edge_count: usize,
+    ctx: StepCtx,
+}
+
+// SAFETY: the pointers refer to the `Network`'s partition and edge vectors,
+// which outlive the job (the main thread publishes a job, waits for the done
+// barrier, and only then regains mutable access); `Partition` and
+// `EdgeMailboxes` own no thread-affine state (asserted below), and each
+// worker dereferences a distinct element.
+unsafe impl Send for StepJob {}
+
+/// Compile-time proof that partition state may move between threads — the
+/// `unsafe impl Send for StepJob` above leans on this.
+#[allow(dead_code)]
+fn assert_partition_state_is_send_sync() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Partition>();
+    assert_send::<EdgeMailboxes>();
+    assert_sync::<EdgeMailboxes>();
+}
+
+/// State shared between the main thread and the pool workers.
+#[derive(Debug)]
+struct PoolShared {
+    /// Cycle-start barrier: main publishes a job (or the shutdown flag) and
+    /// everyone crosses together.
+    start: Barrier,
+    /// Cycle-end barrier: every partition has finished and pushed its
+    /// boundary batches; the main thread may merge.
+    done: Barrier,
+    /// The job for the current cycle (uncontended: written before the start
+    /// barrier, read after it).
+    job: Mutex<Option<StepJob>>,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of `threads - 1` workers that step partitions
+/// `1..threads` while the main thread steps partition 0, synchronised by a
+/// start and a done barrier per cycle. Spawned once per
+/// `Network::set_step_threads` configuration and reused every step, so the
+/// steady state pays two barrier crossings and zero thread spawns per cycle.
+#[derive(Debug)]
+pub(crate) struct StepPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StepPool {
+    /// Spawns a pool for `threads` total step threads (main + `threads - 1`
+    /// workers; `threads` must be at least 2 — a single-partition network
+    /// steps inline without a pool).
+    pub(crate) fn spawn(threads: usize) -> Self {
+        debug_assert!(threads >= 2, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            start: Barrier::new(threads),
+            done: Barrier::new(threads),
+            job: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads - 1)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("noc-step-{}", slot + 1))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawning a step worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of step threads (main included) this pool synchronises.
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs one cycle: publishes the job, steps partition 0 on the calling
+    /// thread while the workers step the rest, and returns after the done
+    /// barrier — at which point every partition has pushed its boundary
+    /// batches and the caller holds exclusive access again.
+    ///
+    /// `partitions.len()` must be at least [`Self::threads`]... exactly: one
+    /// partition per thread.
+    pub(crate) fn step(&self, partitions: &mut [Partition], edges: &[EdgeMailboxes], ctx: StepCtx) {
+        debug_assert_eq!(partitions.len(), self.threads());
+        let base = partitions.as_mut_ptr();
+        let job = StepJob {
+            partitions: base,
+            count: partitions.len(),
+            edges: edges.as_ptr(),
+            edge_count: edges.len(),
+            ctx,
+        };
+        *self.shared.job.lock().expect("step pool poisoned") = Some(job);
+        self.shared.start.wait();
+        // SAFETY: workers only touch partitions[1..]; partition 0 is ours.
+        // Going through the same base pointer (rather than re-borrowing the
+        // slice) keeps the accesses provenance-disjoint.
+        let first = unsafe { &mut *base };
+        first.step_cycle(&ctx, edges);
+        self.shared.done.wait();
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Release the workers from their start barrier; they observe the
+        // flag and exit without touching the (absent) job.
+        self.shared.start.wait();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    loop {
+        shared.start.wait();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let job = shared
+            .job
+            .lock()
+            .expect("step pool poisoned")
+            .expect("start barrier crossed without a published job");
+        if slot + 1 < job.count {
+            // SAFETY: each worker owns exactly partition `slot + 1` for the
+            // duration of the cycle; the main thread owns partition 0 and
+            // does not reclaim the slice until the done barrier.
+            let partition = unsafe { &mut *job.partitions.add(slot + 1) };
+            let edges = unsafe { std::slice::from_raw_parts(job.edges, job.edge_count) };
+            partition.step_cycle(&job.ctx, edges);
+        }
+        shared.done.wait();
+    }
+}

@@ -45,6 +45,35 @@ impl Simulation {
         &self.network
     }
 
+    /// Reconfigures how many threads step the underlying network's mesh (see
+    /// [`Network::set_step_threads`]). Results are bit-identical for any
+    /// thread count. Repartitioning resets simulation state, so call this
+    /// before [`run`](Self::run) (each run [`reset`](Self::reset)s anyway in
+    /// sweep batching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when `threads` is zero.
+    pub fn set_step_threads(&mut self, threads: usize) -> Result<(), NocError> {
+        self.network.set_step_threads(threads)
+    }
+
+    /// Builder form of [`set_step_threads`](Self::set_step_threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when `threads` is zero.
+    pub fn with_step_threads(mut self, threads: usize) -> Result<Self, NocError> {
+        self.network.set_step_threads(threads)?;
+        Ok(self)
+    }
+
+    /// Number of threads (mesh partitions) the simulation steps with.
+    #[must_use]
+    pub fn step_threads(&self) -> usize {
+        self.network.step_threads()
+    }
+
     /// Rewinds the simulation to cycle zero with the PRBS generators
     /// re-seeded from `seed`, keeping the network's warmed-up buffer
     /// capacity (see [`Network::reset`]). A following [`run`](Self::run)

@@ -23,6 +23,13 @@
 //! per-point simulation, and results are stitched back together in index
 //! order — a sweep run with one thread and with N threads produces
 //! bit-identical [`SweepCurve`]s. See `tests/determinism.rs`.
+//!
+//! Point-level sharding composes with the network's partitioned stepper
+//! ([`SweepRunner::with_step_threads`]): each worker's simulation can itself
+//! step the mesh on several threads. `jobs` takes precedence — the requested
+//! step threads are capped at run time so `jobs × step_threads` never
+//! exceeds the machine's available parallelism — and since both axes are
+//! bit-deterministic, any combination produces the same curve.
 
 use std::time::Instant;
 
@@ -162,18 +169,24 @@ pub struct SweepOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepRunner {
     jobs: usize,
+    /// Requested intra-simulation step threads per sweep worker (see
+    /// [`with_step_threads`](SweepRunner::with_step_threads)); the effective
+    /// value is capped at run time so `jobs × step_threads` never
+    /// oversubscribes the machine.
+    step_threads: usize,
     warmup_cycles: u64,
     measure_cycles: u64,
 }
 
 impl SweepRunner {
     /// A runner distributing points over `jobs` worker threads (`0` is
-    /// treated as `1`), with default warmup/measurement windows of
-    /// 1000/5000 cycles.
+    /// treated as `1`), each stepping its simulation serially, with default
+    /// warmup/measurement windows of 1000/5000 cycles.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
         Self {
             jobs: jobs.max(1),
+            step_threads: 1,
             warmup_cycles: 1_000,
             measure_cycles: 5_000,
         }
@@ -200,10 +213,53 @@ impl SweepRunner {
         Ok(self)
     }
 
+    /// Requests `step_threads` partition worker threads *inside* each sweep
+    /// worker's simulation ([`Simulation::set_step_threads`]). The two
+    /// parallelism axes compose with a documented precedence: **`jobs` wins**
+    /// — point-level sharding scales better than intra-mesh partitioning, so
+    /// the effective step-thread count is capped at run time to
+    /// `max(1, available_parallelism / jobs)` and `jobs` is never reduced.
+    /// Curves are bit-identical for any `(jobs, step_threads)` combination,
+    /// so the cap only affects wall-clock, never results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParallelism`] when `step_threads == 0`
+    /// (jobs cannot be zero — [`SweepRunner::new`] maps 0 to 1).
+    pub fn with_step_threads(mut self, step_threads: usize) -> Result<Self, NocError> {
+        if step_threads == 0 {
+            return Err(ConfigError::InvalidParallelism {
+                jobs: self.jobs,
+                step_threads,
+            }
+            .into());
+        }
+        self.step_threads = step_threads;
+        Ok(self)
+    }
+
     /// Number of worker threads this runner uses.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Requested intra-simulation step threads (before the run-time
+    /// oversubscription cap; see
+    /// [`with_step_threads`](SweepRunner::with_step_threads)).
+    #[must_use]
+    pub fn step_threads(&self) -> usize {
+        self.step_threads
+    }
+
+    /// The step-thread count actually applied per sweep worker when `jobs`
+    /// workers run: the requested value capped at
+    /// `max(1, available_parallelism / jobs)`, so the two parallelism axes
+    /// never oversubscribe the machine together.
+    #[must_use]
+    pub fn effective_step_threads(&self, jobs: usize) -> usize {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        self.step_threads.min((available / jobs.max(1)).max(1))
     }
 
     /// The PRBS base seed of sweep point `index` under `config`: a SplitMix64
@@ -241,10 +297,11 @@ impl SweepRunner {
         assert!(!rates.is_empty(), "a sweep needs at least one point");
         let sweep_start = Instant::now();
         let jobs = self.jobs.min(rates.len());
+        let step_threads = self.effective_step_threads(jobs);
         let mut outcomes: Vec<Option<SweepPointOutcome>> = vec![None; rates.len()];
 
         if jobs <= 1 {
-            let mut sim = Simulation::new(config)?;
+            let mut sim = Simulation::new(config)?.with_step_threads(step_threads)?;
             for (index, slot) in outcomes.iter_mut().enumerate() {
                 *slot = Some(self.run_point(&mut sim, &config, rates, index)?);
             }
@@ -258,7 +315,8 @@ impl SweepRunner {
                     let handles: Vec<_> = (0..jobs)
                         .map(|worker| {
                             scope.spawn(move || {
-                                let mut sim = Simulation::new(config)?;
+                                let mut sim =
+                                    Simulation::new(config)?.with_step_threads(step_threads)?;
                                 let mut mine = Vec::new();
                                 for index in (worker..rates.len()).step_by(jobs) {
                                     mine.push((
@@ -514,6 +572,54 @@ mod tests {
         assert!(compare(config, config, &[0.02], 100, 0).is_err());
         // A zero warmup stays legal.
         assert!(SweepRunner::new(1).with_windows(0, 100).is_ok());
+    }
+
+    #[test]
+    fn step_thread_requests_compose_with_jobs_without_oversubscription() {
+        let runner = SweepRunner::new(2).with_step_threads(4).unwrap();
+        assert_eq!(runner.step_threads(), 4);
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        assert_eq!(
+            runner.effective_step_threads(2),
+            4.min((available / 2).max(1)),
+            "jobs take precedence; step threads absorb the cap"
+        );
+        assert!(runner.effective_step_threads(usize::MAX) >= 1);
+        // Zero step threads is rejected with the typed error; zero jobs
+        // keeps its historical 0 → 1 mapping.
+        let err = SweepRunner::new(3).with_step_threads(0).unwrap_err();
+        assert!(matches!(
+            err,
+            NocError::Config(ConfigError::InvalidParallelism {
+                jobs: 3,
+                step_threads: 0
+            })
+        ));
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn partitioned_sweep_workers_agree_with_serial_ones_exactly() {
+        // On a single-core machine the oversubscription cap reduces this to
+        // a pass-through test; on multi-core CI it genuinely steps each
+        // worker's mesh on two threads. Either way the curve must match.
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let rates = [0.02, 0.14, 0.24];
+        let serial = SweepRunner::new(1)
+            .with_windows(100, 300)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        let partitioned = SweepRunner::new(1)
+            .with_step_threads(2)
+            .unwrap()
+            .with_windows(100, 300)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        assert_eq!(serial.curve, partitioned.curve);
     }
 
     #[test]

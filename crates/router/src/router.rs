@@ -168,6 +168,11 @@ pub struct Router {
     /// carries. Edge directions keep this router's own masks as a never-read
     /// placeholder — routing never departs off the mesh edge.
     neighbor_masks: [XyPortMasks; 4],
+    /// Node id of the neighbour in each direction (indexed by
+    /// `Direction::index()`; `None` off the mesh edge), cached so the
+    /// network's hot departure loop resolves link endpoints without touching
+    /// the mesh.
+    neighbor_ids: [Option<NodeId>; 4],
 }
 
 impl Router {
@@ -189,6 +194,10 @@ impl Router {
             mesh.neighbor(coord, noc_types::Direction::ALL[d])
                 .map_or(port_masks, |next| XyPortMasks::new(&mesh, next))
         });
+        let neighbor_ids = std::array::from_fn(|d| {
+            mesh.neighbor(coord, noc_types::Direction::ALL[d])
+                .map(|next| mesh.id_of(next))
+        });
         Self {
             config: *config,
             node_id: mesh.id_of(coord),
@@ -203,6 +212,7 @@ impl Router {
             fork_cache: vec![ForkCacheEntry::invalid(); PORT_COUNT * config.total_vcs()],
             port_masks,
             neighbor_masks,
+            neighbor_ids,
         }
     }
 
@@ -263,6 +273,14 @@ impl Router {
     #[must_use]
     pub fn node_id(&self) -> NodeId {
         self.node_id
+    }
+
+    /// Node id of the neighbouring router in `dir`, or `None` at the mesh
+    /// edge. Cached at construction so per-cycle departure handling never
+    /// consults the mesh.
+    #[must_use]
+    pub fn neighbor_id(&self, dir: noc_types::Direction) -> Option<NodeId> {
+        self.neighbor_ids[dir.port().index()]
     }
 
     /// Router configuration.

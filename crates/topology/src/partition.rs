@@ -1,0 +1,248 @@
+//! Spatial partitioning of a k×k mesh into contiguous row strips.
+//!
+//! The partitioned `Network::step` shards the mesh across worker threads;
+//! this module answers the purely structural questions that sharding needs:
+//! which rows (and therefore which node ids) each partition owns, which
+//! partition a node belongs to, and which directed links cross a partition
+//! boundary.
+//!
+//! Row strips are the shape that makes the determinism contract cheap to
+//! keep. Node ids are row-major (`id = y·k + x`), so a strip of consecutive
+//! rows is a *contiguous node-id range*: iterating partitions in ascending
+//! order visits nodes in exactly the order a serial scan would, which is what
+//! lets counters and statistics merge in fixed partition order and still be
+//! bit-identical to the serial path. Every cross-partition link is a
+//! North/South link between adjacent strips, so a partition exchanges
+//! boundary traffic with at most two neighbours.
+
+use std::ops::Range;
+
+use noc_types::{Coord, Direction, NodeId, PartitionId};
+
+use crate::mesh::{Link, Mesh};
+
+/// A division of a k×k mesh into contiguous row-strip partitions.
+///
+/// Built with [`PartitionMap::rows`]; partition `p` owns rows
+/// `row_start(p) .. row_start(p + 1)` and therefore the contiguous node-id
+/// range [`node_range(p)`](PartitionMap::node_range).
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{Mesh, PartitionMap};
+///
+/// let mesh = Mesh::new(4)?;
+/// let map = PartitionMap::rows(&mesh, 2);
+/// assert_eq!(map.len(), 2);
+/// assert_eq!(map.node_range(0), 0..8);
+/// assert_eq!(map.node_range(1), 8..16);
+/// assert_eq!(map.partition_of(5), 0);
+/// assert_eq!(map.partition_of(12), 1);
+/// # Ok::<(), noc_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    k: u16,
+    /// `row_starts[p] .. row_starts[p + 1]` are the rows of partition `p`;
+    /// length is `len() + 1` with `row_starts[len()] == k`.
+    row_starts: Vec<u16>,
+}
+
+impl PartitionMap {
+    /// Splits `mesh` into at most `parts` balanced row strips.
+    ///
+    /// `parts` is clamped to `1..=k` (a strip must own at least one row);
+    /// when `k` does not divide evenly, the first `k % parts` strips get one
+    /// extra row. The split depends only on `(k, parts)` — never on thread
+    /// scheduling — so a partitioned run is reproducible by construction.
+    #[must_use]
+    pub fn rows(mesh: &Mesh, parts: usize) -> Self {
+        let k = mesh.side();
+        let parts = parts.clamp(1, usize::from(k)) as u16;
+        let base = k / parts;
+        let extra = k % parts;
+        let mut row_starts = Vec::with_capacity(usize::from(parts) + 1);
+        let mut row = 0u16;
+        row_starts.push(row);
+        for p in 0..parts {
+            row += base + u16::from(p < extra);
+            row_starts.push(row);
+        }
+        debug_assert_eq!(row, k);
+        Self { k, row_starts }
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.row_starts.len() - 1
+    }
+
+    /// Always `false`: a map owns at least one partition by construction
+    /// (present for the `len`/`is_empty` API convention).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Side length of the partitioned mesh.
+    #[must_use]
+    pub fn side(&self) -> u16 {
+        self.k
+    }
+
+    /// First row owned by partition `p` (equals the side length for
+    /// `p == len()`, the one-past-the-end sentinel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > len()`.
+    #[must_use]
+    pub fn row_start(&self, p: usize) -> u16 {
+        self.row_starts[p]
+    }
+
+    /// The contiguous node-id range owned by partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len()`.
+    #[must_use]
+    pub fn node_range(&self, p: usize) -> Range<usize> {
+        let k = usize::from(self.k);
+        usize::from(self.row_starts[p]) * k..usize::from(self.row_starts[p + 1]) * k
+    }
+
+    /// The partition owning node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` lies outside the mesh.
+    #[must_use]
+    pub fn partition_of(&self, node: NodeId) -> PartitionId {
+        let row = node / self.k;
+        assert!(
+            row < self.k,
+            "node {node} outside a {k}x{k} mesh",
+            k = self.k
+        );
+        // At most 16 partitions on a k<=16 mesh: a linear scan beats a
+        // binary search and the branch predictor learns it instantly.
+        let mut p = 0u16;
+        while self.row_starts[usize::from(p) + 1] <= row {
+            p += 1;
+        }
+        p
+    }
+
+    /// Every directed link leaving partition `p` for another partition.
+    ///
+    /// With row strips these are exactly the North links of `p`'s top row
+    /// and the South links of its bottom row — `k` links per interior
+    /// boundary side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len()`.
+    #[must_use]
+    pub fn boundary_links(&self, mesh: &Mesh, p: usize) -> Vec<Link> {
+        assert!(p < self.len(), "partition {p} out of range");
+        let mut links = Vec::new();
+        let (lo, hi) = (self.row_starts[p], self.row_starts[p + 1]);
+        for x in 0..self.k {
+            for (row, dir) in [(hi - 1, Direction::North), (lo, Direction::South)] {
+                let coord = Coord::new(x, row);
+                if let Some(next) = mesh.neighbor(coord, dir) {
+                    if self.partition_of(mesh.id_of(next)) != p as PartitionId {
+                        links.push(Link {
+                            from: mesh.id_of(coord),
+                            to: mesh.id_of(next),
+                            direction: dir,
+                        });
+                    }
+                }
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_the_mesh_exactly_once() {
+        for k in [1u16, 3, 4, 7, 8, 16] {
+            let mesh = Mesh::new(k).unwrap();
+            for parts in 1..=usize::from(k) + 2 {
+                let map = PartitionMap::rows(&mesh, parts);
+                assert!(map.len() <= usize::from(k));
+                let mut next = 0usize;
+                for p in 0..map.len() {
+                    let range = map.node_range(p);
+                    assert_eq!(range.start, next, "k={k} parts={parts} gap at {p}");
+                    assert!(!range.is_empty(), "k={k} parts={parts} empty strip {p}");
+                    next = range.end;
+                    for node in range {
+                        assert_eq!(map.partition_of(node as NodeId), p as PartitionId);
+                    }
+                }
+                assert_eq!(next, mesh.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_split_spreads_the_remainder_over_leading_strips() {
+        let mesh = Mesh::new(7).unwrap();
+        let map = PartitionMap::rows(&mesh, 3);
+        // 7 rows over 3 strips: 3 + 2 + 2.
+        assert_eq!(map.node_range(0), 0..21);
+        assert_eq!(map.node_range(1), 21..35);
+        assert_eq!(map.node_range(2), 35..49);
+    }
+
+    #[test]
+    fn parts_are_clamped_to_the_row_count() {
+        let mesh = Mesh::new(4).unwrap();
+        assert_eq!(PartitionMap::rows(&mesh, 0).len(), 1);
+        assert_eq!(PartitionMap::rows(&mesh, 9).len(), 4);
+    }
+
+    #[test]
+    fn boundary_links_are_exactly_the_north_south_strip_crossings() {
+        let mesh = Mesh::new(4).unwrap();
+        let map = PartitionMap::rows(&mesh, 2);
+        // Interior partitions of a 2-way split each have one boundary side
+        // with k links.
+        let bottom = map.boundary_links(&mesh, 0);
+        let top = map.boundary_links(&mesh, 1);
+        assert_eq!(bottom.len(), 4);
+        assert_eq!(top.len(), 4);
+        for link in bottom.iter().chain(top.iter()) {
+            assert!(matches!(
+                link.direction,
+                Direction::North | Direction::South
+            ));
+            assert_ne!(
+                map.partition_of(link.from),
+                map.partition_of(link.to),
+                "boundary link must cross partitions"
+            );
+        }
+        // A middle strip of a 3-way 6x6 split has both sides.
+        let mesh6 = Mesh::new(6).unwrap();
+        let map6 = PartitionMap::rows(&mesh6, 3);
+        assert_eq!(map6.boundary_links(&mesh6, 1).len(), 12);
+    }
+
+    #[test]
+    fn single_partition_has_no_boundaries() {
+        let mesh = Mesh::new(4).unwrap();
+        let map = PartitionMap::rows(&mesh, 1);
+        assert_eq!(map.len(), 1);
+        assert!(map.boundary_links(&mesh, 0).is_empty());
+    }
+}

@@ -188,6 +188,106 @@ fn non_uniform_patterns_keep_every_determinism_guarantee() {
 }
 
 #[test]
+fn partitioned_stepping_is_bit_identical_to_serial() {
+    // The row-strip partitioned stepper (per-edge boundary mailboxes merged
+    // in fixed edge order after the cycle barrier) is a pure scheduling
+    // change: for every thread count the mesh must reproduce the serial
+    // stepper's traffic bit for bit — with the NIC nap on and off, across
+    // drain phases with injection disabled, and through a mid-run rate
+    // change that forces the wake/catch-up paths inside every partition.
+    let rate = 0.2;
+    for nic_idle_skip in [true, false] {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let mut serial = Network::new(config, rate).expect("valid configuration");
+        serial.set_nic_idle_skip(nic_idle_skip);
+        serial.set_measuring(true);
+        let mut partitioned: Vec<Network> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                let mut network =
+                    Network::with_step_threads(config, rate, threads).expect("valid thread count");
+                assert_eq!(network.step_threads(), threads);
+                network.set_nic_idle_skip(nic_idle_skip);
+                network.set_measuring(true);
+                network
+            })
+            .collect();
+
+        let phases = [(200usize, true), (60, false), (120, true), (40, false)];
+        for (round, (steps, inject)) in phases.into_iter().enumerate() {
+            for _ in 0..steps {
+                serial.step(inject);
+                for network in &mut partitioned {
+                    network.step(inject);
+                    assert_eq!(
+                        network.in_flight_flits(),
+                        serial.in_flight_flits(),
+                        "in-flight flits diverged at {} threads (round {round}, nap {nic_idle_skip})",
+                        network.step_threads()
+                    );
+                }
+            }
+            if round == 1 {
+                serial.set_rate(rate * 2.5);
+                for network in &mut partitioned {
+                    network.set_rate(rate * 2.5);
+                }
+            }
+        }
+        for network in &partitioned {
+            let threads = network.step_threads();
+            assert_eq!(
+                network.injected_packets(),
+                serial.injected_packets(),
+                "injection streams diverged at {threads} threads (nap {nic_idle_skip})"
+            );
+            assert_eq!(
+                network.counters(),
+                serial.counters(),
+                "activity counters diverged at {threads} threads (nap {nic_idle_skip})"
+            );
+            assert_eq!(
+                format!("{:?}", network.latency()),
+                format!("{:?}", serial.latency()),
+                "latency statistics diverged at {threads} threads (nap {nic_idle_skip})"
+            );
+            assert_eq!(
+                format!("{:?}", network.throughput()),
+                format!("{:?}", serial.throughput()),
+                "throughput statistics diverged at {threads} threads (nap {nic_idle_skip})"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_partitioned_resets_match_cold_serial_runs() {
+    // Sweep workers batch points through one warm network; a partitioned
+    // network keeps its thread pool and partitions across `reset(seed)`, so
+    // a warm partitioned simulation must reproduce a cold *serial* one
+    // exactly — the property that lets `--jobs` and `--step-threads`
+    // compose without changing a single measured number.
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let mut warm = Simulation::new(config)
+        .expect("valid configuration")
+        .with_step_threads(4)
+        .expect("valid thread count");
+    for (seed, rate) in [(0x0101u64, 0.04), (0xBEEF, 0.14), (0x7A5A, 0.24)] {
+        warm.reset(seed);
+        let warm_result = warm.run(rate, 150, 600).expect("valid rate");
+        let cold_result = run_once(config.with_base_seed(seed as u16), rate);
+        assert_eq!(
+            warm_result, cold_result,
+            "seed {seed:#x} rate {rate} diverged warm-partitioned vs cold-serial"
+        );
+    }
+}
+
+#[test]
 fn nic_idle_skip_is_bit_identical_to_serial_injection() {
     // The quiescent-NIC nap (scout the PRBS coin run, sleep, replay the
     // skipped flips on wake) is a pure scheduling shortcut: with the chicken

@@ -2,7 +2,9 @@
 
 use noc_repro::noc::{Network, NocConfig};
 use noc_repro::router::{MatrixArbiter, RoundRobinArbiter};
-use noc_repro::sim::{bernoulli_threshold, FlitHandle, FlitSlab, Lfsr, PrbsGenerator};
+use noc_repro::sim::{
+    bernoulli_threshold, BoundaryMailbox, FlitHandle, FlitSlab, Lfsr, PrbsGenerator,
+};
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::topology::{routing, Mesh};
 use noc_repro::traffic::SpatialPattern;
@@ -502,5 +504,51 @@ proptest! {
         }
         prop_assert_eq!(network.in_flight_flits(), 0);
         prop_assert_eq!(network.latency().count(), 0);
+    }
+
+    // ------------------------------------------------------- boundary mailbox
+
+    /// The partitioned stepper's determinism rests on boundary mailboxes
+    /// being strict FIFOs per directed partition edge: under any random
+    /// interleaving of batched pushes and drains, events must come out in
+    /// exactly the order they went in (`crates/sim/src/mailbox.rs` promises
+    /// this no-reorder guarantee). Each op word decodes as (kind, count):
+    /// odd words drain, even words push a batch of `word / 2 % 6` events.
+    #[test]
+    fn boundary_mailboxes_never_reorder_same_edge_deliveries(
+        ops in proptest::collection::vec(0u32..1200, 0..80),
+    ) {
+        let mailbox: BoundaryMailbox<u32> = BoundaryMailbox::new();
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let mut delivered: Vec<u32> = Vec::new();
+        let mut batch: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for word in ops {
+            let (drain, count) = (word % 2 == 1, word / 2 % 6);
+            if drain {
+                let before = delivered.len();
+                mailbox.drain_into(&mut delivered);
+                // A reordered or dropped delivery shows up as a mismatch
+                // against the FIFO model here.
+                for value in &delivered[before..] {
+                    prop_assert_eq!(model.pop_front(), Some(*value));
+                }
+                prop_assert!(mailbox.is_empty(), "drain must empty the mailbox");
+            } else {
+                for _ in 0..count {
+                    batch.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                mailbox.push_batch(&mut batch);
+                prop_assert!(batch.is_empty(), "push recycles the batch buffer");
+            }
+            prop_assert_eq!(mailbox.len(), model.len());
+        }
+        mailbox.drain_into(&mut delivered);
+        // End-to-end FIFO: the concatenation of every drain is exactly the
+        // push sequence.
+        let expected: Vec<u32> = (0..next).collect();
+        prop_assert_eq!(delivered, expected);
     }
 }

@@ -3,8 +3,9 @@
 //! The workspace emits two kinds of machine-readable bench artifacts:
 //!
 //! * **Sweep documents** (`BENCH_sweep.json`, `BENCH_patterns.json`,
-//!   `BENCH_stress8.json`) written by `repro --json`: `{"sweeps": [...]}`
-//!   with one record per `(experiment, network, k)` sweep.
+//!   `BENCH_stress8.json`, `BENCH_stress16.json`) written by `repro --json`:
+//!   `{"sweeps": [...]}` with one record per `(experiment, network, k)`
+//!   sweep.
 //! * **Step documents** written by the criterion shim when `NOC_BENCH_JSON`
 //!   is set: `{"schema": 1, "results": [{"id", "mean_ns", "samples"}]}`.
 //!
@@ -259,6 +260,22 @@ struct Metric {
     value: f64,
     /// `true` for throughput-like metrics where bigger numbers are better.
     higher_is_better: bool,
+    /// Mesh-partition threads the workload stepped with, when the artifact
+    /// says (the `step_threads` sweep field, or a `_<N>t` bench-id suffix).
+    /// Purely an annotation for the trend table; never compared.
+    step_threads: Option<u64>,
+}
+
+/// Parses the `_<N>t` thread-count suffix convention of partitioned step
+/// benches (`step_8x8_saturated_mixed_2t` → 2). Ids without the suffix are
+/// the serial variants.
+fn id_thread_suffix(id: &str) -> Option<u64> {
+    let digits = &id.strip_suffix('t')?[..id.len() - 1];
+    let digits = &digits[digits.rfind('_')? + 1..];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 /// Extracts `bench_step/<id>` metrics (mean ns/iter, lower is better) from a
@@ -282,6 +299,7 @@ fn step_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
             id: format!("bench_step/{id}"),
             value: mean_ns,
             higher_is_better: false,
+            step_threads: Some(id_thread_suffix(id).unwrap_or(1)),
         });
     }
     Ok(metrics)
@@ -311,6 +329,10 @@ fn sweep_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
             .and_then(Json::as_num)
             .ok_or("sweep missing \"k\"")?;
         let prefix = format!("{experiment}/{network}/k{k}");
+        let step_threads = sweep
+            .get("step_threads")
+            .and_then(Json::as_num)
+            .map(|n| n as u64);
         for (field, higher_is_better) in [
             ("zero_load_latency_cycles", false),
             ("saturation_gbps", true),
@@ -320,6 +342,7 @@ fn sweep_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
                     id: format!("{prefix}/{field}"),
                     value,
                     higher_is_better,
+                    step_threads,
                 });
             }
         }
@@ -408,6 +431,8 @@ enum Verdict {
 #[derive(Debug, Clone)]
 struct Row {
     id: String,
+    /// Thread-count annotation for the table (see [`Metric::step_threads`]).
+    step_threads: Option<u64>,
     baseline: f64,
     current: Option<f64>,
     delta_pct: Option<f64>,
@@ -427,6 +452,7 @@ fn compare(baseline: &Baseline, current: &[Metric]) -> Vec<Row> {
             let Some(metric) = current.iter().find(|m| m.id == pin.id) else {
                 return Row {
                     id: pin.id.clone(),
+                    step_threads: id_thread_suffix(&pin.id),
                     baseline: pin.value,
                     current: None,
                     delta_pct: None,
@@ -459,6 +485,7 @@ fn compare(baseline: &Baseline, current: &[Metric]) -> Vec<Row> {
             };
             Row {
                 id: pin.id.clone(),
+                step_threads: metric.step_threads,
                 baseline: pin.value,
                 current: Some(metric.value),
                 delta_pct: Some(delta_pct),
@@ -471,9 +498,12 @@ fn compare(baseline: &Baseline, current: &[Metric]) -> Vec<Row> {
 
 fn render_table(rows: &[Row]) -> String {
     let mut out = String::from("## Bench trend vs committed baseline\n\n");
-    out.push_str("| metric | baseline | current | Δ | verdict |\n");
-    out.push_str("|---|---:|---:|---:|---|\n");
+    out.push_str("| metric | threads | baseline | current | Δ | verdict |\n");
+    out.push_str("|---|---:|---:|---:|---:|---|\n");
     for row in rows {
+        let threads = row
+            .step_threads
+            .map_or_else(|| "—".to_owned(), |t| t.to_string());
         let current = row
             .current
             .map_or_else(|| "—".to_owned(), |v| format!("{v:.1}"));
@@ -488,7 +518,7 @@ fn render_table(rows: &[Row]) -> String {
         };
         let _ = writeln!(
             out,
-            "| `{}` | {:.1} | {current} | {delta} | {verdict} |",
+            "| `{}` | {threads} | {:.1} | {current} | {delta} | {verdict} |",
             row.id, row.baseline
         );
     }
@@ -512,7 +542,7 @@ usage:
 
 Artifacts: --step takes a criterion-shim NOC_BENCH_JSON document, --sweep a
 repro --json document (BENCH_sweep.json / BENCH_patterns.json /
-BENCH_stress8.json). `check` appends its trend table to --summary and to
+BENCH_stress8.json / BENCH_stress16.json). `check` appends its trend table to --summary and to
 $GITHUB_STEP_SUMMARY when set, and exits 1 if a pinned metric regressed
 beyond tolerance or is missing.";
 
@@ -616,6 +646,7 @@ mod tests {
       "schema": 1,
       "results": [
         { "id": "step_8x8_saturated_mixed", "mean_ns": 67018.4, "samples": 20 },
+        { "id": "step_8x8_saturated_mixed_2t", "mean_ns": 71003.9, "samples": 20 },
         { "id": "step_8x8_drain_idle", "mean_ns": 21.0, "samples": 20 }
       ]
     }"#;
@@ -624,6 +655,7 @@ mod tests {
       "sweeps": [
         {
           "experiment": "fig5", "network": "proposed", "k": 4, "jobs": 2,
+          "step_threads": 2,
           "zero_load_latency_cycles": 8.25, "saturation_gbps": 890.0,
           "saturation_rate": 0.24, "total_wall_ms": 12.0, "points": []
         }
@@ -634,10 +666,22 @@ mod tests {
     fn parser_roundtrips_the_step_document() {
         let doc = Parser::parse(STEP_DOC).unwrap();
         let metrics = step_metrics(&doc).unwrap();
-        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics.len(), 3);
         assert_eq!(metrics[0].id, "bench_step/step_8x8_saturated_mixed");
         assert_eq!(metrics[0].value, 67018.4);
         assert!(!metrics[0].higher_is_better);
+    }
+
+    #[test]
+    fn step_thread_counts_come_from_the_id_suffix() {
+        let doc = Parser::parse(STEP_DOC).unwrap();
+        let metrics = step_metrics(&doc).unwrap();
+        assert_eq!(metrics[0].step_threads, Some(1), "no suffix means serial");
+        assert_eq!(metrics[1].step_threads, Some(2));
+        assert_eq!(id_thread_suffix("step_16x16_saturated_mixed"), None);
+        assert_eq!(id_thread_suffix("step_8x8_saturated_mixed_12t"), Some(12));
+        assert_eq!(id_thread_suffix("step_8x8_t"), None);
+        assert_eq!(id_thread_suffix("t"), None);
     }
 
     #[test]
@@ -668,6 +712,11 @@ mod tests {
             ]
         );
         assert!(metrics[1].higher_is_better);
+        assert_eq!(
+            metrics[0].step_threads,
+            Some(2),
+            "sweep records carry their step_threads field into the annotation"
+        );
     }
 
     #[test]
@@ -696,6 +745,7 @@ mod tests {
             id: id.to_owned(),
             value,
             higher_is_better,
+            step_threads: None,
         }
     }
 
@@ -744,6 +794,22 @@ mod tests {
         };
         let rows = compare(&baseline, &[metric("bench_step/x", 140.0, false)]);
         assert_eq!(rows[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn trend_table_annotates_thread_counts() {
+        let baseline = Baseline {
+            tolerance_pct: 15.0,
+            entries: vec![pin("bench_step/step_8x8_saturated_mixed_2t", 100.0, false)],
+        };
+        let mut m = metric("bench_step/step_8x8_saturated_mixed_2t", 101.0, false);
+        m.step_threads = Some(2);
+        let table = render_table(&compare(&baseline, &[m]));
+        assert!(table.contains("| metric | threads |"));
+        assert!(table.contains("| 2 | 100.0 | 101.0 |"));
+        // A missing pin still gets its thread count from the id suffix.
+        let missing = render_table(&compare(&baseline, &[]));
+        assert!(missing.contains("| 2 | 100.0 | — |"));
     }
 
     #[test]

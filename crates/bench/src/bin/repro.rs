@@ -10,7 +10,8 @@
 //!
 //! Experiments come from the typed registry (`noc_bench::REGISTRY`); `list`
 //! prints each id with its description. `--jobs N` runs sweep-backed
-//! experiments (`fig5`, `fig13`, `stress8`, `stress16`, `patterns`) with N
+//! experiments (`fig5`, `fig13`, `stress8`, `stress16`, `patterns`, and the
+//! closed-loop `serving` population sweep) with N
 //! worker threads; `--step-threads N` additionally steps each worker's mesh
 //! with N partition threads (most useful for the big `stress16` mesh — jobs
 //! take precedence when the product would oversubscribe the machine).
@@ -22,7 +23,9 @@
 
 use std::process::ExitCode;
 
-use noc_bench::{find_experiment, sweep_records_json, Effort, Experiment, SweepRecord, REGISTRY};
+use noc_bench::{
+    find_experiment, sweep_records_json, Effort, Experiment, RunOpts, SweepRecord, REGISTRY,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,8 +98,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut sweeps: Vec<SweepRecord> = Vec::new();
+    let opts = RunOpts::new(effort)
+        .with_jobs(jobs)
+        .with_step_threads(step_threads);
     for experiment in selected {
-        let report = experiment.run(effort, jobs, step_threads);
+        let report = experiment.run(opts);
         println!("==================================================================");
         println!("{}", report.render_text());
         sweeps.extend(report.sweeps);

@@ -1,7 +1,8 @@
 //! One function per table / figure of the paper.
 
 use mesh_noc::{
-    sweep, NetworkVariant, NocConfig, Scenario, Simulation, SimulationResult, SweepRunner,
+    sweep, NetworkVariant, NocConfig, Scenario, ServingOutcome, ServingRunner, Simulation,
+    SimulationResult, SweepRunner,
 };
 use noc_circuit::{
     AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
@@ -16,7 +17,8 @@ use noc_topology::limits::{DatapathEnergy, MeshLimits};
 use noc_traffic::{SeedMode, SpatialPattern, TrafficMix};
 
 use crate::format::{num, pct, Table};
-use crate::record::SweepRecord;
+use crate::record::{SweepPointRecord, SweepRecord};
+use crate::registry::RunOpts;
 use crate::report::Report;
 
 /// How much simulation time to spend on the simulation-backed experiments.
@@ -145,9 +147,7 @@ fn latency_throughput_full(
     title: &str,
     mix: TrafficMix,
     rates: &[f64],
-    effort: Effort,
-    jobs: usize,
-    step_threads: usize,
+    opts: RunOpts,
 ) -> (String, Vec<SweepRecord>) {
     let proposed_cfg = NocConfig::variant(NetworkVariant::LowSwingBroadcastBypass)
         .expect("valid preset")
@@ -155,11 +155,11 @@ fn latency_throughput_full(
     let baseline_cfg = NocConfig::variant(NetworkVariant::FullSwingUnicast)
         .expect("valid preset")
         .with_mix(mix);
-    let rates = effort.thin(rates);
-    let runner = SweepRunner::new(jobs)
-        .with_windows(effort.warmup(), effort.measure())
+    let rates = opts.effort.thin(rates);
+    let runner = SweepRunner::new(opts.jobs)
+        .with_windows(opts.effort.warmup(), opts.effort.measure())
         .expect("effort windows are non-zero")
-        .with_step_threads(step_threads)
+        .with_step_threads(opts.step_threads)
         .expect("callers pass a positive step-thread count");
     let proposed_outcome = runner
         .run(proposed_cfg, &rates)
@@ -251,44 +251,40 @@ fn latency_throughput_full(
 /// requests, 25% unicast requests, 25% unicast responses) at 1 GHz.
 #[must_use]
 pub fn fig5_report(effort: Effort) -> String {
-    fig5_full(effort, 1, 1).0
+    fig5_full(RunOpts::new(effort)).0
 }
 
-/// [`fig5_report`] with worker-thread and mesh-partition counts, also
-/// returning the machine-readable sweep records.
+/// [`fig5_report`] with thread counts (see [`RunOpts`]), also returning the
+/// machine-readable sweep records.
 #[must_use]
-pub fn fig5_full(effort: Effort, jobs: usize, step_threads: usize) -> (String, Vec<SweepRecord>) {
+pub fn fig5_full(opts: RunOpts) -> (String, Vec<SweepRecord>) {
     let rates = [0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28];
     latency_throughput_full(
         "fig5",
         "Figure 5 - Throughput-latency with mixed traffic at 1 GHz",
         TrafficMix::mixed(),
         &rates,
-        effort,
-        jobs,
-        step_threads,
+        opts,
     )
 }
 
 /// Fig. 13: latency versus throughput under broadcast-only traffic.
 #[must_use]
 pub fn fig13_report(effort: Effort) -> String {
-    fig13_full(effort, 1, 1).0
+    fig13_full(RunOpts::new(effort)).0
 }
 
-/// [`fig13_report`] with worker-thread and mesh-partition counts, also
-/// returning the machine-readable sweep records.
+/// [`fig13_report`] with thread counts (see [`RunOpts`]), also returning the
+/// machine-readable sweep records.
 #[must_use]
-pub fn fig13_full(effort: Effort, jobs: usize, step_threads: usize) -> (String, Vec<SweepRecord>) {
+pub fn fig13_full(opts: RunOpts) -> (String, Vec<SweepRecord>) {
     let rates = [0.005, 0.015, 0.025, 0.035, 0.045, 0.055, 0.065, 0.075];
     latency_throughput_full(
         "fig13",
         "Figure 13 - Throughput-latency with broadcast-only traffic at 1 GHz",
         TrafficMix::broadcast_only(),
         &rates,
-        effort,
-        jobs,
-        step_threads,
+        opts,
     )
 }
 
@@ -300,25 +296,15 @@ pub fn fig13_full(effort: Effort, jobs: usize, step_threads: usize) -> (String, 
 /// parallel [`SweepRunner`] measurable on a workload 4× the prototype's
 /// node count (the paper's own Table 2 models the chip as an 8×8 network).
 #[must_use]
-pub fn stress8_full(
-    effort: Effort,
-    jobs: usize,
-    step_threads: usize,
-) -> (String, Vec<SweepRecord>) {
+pub fn stress8_full(opts: RunOpts) -> (String, Vec<SweepRecord>) {
     let config = NocConfig::proposed_chip()
         .expect("valid preset")
         .with_side(8)
         .with_seed_mode(SeedMode::PerNode);
-    let rates = effort.thin(&[0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]);
-    stress_mesh_full(
-        "stress8",
-        "Stress 8x8",
-        config,
-        &rates,
-        effort,
-        jobs,
-        step_threads,
-    )
+    let rates = opts
+        .effort
+        .thin(&[0.01, 0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28]);
+    stress_mesh_full("stress8", "Stress 8x8", config, &rates, opts)
 }
 
 /// `stress16`: a 16×16-mesh mixed-traffic sweep — the scaling stressor for
@@ -328,25 +314,13 @@ pub fn stress8_full(
 /// partition/mailbox/merge machinery end to end — results stay bit-identical
 /// for any thread count).
 #[must_use]
-pub fn stress16_full(
-    effort: Effort,
-    jobs: usize,
-    step_threads: usize,
-) -> (String, Vec<SweepRecord>) {
+pub fn stress16_full(opts: RunOpts) -> (String, Vec<SweepRecord>) {
     let config = NocConfig::proposed_chip()
         .expect("valid preset")
         .with_side(16)
         .with_seed_mode(SeedMode::PerNode);
-    let rates = effort.thin(&[0.01, 0.03, 0.06, 0.10]);
-    stress_mesh_full(
-        "stress16",
-        "Stress 16x16",
-        config,
-        &rates,
-        effort,
-        jobs,
-        step_threads,
-    )
+    let rates = opts.effort.thin(&[0.01, 0.03, 0.06, 0.10]);
+    stress_mesh_full("stress16", "Stress 16x16", config, &rates, opts)
 }
 
 fn stress_mesh_full(
@@ -354,14 +328,12 @@ fn stress_mesh_full(
     title: &str,
     config: NocConfig,
     rates: &[f64],
-    effort: Effort,
-    jobs: usize,
-    step_threads: usize,
+    opts: RunOpts,
 ) -> (String, Vec<SweepRecord>) {
-    let runner = SweepRunner::new(jobs)
-        .with_windows(effort.warmup(), effort.measure())
+    let runner = SweepRunner::new(opts.jobs)
+        .with_windows(opts.effort.warmup(), opts.effort.measure())
         .expect("effort windows are non-zero")
-        .with_step_threads(step_threads)
+        .with_step_threads(opts.step_threads)
         .expect("callers pass a positive step-thread count");
     let outcome = runner
         .run(config, rates)
@@ -423,20 +395,22 @@ fn stress_mesh_full(
 /// averages away. Quick effort sweeps the 4×4 chip; full effort adds the
 /// 8×8 scaled mesh.
 #[must_use]
-pub fn patterns_report(effort: Effort, jobs: usize, step_threads: usize) -> Report {
-    let runner = SweepRunner::new(jobs)
-        .with_windows(effort.warmup(), effort.measure())
+pub fn patterns_report(opts: RunOpts) -> Report {
+    let runner = SweepRunner::new(opts.jobs)
+        .with_windows(opts.effort.warmup(), opts.effort.measure())
         .expect("effort windows are non-zero")
-        .with_step_threads(step_threads)
+        .with_step_threads(opts.step_threads)
         .expect("callers pass a positive step-thread count");
     let mut report = Report::new("patterns");
-    let sides: &[u16] = match effort {
+    let sides: &[u16] = match opts.effort {
         Effort::Quick => &[4],
         Effort::Full => &[4, 8],
     };
     let mut sweeps = Vec::new();
     for &k in sides {
-        let rates = effort.thin(&[0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95]);
+        let rates = opts
+            .effort
+            .thin(&[0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95]);
         let limits = MeshLimits::new(k);
         let unicast_limit_gbps = limits.throughput_limit_gbps(false, 64, 1.0);
         let mut table = Table::new([
@@ -486,6 +460,126 @@ pub fn patterns_report(effort: Effort, jobs: usize, step_threads: usize) -> Repo
         );
     }
     report.with_sweeps(sweeps)
+}
+
+// -------------------------------------------------------------------- serving
+
+/// `serving`: closed-loop request/reply serving on the proposed chip — every
+/// client keeps a bounded window of requests outstanding against uniformly
+/// drawn home nodes, so the network's own latency throttles offered load (see
+/// [`mesh_noc::serving`]). Not a paper figure: the chip's RTL is open-loop
+/// only, but the closed-loop knee is how a NoC behaves under a real
+/// request/reply workload. The sweep grows the client population to the
+/// throughput knee and reports the round-trip latency distribution
+/// (mean / p50 / p95 / p99) per population point; results are bit-identical
+/// for any `jobs` × `step_threads` combination.
+#[must_use]
+pub fn serving_report(opts: RunOpts) -> Report {
+    let populations = opts.effort.thin(&[2, 4, 8, 16, 32, 64, 96, 128]);
+    let config = NocConfig::proposed_chip().expect("valid preset");
+    let runner = ServingRunner::new(opts.jobs)
+        .with_windows(opts.effort.warmup(), opts.effort.measure())
+        .expect("effort windows are non-zero")
+        .with_step_threads(opts.step_threads)
+        .expect("callers pass a positive step-thread count");
+    let outcome = runner
+        .run(config, &populations)
+        .expect("built-in serving configuration is valid");
+    let record = serving_record(&config, &runner, &outcome);
+
+    let mut out = String::from(
+        "Serving - closed-loop request/reply on the proposed chip (1-flit requests,\n\
+         5-flit replies, uniform home nodes)\n\n",
+    );
+    let mut table = Table::new([
+        "clients",
+        "rtt mean (cyc)",
+        "rtt p50",
+        "rtt p95",
+        "rtt p99",
+        "completed/cyc",
+        "delivered (Gb/s)",
+        "wall (ms)",
+    ]);
+    for p in &outcome.points {
+        table.row([
+            p.clients.to_string(),
+            num(p.result.rtt_mean_cycles, 1),
+            num(p.result.rtt_p50_cycles, 0),
+            num(p.result.rtt_p95_cycles, 0),
+            num(p.result.rtt_p99_cycles, 0),
+            num(p.result.completed_per_cycle, 3),
+            num(p.result.received_gbps, 1),
+            num(p.wall_ms, 1),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    let first = &outcome.points[0].result;
+    out.push_str(&format!(
+        "window {} outstanding/client, service latency {} cycles\n",
+        first.window, first.service_cycles
+    ));
+    out.push_str(&format!(
+        "low-population RTT {:.1} cycles; knee at {:.0} clients delivering {:.0} Gb/s\n",
+        record.zero_load_latency_cycles, record.saturation_rate, record.saturation_gbps
+    ));
+    out.push_str(&format!(
+        "total wall-clock {:.0} ms on {} sweep thread{} x {} step thread{} \
+         (identical results for any thread counts)\n",
+        record.total_wall_ms,
+        runner.jobs(),
+        if runner.jobs() == 1 { "" } else { "s" },
+        runner.step_threads(),
+        if runner.step_threads() == 1 { "" } else { "s" }
+    ));
+    Report::from_text("serving", out).with_sweeps(vec![record])
+}
+
+/// Shapes a [`ServingOutcome`] into the common [`SweepRecord`] so the
+/// bench-diff pipeline and `BENCH_*.json` consumers need no special casing:
+/// the "injection rate" axis carries the client population, latencies carry
+/// the request→reply round trip, and the saturation knee uses the same
+/// 3×-zero-load rule as the open-loop sweeps.
+fn serving_record(
+    config: &NocConfig,
+    runner: &ServingRunner,
+    outcome: &ServingOutcome,
+) -> SweepRecord {
+    let points: Vec<SweepPointRecord> = outcome
+        .points
+        .iter()
+        .map(|p| SweepPointRecord {
+            injection_rate: p.clients as f64,
+            latency_cycles: p.result.rtt_mean_cycles,
+            p50_latency_cycles: p.result.rtt_p50_cycles,
+            p95_latency_cycles: p.result.rtt_p95_cycles,
+            p99_latency_cycles: p.result.rtt_p99_cycles,
+            received_gbps: p.result.received_gbps,
+            received_flits_per_cycle: p.result.received_flits_per_cycle,
+            bypass_fraction: p.result.bypass_fraction,
+            measured_packets: p.result.measured_requests,
+            wall_ms: p.wall_ms,
+        })
+        .collect();
+    let zero_load = points.first().map_or(0.0, |p| p.latency_cycles);
+    let knee = points
+        .iter()
+        .find(|p| p.latency_cycles > 3.0 * zero_load)
+        .or_else(|| points.last())
+        .expect("a serving sweep has at least one point");
+    SweepRecord {
+        experiment: "serving".to_owned(),
+        network: "proposed".to_owned(),
+        k: config.k,
+        jobs: runner.jobs(),
+        step_threads: runner.step_threads(),
+        zero_load_latency_cycles: zero_load,
+        saturation_gbps: knee.received_gbps,
+        saturation_rate: knee.injection_rate,
+        total_wall_ms: outcome.total_wall_ms,
+        points,
+    }
 }
 
 // ---------------------------------------------------------------------- Fig 6

@@ -3,22 +3,22 @@
 //! The experiment harness. Every table and figure of the paper (plus the
 //! simulator's own scaling scenarios) is an [`Experiment`] object in the
 //! typed [`REGISTRY`]: it has a stable id, a one-line description, and a
-//! `run(effort, jobs, step_threads)` method returning a structured [`Report`] (titled
-//! sections plus machine-readable [`SweepRecord`]s, renderable as text or
-//! JSON). The `repro` binary iterates the registry; the Criterion benches in
-//! `benches/` measure the performance of the underlying models.
+//! `run(opts)` method (see [`RunOpts`]) returning a structured [`Report`]
+//! (titled sections plus machine-readable [`SweepRecord`]s, renderable as
+//! text or JSON). The `repro` binary iterates the registry; the Criterion
+//! benches in `benches/` measure the performance of the underlying models.
 //!
-//! Every simulation-backed experiment takes an [`Effort`] knob so that CI and
-//! the Criterion benches can run a quick variant while `repro` defaults to
-//! the full-size runs recorded in `EXPERIMENTS.md`.
+//! Every simulation-backed experiment takes an [`Effort`] knob (inside its
+//! [`RunOpts`]) so that CI and the Criterion benches can run a quick variant
+//! while `repro` defaults to the full-size runs recorded in `EXPERIMENTS.md`.
 //!
 //! # Examples
 //!
 //! ```
-//! use noc_bench::{registry, Effort};
+//! use noc_bench::{registry, Effort, RunOpts};
 //!
 //! let table1 = registry::find("table1").expect("registered");
-//! let report = table1.run(Effort::Quick, 1, 1);
+//! let report = table1.run(RunOpts::new(Effort::Quick));
 //! assert!(report.render_text().contains("Theoretical limits"));
 //! assert!(report.render_json().contains("\"experiment\": \"table1\""));
 //! ```
@@ -35,7 +35,7 @@ mod report;
 pub use experiments::Effort;
 pub use format::Table;
 pub use record::{sweep_records_json, SweepPointRecord, SweepRecord};
-pub use registry::{find as find_experiment, Experiment, REGISTRY};
+pub use registry::{find as find_experiment, Experiment, RunOpts, REGISTRY};
 pub use report::{Report, ReportSection};
 
 /// Runs one experiment by id and returns its rendered text report
@@ -45,7 +45,7 @@ pub use report::{Report, ReportSection};
 /// Returns `None` when the id is unknown.
 #[must_use]
 pub fn run_experiment(id: &str, effort: Effort) -> Option<String> {
-    registry::find(id).map(|e| e.run(effort, 1, 1).render_text())
+    registry::find(id).map(|e| e.run(RunOpts::new(effort)).render_text())
 }
 
 #[cfg(test)]
@@ -55,7 +55,7 @@ mod tests {
     #[test]
     fn every_registered_experiment_runs_in_quick_mode() {
         for experiment in REGISTRY {
-            let report = experiment.run(Effort::Quick, 1, 1);
+            let report = experiment.run(RunOpts::new(Effort::Quick));
             assert_eq!(report.experiment, experiment.id());
             let text = report.render_text();
             assert!(
@@ -81,8 +81,12 @@ mod tests {
             ("stress8", 1),
             ("stress16", 1),
             ("patterns", 8),
+            ("serving", 1),
         ] {
-            let report = find_experiment(id).unwrap().run(Effort::Quick, 2, 2);
+            let opts = RunOpts::new(Effort::Quick)
+                .with_jobs(2)
+                .with_step_threads(2);
+            let report = find_experiment(id).unwrap().run(opts);
             assert_eq!(
                 report.sweeps.len(),
                 expected_sweeps,

@@ -13,12 +13,17 @@ use mesh_noc::SweepOutcome;
 /// One measured sweep point of a [`SweepRecord`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPointRecord {
-    /// Offered flit injection rate per node per cycle.
+    /// Offered flit injection rate per node per cycle (client population for
+    /// the closed-loop `serving` sweep).
     pub injection_rate: f64,
     /// Average packet latency (cycles).
     pub latency_cycles: f64,
+    /// Median (50th-percentile) packet latency (cycles).
+    pub p50_latency_cycles: f64,
     /// 95th-percentile packet latency (cycles).
     pub p95_latency_cycles: f64,
+    /// 99th-percentile packet latency (cycles).
+    pub p99_latency_cycles: f64,
     /// Received throughput (Gb/s).
     pub received_gbps: f64,
     /// Received throughput (flits/cycle).
@@ -84,7 +89,9 @@ impl SweepRecord {
                 .map(|p| SweepPointRecord {
                     injection_rate: p.injection_rate,
                     latency_cycles: p.result.average_latency_cycles,
+                    p50_latency_cycles: p.result.p50_latency_cycles,
                     p95_latency_cycles: p.result.p95_latency_cycles,
+                    p99_latency_cycles: p.result.p99_latency_cycles,
                     received_gbps: p.result.received_gbps,
                     received_flits_per_cycle: p.result.received_flits_per_cycle,
                     bypass_fraction: p.result.bypass_fraction,
@@ -164,12 +171,15 @@ pub(crate) fn sweep_record_json(r: &SweepRecord, indent: &str) -> String {
     for (pi, p) in r.points.iter().enumerate() {
         out.push_str(&format!(
             "{indent}    {{\"injection_rate\": {}, \"latency_cycles\": {}, \
-             \"p95_latency_cycles\": {}, \"received_gbps\": {}, \
+             \"p50_latency_cycles\": {}, \"p95_latency_cycles\": {}, \
+             \"p99_latency_cycles\": {}, \"received_gbps\": {}, \
              \"received_flits_per_cycle\": {}, \"bypass_fraction\": {}, \
              \"measured_packets\": {}, \"wall_ms\": {}}}{}\n",
             num(p.injection_rate),
             num(p.latency_cycles),
+            num(p.p50_latency_cycles),
             num(p.p95_latency_cycles),
+            num(p.p99_latency_cycles),
             num(p.received_gbps),
             num(p.received_flits_per_cycle),
             num(p.bypass_fraction),
@@ -213,7 +223,9 @@ mod tests {
             points: vec![SweepPointRecord {
                 injection_rate: 0.01,
                 latency_cycles: 8.25,
+                p50_latency_cycles: 8.0,
                 p95_latency_cycles: 12.0,
+                p99_latency_cycles: 14.0,
                 received_gbps: 100.0,
                 received_flits_per_cycle: 1.5,
                 bypass_fraction: 0.9,
@@ -233,6 +245,8 @@ mod tests {
             "\"jobs\": 2",
             "\"step_threads\": 2",
             "\"injection_rate\": 0.01",
+            "\"p50_latency_cycles\": 8.0",
+            "\"p99_latency_cycles\": 14.0",
             "\"measured_packets\": 321",
             "\"wall_ms\": 4.5",
             "\"saturation_gbps\": 890.0",

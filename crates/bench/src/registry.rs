@@ -11,6 +11,50 @@
 use crate::experiments::{self, Effort};
 use crate::report::Report;
 
+/// Named options for one [`Experiment::run`] call.
+///
+/// This replaces the old `(effort, jobs, step_threads)` positional triple —
+/// two adjacent `usize` parameters made transposed thread counts a silent
+/// bug; with named fields a swap is visible at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Simulation effort (warmup/measurement windows and sweep thinning).
+    pub effort: Effort,
+    /// Sweep worker threads; rate/population points are sharded across them
+    /// with bit-identical results for any count.
+    pub jobs: usize,
+    /// Mesh-partition threads inside each worker's network (see
+    /// [`mesh_noc::SweepRunner::with_step_threads`]); also bit-identical for
+    /// any count.
+    pub step_threads: usize,
+}
+
+impl RunOpts {
+    /// Single-threaded run at `effort` (the common default).
+    #[must_use]
+    pub fn new(effort: Effort) -> Self {
+        Self {
+            effort,
+            jobs: 1,
+            step_threads: 1,
+        }
+    }
+
+    /// Replaces the sweep worker-thread count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Replaces the mesh-partition thread count.
+    #[must_use]
+    pub fn with_step_threads(mut self, step_threads: usize) -> Self {
+        self.step_threads = step_threads;
+        self
+    }
+}
+
 /// One runnable experiment of the harness.
 ///
 /// Implementations are zero-sized marker types registered in [`REGISTRY`];
@@ -21,11 +65,9 @@ pub trait Experiment: Sync {
     fn id(&self) -> &'static str;
     /// One-line human description printed by `repro list`.
     fn description(&self) -> &'static str;
-    /// Runs the experiment at `effort` with `jobs` sweep worker threads,
-    /// each stepping its mesh with `step_threads` partition threads (results
-    /// are bit-identical for any combination; see
-    /// [`mesh_noc::SweepRunner::with_step_threads`]).
-    fn run(&self, effort: Effort, jobs: usize, step_threads: usize) -> Report;
+    /// Runs the experiment with the given [`RunOpts`] (results are
+    /// bit-identical for any `jobs` × `step_threads` combination).
+    fn run(&self, opts: RunOpts) -> Report;
 }
 
 macro_rules! experiments {
@@ -42,9 +84,9 @@ macro_rules! experiments {
                 fn description(&self) -> &'static str {
                     $desc
                 }
-                fn run(&self, effort: Effort, jobs: usize, step_threads: usize) -> Report {
-                    let run: fn(Effort, usize, usize) -> Report = $run;
-                    run(effort, jobs, step_threads)
+                fn run(&self, opts: RunOpts) -> Report {
+                    let run: fn(RunOpts) -> Report = $run;
+                    run(opts)
                 }
             }
         )+
@@ -57,51 +99,53 @@ macro_rules! experiments {
 
 experiments! {
     Table1 { id: "table1", desc: "theoretical limits of a k x k mesh (Table 1)",
-             run: |_, _, _| Report::from_text("table1", experiments::table1_report()) },
+             run: |_| Report::from_text("table1", experiments::table1_report()) },
     Table2 { id: "table2", desc: "comparison of mesh NoC chip prototypes (Table 2)",
-             run: |_, _, _| Report::from_text("table2", experiments::table2_report()) },
+             run: |_| Report::from_text("table2", experiments::table2_report()) },
     Fig5 { id: "fig5", desc: "latency vs throughput under mixed traffic (Fig. 5)",
-           run: |effort, jobs, step_threads| {
-               let (text, sweeps) = experiments::fig5_full(effort, jobs, step_threads);
+           run: |opts| {
+               let (text, sweeps) = experiments::fig5_full(opts);
                Report::from_text("fig5", text).with_sweeps(sweeps)
            } },
     Fig6 { id: "fig6", desc: "power waterfall A-D at 653 Gb/s broadcast delivery (Fig. 6)",
-           run: |effort, _, _| Report::from_text("fig6", experiments::fig6_report(effort)) },
+           run: |opts| Report::from_text("fig6", experiments::fig6_report(opts.effort)) },
     Table3 { id: "table3", desc: "critical-path analysis of the routers (Table 3)",
-             run: |_, _, _| Report::from_text("table3", experiments::table3_report()) },
+             run: |_| Report::from_text("table3", experiments::table3_report()) },
     Fig7 { id: "fig7", desc: "low-swing link energy efficiency (Fig. 7)",
-           run: |_, _, _| Report::from_text("fig7", experiments::fig7_report()) },
+           run: |_| Report::from_text("fig7", experiments::fig7_report()) },
     Table4 { id: "table4", desc: "area comparison with full-swing signaling (Table 4)",
-             run: |_, _, _| Report::from_text("table4", experiments::table4_report()) },
+             run: |_| Report::from_text("table4", experiments::table4_report()) },
     Fig8 { id: "fig8", desc: "ORION / post-layout / measured power model comparison (Fig. 8)",
-           run: |effort, _, _| Report::from_text("fig8", experiments::fig8_report(effort)) },
+           run: |opts| Report::from_text("fig8", experiments::fig8_report(opts.effort)) },
     Fig10 { id: "fig10", desc: "low-swing reliability vs energy trade-off (Fig. 10)",
-            run: |_, _, _| Report::from_text("fig10", experiments::fig10_report()) },
+            run: |_| Report::from_text("fig10", experiments::fig10_report()) },
     Fig11 { id: "fig11", desc: "tri-state RSD crossbar power vs multicast count (Fig. 11)",
-            run: |_, _, _| Report::from_text("fig11", experiments::fig11_report()) },
+            run: |_| Report::from_text("fig11", experiments::fig11_report()) },
     Fig12 { id: "fig12", desc: "repeated vs repeaterless low-swing links (Fig. 12)",
-            run: |_, _, _| Report::from_text("fig12", experiments::fig12_report()) },
+            run: |_| Report::from_text("fig12", experiments::fig12_report()) },
     Fig13 { id: "fig13", desc: "latency vs throughput under broadcast-only traffic (Fig. 13)",
-            run: |effort, jobs, step_threads| {
-                let (text, sweeps) = experiments::fig13_full(effort, jobs, step_threads);
+            run: |opts| {
+                let (text, sweeps) = experiments::fig13_full(opts);
                 Report::from_text("fig13", text).with_sweeps(sweeps)
             } },
     ZeroLoad { id: "zeroload", desc: "zero-load router power breakdown (Section 4.1)",
-               run: |effort, _, _| Report::from_text("zeroload", experiments::zero_load_report(effort)) },
+               run: |opts| Report::from_text("zeroload", experiments::zero_load_report(opts.effort)) },
     Headline { id: "headline", desc: "Section 4.1 headline numbers and the PRBS-seed artifact",
-               run: |effort, _, _| Report::from_text("headline", experiments::headline_report(effort)) },
+               run: |opts| Report::from_text("headline", experiments::headline_report(opts.effort)) },
     Stress8 { id: "stress8", desc: "8x8-mesh mixed-traffic scaling stressor (not a paper figure)",
-              run: |effort, jobs, step_threads| {
-                  let (text, sweeps) = experiments::stress8_full(effort, jobs, step_threads);
+              run: |opts| {
+                  let (text, sweeps) = experiments::stress8_full(opts);
                   Report::from_text("stress8", text).with_sweeps(sweeps)
               } },
     Stress16 { id: "stress16", desc: "16x16-mesh mixed-traffic stressor for the partitioned stepper (not a paper figure)",
-               run: |effort, jobs, step_threads| {
-                   let (text, sweeps) = experiments::stress16_full(effort, jobs, step_threads);
+               run: |opts| {
+                   let (text, sweeps) = experiments::stress16_full(opts);
                    Report::from_text("stress16", text).with_sweeps(sweeps)
                } },
     Patterns { id: "patterns", desc: "per-pattern saturation sweep across the spatial-pattern gallery",
                run: experiments::patterns_report },
+    Serving { id: "serving", desc: "closed-loop request/reply serving: RTT percentiles vs client population (not a paper figure)",
+              run: experiments::serving_report },
 }
 
 /// Looks an experiment up by id.
@@ -138,7 +182,7 @@ mod tests {
             [
                 "table1", "table2", "fig5", "fig6", "table3", "fig7", "table4", "fig8", "fig10",
                 "fig11", "fig12", "fig13", "zeroload", "headline", "stress8", "stress16",
-                "patterns",
+                "patterns", "serving",
             ]
         );
     }

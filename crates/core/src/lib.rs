@@ -28,6 +28,14 @@
 //!   sweep points across threads with bit-identical results for any thread
 //!   count, batching each worker's points through one warmed network via
 //!   [`Network::reset`] (buffer capacity survives, PRBS state re-seeds).
+//! * [`serving`] — the closed-loop request/reply layer: [`ClosedLoop`]
+//!   attaches per-node clients (bounded outstanding windows) and homes
+//!   (fixed service latency) to a [`Network`], measures request round-trip
+//!   times into a p50/p95/p99 histogram, and [`ServingRunner`] sweeps the
+//!   client population with the same bit-identical sharding as
+//!   [`SweepRunner`]. Trace record/replay (`Simulation::record_trace` /
+//!   `Simulation::load_trace`) reuses the same delivery machinery with the
+//!   Bernoulli sources swapped out for [`noc_types::Trace`] playback.
 //!
 //! The layering above this crate, the event-wheel core it steps, and the
 //! determinism contract behind [`SweepRunner`] are documented in
@@ -56,6 +64,7 @@ mod nic;
 mod partition;
 mod result;
 mod scenario;
+pub mod serving;
 mod simulation;
 pub mod sweep;
 
@@ -64,5 +73,8 @@ pub use network::Network;
 pub use nic::{Nic, Reception};
 pub use result::SimulationResult;
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use serving::{
+    ClosedLoop, ServingOpts, ServingOutcome, ServingPointOutcome, ServingResult, ServingRunner,
+};
 pub use simulation::Simulation;
 pub use sweep::{SweepOutcome, SweepPointOutcome, SweepRunner};

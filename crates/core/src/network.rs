@@ -28,7 +28,8 @@ use std::collections::HashMap;
 
 use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
 use noc_topology::{Mesh, PartitionMap};
-use noc_types::{ConfigError, Cycle, NocError, PacketId, Port};
+use noc_traffic::TrafficSource;
+use noc_types::{ConfigError, Cycle, NocError, NodeId, Packet, PacketId, Port, Trace, TraceEvent};
 
 use crate::config::NocConfig;
 use crate::nic::{PacketRegistration, Reception};
@@ -79,6 +80,11 @@ pub struct Network {
     latency: LatencyStats,
     throughput: ThroughputStats,
     measuring: bool,
+    /// When `true`, every reception is also appended to `deliveries` (in the
+    /// deterministic merge order) for an external protocol layer to consume.
+    log_deliveries: bool,
+    /// Receptions logged since the last [`Network::clear_deliveries`].
+    deliveries: Vec<Reception>,
 }
 
 impl Clone for Network {
@@ -102,6 +108,8 @@ impl Clone for Network {
             latency: self.latency.clone(),
             throughput: self.throughput,
             measuring: self.measuring,
+            log_deliveries: self.log_deliveries,
+            deliveries: self.deliveries.clone(),
         }
     }
 }
@@ -166,6 +174,8 @@ impl Network {
             latency: LatencyStats::new(),
             throughput: ThroughputStats::new(),
             measuring: false,
+            log_deliveries: false,
+            deliveries: Vec::new(),
         })
     }
 
@@ -268,6 +278,9 @@ impl Network {
         self.latency.reset();
         self.throughput.reset();
         self.measuring = false;
+        // Delivery logging is a configuration knob; only the buffered log is
+        // part of the run state.
+        self.deliveries.clear();
     }
 
     /// The mesh topology.
@@ -328,6 +341,126 @@ impl Network {
     /// sets the measurement window length).
     pub fn throughput_mut(&mut self) -> &mut ThroughputStats {
         &mut self.throughput
+    }
+
+    /// Enables or disables the delivery log. While enabled, every reception
+    /// (local NIC accepting the tail flit of a packet copy) is appended to
+    /// the log in the deterministic merge order — fixed edge order, then
+    /// ascending partition order — so consumers see the exact same sequence
+    /// for every step-thread count. The closed-loop serving layer uses this
+    /// to match replies to outstanding requests.
+    pub fn set_delivery_logging(&mut self, enabled: bool) {
+        self.log_deliveries = enabled;
+        if !enabled {
+            self.deliveries.clear();
+        }
+    }
+
+    /// Receptions logged since the last [`clear_deliveries`](Self::clear_deliveries),
+    /// in deterministic merge order. Empty unless
+    /// [`set_delivery_logging`](Self::set_delivery_logging) enabled the log.
+    #[must_use]
+    pub fn deliveries(&self) -> &[Reception] {
+        &self.deliveries
+    }
+
+    /// Empties the delivery log, keeping its storage for reuse.
+    pub fn clear_deliveries(&mut self) {
+        self.deliveries.clear();
+    }
+
+    /// Starts recording every packet injected by every NIC from now on into
+    /// an in-memory trace; collect it with
+    /// [`take_recorded_trace`](Self::take_recorded_trace). Restarting
+    /// recording discards anything recorded so far, and
+    /// [`reset`](Self::reset) rebuilds the NIC sources cold (recording off).
+    pub fn record_trace(&mut self) {
+        for partition in &mut self.partitions {
+            for nic in partition.nics_mut() {
+                nic.source_mut().start_recording();
+            }
+        }
+    }
+
+    /// Stops recording and returns everything recorded since
+    /// [`record_trace`](Self::record_trace) as one trace, events sorted by
+    /// `(cycle, source)`. Returns an empty trace when recording was never
+    /// started.
+    pub fn take_recorded_trace(&mut self) -> Trace {
+        let mut events = Vec::new();
+        for partition in &mut self.partitions {
+            for nic in partition.nics_mut() {
+                events.append(&mut nic.source_mut().take_recorded_events());
+            }
+        }
+        Trace::from_events(self.config.k, events)
+    }
+
+    /// Replaces every NIC's traffic source with a deterministic replayer of
+    /// its per-node slice of `trace`. A subsequent run over the same phase
+    /// schedule reproduces the recorded run bit-for-bit; nodes without
+    /// events simply stay quiet. [`set_rate`](Self::set_rate) becomes a
+    /// no-op on replay sources, and [`reset`](Self::reset) restores live
+    /// Bernoulli generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the trace was recorded on a mesh of
+    /// a different side length than this network's.
+    pub fn load_trace(&mut self, trace: &Trace) -> Result<(), NocError> {
+        if trace.k() != self.config.k {
+            return Err(ConfigError::InvalidPattern {
+                reason: format!(
+                    "trace recorded on a {0}x{0} mesh cannot replay on a {1}x{1} mesh",
+                    trace.k(),
+                    self.config.k
+                ),
+            }
+            .into());
+        }
+        let nodes = usize::from(self.config.k) * usize::from(self.config.k);
+        let mut per_node: Vec<Vec<TraceEvent>> = vec![Vec::new(); nodes];
+        for event in trace.events() {
+            per_node[usize::from(event.source)].push(*event);
+        }
+        for partition in &mut self.partitions {
+            let first = partition.first_node();
+            for (local, nic) in partition.nics_mut().iter_mut().enumerate() {
+                let node = first + local;
+                let source = TrafficSource::replay(
+                    NodeId::try_from(node).expect("mesh nodes fit NodeId"),
+                    std::mem::take(&mut per_node[node]),
+                );
+                nic.set_source(source);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueues an externally created packet at its source node's NIC, as if
+    /// the NIC's own source had generated it this cycle. The packet is
+    /// segmented and injected through the normal NIC queue (so it competes
+    /// for link bandwidth like any other packet), its registration joins
+    /// this cycle's deterministic merge, and the NIC stays active through
+    /// non-injecting steps until its queue drains. This is the injection
+    /// path of the closed-loop serving layer, which drives
+    /// `step(inject = false)` and feeds every request and reply in by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the packet's source node is outside the mesh.
+    pub fn inject_packet(&mut self, packet: Packet) {
+        let node = usize::from(packet.source());
+        let partition = self
+            .partitions
+            .iter_mut()
+            .find(|p| {
+                let first = p.first_node();
+                node >= first && node < first + p.nics().len()
+            })
+            .expect("packet source node is inside the mesh");
+        let local = node - partition.first_node();
+        partition.enqueue_external(local, packet);
     }
 
     /// Merged activity counters of all routers and NICs.
@@ -566,6 +699,9 @@ impl Network {
     }
 
     fn apply_reception(&mut self, reception: Reception) {
+        if self.log_deliveries {
+            self.deliveries.push(reception);
+        }
         if self.measuring {
             self.throughput.record_reception(u64::from(reception.flits));
         }

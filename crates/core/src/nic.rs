@@ -14,7 +14,7 @@
 use noc_router::{Lookahead, OutputBank};
 use noc_sim::{ActivityCounters, RingQueue};
 use noc_topology::{routing::XyPortMasks, Mesh};
-use noc_traffic::TrafficGenerator;
+use noc_traffic::{TrafficGenerator, TrafficSource};
 use noc_types::{Credit, Cycle, DestinationSet, Flit, NodeId, Packet, PacketId, VcId};
 
 use crate::config::NocConfig;
@@ -54,6 +54,8 @@ pub struct PacketRegistration {
 pub struct Reception {
     /// Packet identifier.
     pub id: PacketId,
+    /// Node whose NIC completed the reception.
+    pub node: NodeId,
     /// Flits in the received packet.
     pub flits: u32,
     /// Cycle the reception completed.
@@ -69,7 +71,7 @@ pub struct Nic {
     port_masks: XyPortMasks,
     lookahead_enabled: bool,
     duplicate_broadcasts: bool,
-    generator: TrafficGenerator,
+    source: TrafficSource,
     inject_queue: RingQueue<Flit>,
     /// Scratch buffer packets are segmented through before entering the
     /// injection queue; reused across every packet this NIC ever creates.
@@ -103,7 +105,7 @@ impl Nic {
             port_masks: XyPortMasks::new(&mesh, mesh.coord_of(node)),
             lookahead_enabled: config.lookahead_enabled(),
             duplicate_broadcasts: config.nic_duplicates_broadcasts(),
-            generator,
+            source: TrafficSource::bernoulli(generator),
             inject_queue: RingQueue::with_capacity(16),
             flit_scratch: Vec::new(),
             upstream: OutputBank::for_injection(&config.router),
@@ -129,15 +131,15 @@ impl Nic {
     /// simulation run performs, makes the warm NIC indistinguishable from a
     /// cold one).
     pub fn reset(&mut self, config: &NocConfig) {
-        self.generator = TrafficGenerator::with_pattern(
+        self.source = TrafficSource::bernoulli(TrafficGenerator::with_pattern(
             self.node,
             config.k,
             config.mix,
             config.pattern,
             config.seed_mode,
-            self.generator.rate(),
+            self.source.rate(),
             config.base_seed,
-        );
+        ));
         self.inject_queue.clear();
         self.upstream.reset();
         self.current_vc = None;
@@ -149,7 +151,31 @@ impl Nic {
 
     /// Changes the injection rate (used between sweep points).
     pub fn set_rate(&mut self, rate: f64) {
-        self.generator.set_rate(rate);
+        self.source.set_rate(rate);
+    }
+
+    /// The packet source this NIC polls (Bernoulli generator or trace
+    /// replayer).
+    #[must_use]
+    pub fn source(&self) -> &TrafficSource {
+        &self.source
+    }
+
+    /// Mutable access to the packet source — how the network starts/stops
+    /// trace recording and collects recorded events.
+    pub fn source_mut(&mut self) -> &mut TrafficSource {
+        &mut self.source
+    }
+
+    /// Replaces the packet source (how trace replay is installed). The
+    /// source must belong to this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source.node()` differs from this NIC's node.
+    pub fn set_source(&mut self, source: TrafficSource) {
+        assert_eq!(source.node(), self.node, "source node mismatch");
+        self.source = source;
     }
 
     /// Flits currently waiting in the injection queue.
@@ -164,7 +190,7 @@ impl Nic {
     /// makes a tick observable regardless of the generator.
     #[must_use]
     pub fn idle_inject_cycles_hint(&self, cap: u64) -> u64 {
-        self.generator.idle_cycles_hint(cap)
+        self.source.idle_cycles_hint(cap)
     }
 
     /// Replays `cycles` skipped injecting ticks' PRBS coin flips at once
@@ -172,7 +198,7 @@ impl Nic {
     /// [`idle_inject_cycles_hint`](Nic::idle_inject_cycles_hint)), leaving
     /// the generator exactly as `cycles` packet-less ticks would.
     pub fn skip_inject_cycles(&mut self, cycles: u64) {
-        self.generator.skip_idle_cycles(cycles);
+        self.source.skip_idle_cycles(cycles);
     }
 
     /// Flits injected into the router so far.
@@ -211,7 +237,7 @@ impl Nic {
         inject: bool,
     ) -> (Option<NicInjection>, Option<PacketRegistration>) {
         let registration = if inject {
-            self.generator.generate(now).map(|p| self.enqueue(p))
+            self.source.generate(now).map(|p| self.enqueue(p))
         } else {
             None
         };
@@ -314,6 +340,7 @@ impl Nic {
         if flit.kind().is_tail() {
             Some(Reception {
                 id: flit.packet_id(),
+                node: self.node,
                 flits: u32::from(flit.packet_len()),
                 at: now,
             })

@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 use noc_router::{Departure, Lookahead, Router, RouterOutput};
 use noc_sim::{BoundaryMailbox, EventWheel, FlitHandle, FlitSlab};
 use noc_topology::Mesh;
-use noc_types::{Credit, Cycle, Flit, NodeId, Port, PORT_COUNT};
+use noc_types::{Credit, Cycle, Flit, NodeId, Packet, Port, PORT_COUNT};
 
 use crate::config::NocConfig;
 use crate::nic::{Nic, PacketRegistration, Reception};
@@ -260,6 +260,28 @@ impl Partition {
     /// The partition's NICs, in ascending node order.
     pub(crate) fn nics(&self) -> &[Nic] {
         &self.nics
+    }
+
+    /// Mutable access to the partition's NICs, in ascending node order.
+    ///
+    /// Used by trace record / replay to swap or poke the per-NIC traffic
+    /// sources between steps; never called while a step is in flight.
+    pub(crate) fn nics_mut(&mut self) -> &mut [Nic] {
+        &mut self.nics
+    }
+
+    /// Enqueues an externally created packet at local NIC `local`, exactly
+    /// as if the NIC's own source had generated it this cycle.
+    ///
+    /// The registration is buffered like any NIC-generated one (so the
+    /// deterministic merge picks it up this cycle) and the NIC is marked
+    /// active so drain-phase stepping keeps ticking it until its queue
+    /// empties. This is the injection path of the closed-loop serving layer,
+    /// which drives `step(inject = false)` and feeds every packet in by hand.
+    pub(crate) fn enqueue_external(&mut self, local: usize, packet: Packet) {
+        let registration = self.nics[local].enqueue_packet(packet);
+        self.registrations.push(registration);
+        self.nic_active[local / 64] |= 1 << (local % 64);
     }
 
     /// First (global) node id owned by this partition.

@@ -12,8 +12,12 @@ pub struct SimulationResult {
     /// Average end-to-end packet latency in cycles (creation at the source
     /// NIC to reception of the tail flit at the last destination NIC).
     pub average_latency_cycles: f64,
+    /// Median (50th-percentile) packet latency in cycles.
+    pub p50_latency_cycles: f64,
     /// 95th-percentile packet latency in cycles.
     pub p95_latency_cycles: f64,
+    /// 99th-percentile packet latency in cycles.
+    pub p99_latency_cycles: f64,
     /// Number of packets whose latency was measured.
     pub measured_packets: u64,
     /// Network-wide received throughput in flits per cycle.
@@ -67,7 +71,9 @@ mod tests {
         let result = SimulationResult {
             injection_rate: 0.25,
             average_latency_cycles: 10.0,
+            p50_latency_cycles: 9.0,
             p95_latency_cycles: 15.0,
+            p99_latency_cycles: 18.0,
             measured_packets: 100,
             received_flits_per_cycle: 4.0,
             received_gbps: 256.0,
@@ -90,7 +96,9 @@ mod tests {
         let result = SimulationResult {
             injection_rate: 0.1,
             average_latency_cycles: 8.0,
+            p50_latency_cycles: 7.0,
             p95_latency_cycles: 12.0,
+            p99_latency_cycles: 14.0,
             measured_packets: 10,
             received_flits_per_cycle: 1.0,
             received_gbps: 64.0,

@@ -85,6 +85,32 @@ impl Simulation {
         self.config = *self.network.config();
     }
 
+    /// Starts recording every packet the NICs inject into an in-memory
+    /// trace (see [`Network::record_trace`]). Call before
+    /// [`run`](Self::run) to capture a whole run.
+    pub fn record_trace(&mut self) {
+        self.network.record_trace();
+    }
+
+    /// Stops recording and returns the captured trace (see
+    /// [`Network::take_recorded_trace`]).
+    pub fn take_recorded_trace(&mut self) -> noc_types::Trace {
+        self.network.take_recorded_trace()
+    }
+
+    /// Installs `trace` as the traffic source of every NIC (see
+    /// [`Network::load_trace`]). A following [`run`](Self::run) over the
+    /// same phase schedule as the recorded run reproduces it bit-for-bit;
+    /// the `rate` argument is ignored by replay sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the trace's mesh side length does
+    /// not match this simulation's.
+    pub fn load_trace(&mut self, trace: &noc_types::Trace) -> Result<(), NocError> {
+        self.network.load_trace(trace)
+    }
+
     /// Runs warmup + measurement + drain at `rate` flits/node/cycle and
     /// returns the measured statistics.
     ///
@@ -138,7 +164,9 @@ impl Simulation {
         Ok(SimulationResult {
             injection_rate: rate,
             average_latency_cycles: latency.mean(),
+            p50_latency_cycles: latency.percentile(0.50).unwrap_or(0) as f64,
             p95_latency_cycles: latency.percentile(0.95).unwrap_or(0) as f64,
+            p99_latency_cycles: latency.percentile(0.99).unwrap_or(0) as f64,
             measured_packets: latency.count(),
             received_flits_per_cycle: throughput.received_flits_per_cycle(),
             received_gbps: throughput

@@ -51,12 +51,25 @@ impl LatencyStats {
     /// Creates an empty statistics accumulator.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_bins(Self::BINS)
+    }
+
+    /// Creates an empty accumulator with a custom histogram width: `bins - 1`
+    /// one-cycle bins plus an overflow bin (clamped to at least 2 bins).
+    /// Percentiles saturate at `bins - 1` cycles; closed-loop RTT histograms
+    /// use a wider range than the default 256 because a round trip stacks
+    /// two network traversals on top of the service latency.
+    ///
+    /// Merging accumulators of different widths keeps the receiver's width
+    /// (overflowing latencies stay clamped).
+    #[must_use]
+    pub fn with_bins(bins: usize) -> Self {
         Self {
             count: 0,
             sum: 0,
             min: None,
             max: None,
-            histogram: vec![0; Self::BINS],
+            histogram: vec![0; bins.max(2)],
         }
     }
 
@@ -76,7 +89,7 @@ impl LatencyStats {
         self.sum += latency;
         self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
         self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
-        let bin = (latency as usize).min(Self::BINS - 1);
+        let bin = (latency as usize).min(self.histogram.len() - 1);
         self.histogram[bin] += 1;
     }
 
@@ -92,8 +105,9 @@ impl LatencyStats {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
         };
-        for (a, b) in self.histogram.iter_mut().zip(other.histogram.iter()) {
-            *a += *b;
+        let overflow = self.histogram.len() - 1;
+        for (bin, &n) in other.histogram.iter().enumerate() {
+            self.histogram[bin.min(overflow)] += n;
         }
     }
 
@@ -296,6 +310,19 @@ mod tests {
         s.record(10_000);
         assert_eq!(s.percentile(1.0), Some(255));
         assert_eq!(s.max(), Some(10_000));
+    }
+
+    #[test]
+    fn custom_bin_width_extends_percentile_range() {
+        let mut s = LatencyStats::with_bins(1024);
+        s.record(600);
+        assert_eq!(s.percentile(1.0), Some(600));
+        // Merging into a narrower accumulator clamps into its overflow bin
+        // without losing the count.
+        let mut narrow = LatencyStats::with_bins(4);
+        narrow.merge(&s);
+        assert_eq!(narrow.count(), 1);
+        assert_eq!(narrow.percentile(1.0), Some(3));
     }
 
     #[test]

@@ -37,7 +37,9 @@
 mod generator;
 mod mix;
 mod pattern;
+mod source;
 
 pub use generator::{SeedMode, TrafficGenerator};
 pub use mix::TrafficMix;
 pub use pattern::{CollisionPolicy, SpatialPattern};
+pub use source::TrafficSource;

@@ -44,6 +44,7 @@ mod fifo;
 mod flit;
 mod message;
 mod packet;
+mod trace;
 
 pub use coord::{Coord, NodeId};
 pub use destset::DestinationSet;
@@ -53,6 +54,7 @@ pub use fifo::ArrayFifo;
 pub use flit::{Flit, FlitId, FlitKind, FLIT_BITS};
 pub use message::{MessageClass, TrafficKind, MESSAGE_CLASS_COUNT};
 pub use packet::{Packet, PacketId, PacketKind};
+pub use trace::{Trace, TraceError, TraceEvent};
 
 /// Identifier of a virtual channel within one input port and message class.
 ///

@@ -9,7 +9,8 @@
 //! bit-identically to a cold-constructed one.
 
 use noc_repro::noc::{
-    sweep, Network, NetworkVariant, NocConfig, Simulation, SimulationResult, SweepRunner,
+    sweep, Network, NetworkVariant, NocConfig, ServingResult, ServingRunner, Simulation,
+    SimulationResult, SweepRunner,
 };
 use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficMix};
 
@@ -283,6 +284,45 @@ fn warm_partitioned_resets_match_cold_serial_runs() {
         assert_eq!(
             warm_result, cold_result,
             "seed {seed:#x} rate {rate} diverged warm-partitioned vs cold-serial"
+        );
+    }
+}
+
+#[test]
+fn serving_sweep_is_bit_identical_across_jobs_and_step_threads() {
+    // The closed-loop serving runner composes both parallel axes — point
+    // sharding across worker threads (`jobs`) and row-strip partitioned
+    // stepping inside each worker (`step_threads`). Neither axis, nor their
+    // product, may move a single measured bit relative to the fully serial
+    // run: the CI canary and the golden pins below depend on it.
+    let config = NocConfig::proposed_chip().unwrap();
+    let populations = [2usize, 6, 16, 40];
+    let run = |jobs: usize, step_threads: usize| -> Vec<ServingResult> {
+        ServingRunner::new(jobs)
+            .with_windows(100, 400)
+            .unwrap()
+            .with_step_threads(step_threads)
+            .unwrap()
+            .run(config, &populations)
+            .unwrap()
+            .points
+            .into_iter()
+            .map(|p| p.result)
+            .collect()
+    };
+    let serial = run(1, 1);
+    assert_eq!(serial.len(), populations.len());
+    for (jobs, step_threads) in [(2, 1), (4, 1), (1, 2), (1, 4), (3, 2)] {
+        let threaded = run(jobs, step_threads);
+        assert_eq!(
+            serial, threaded,
+            "serving diverged at jobs={jobs} step_threads={step_threads}"
+        );
+        // The rendered form pins byte-for-byte float identity.
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{threaded:?}"),
+            "serving debug output diverged at jobs={jobs} step_threads={step_threads}"
         );
     }
 }

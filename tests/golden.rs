@@ -9,7 +9,7 @@
 //! default configurations must reproduce them exactly; updating these
 //! constants is a deliberate act, not a side effect of a refactor.
 
-use noc_repro::noc::{NetworkVariant, NocConfig, SweepRunner};
+use noc_repro::noc::{NetworkVariant, NocConfig, ServingRunner, SweepRunner};
 use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficGenerator, TrafficMix};
 use noc_repro::types::TrafficKind;
 
@@ -200,6 +200,87 @@ fn lowload_sweeps_survive_the_active_set_refactor_bit_for_bit() {
         .unwrap()
         .with_side(8);
     assert_sweep_matches(config8, (200, 600), &LOWLOAD_8X8_GOLDEN_POINT);
+}
+
+/// The quick-effort closed-loop serving sweep of the proposed chip —
+/// exactly what `repro --quick --jobs 2 serving` measures (populations
+/// thinned to [2, 8, 32, 96], 200-cycle warm-up, 1000-cycle measurement) —
+/// captured when the request/reply layer landed: (clients, RTT mean, RTT
+/// p50, RTT p99, delivered Gb/s) as exact `f64` bit patterns. The RTT
+/// percentiles come from the 4096-bin histogram, so a binning or merge
+/// change shows up here even when the mean survives.
+const SERVING_GOLDEN_POINTS: [(usize, u64, u64, u64, u64); 4] = [
+    (
+        2,
+        0x4040_4fee_b7a0_f1f5,
+        0x4040_0000_0000_0000,
+        0x4046_8000_0000_0000,
+        0x4056_c083_126e_978d,
+    ),
+    (
+        8,
+        0x4042_835a_35a3_5a36,
+        0x4042_0000_0000_0000,
+        0x404d_0000_0000_0000,
+        0x4074_2b02_0c49_ba5e,
+    ),
+    (
+        32,
+        0x4056_120b_2164_2c86,
+        0x4052_8000_0000_0000,
+        0x4070_3000_0000_0000,
+        0x4081_a560_4189_374c,
+    ),
+    (
+        96,
+        0x4070_ad92_143f_a36f,
+        0x406f_2000_0000_0000,
+        0x4085_3800_0000_0000,
+        0x4081_2f9d_b22d_0e56,
+    ),
+];
+
+#[test]
+fn serving_quick_sweep_reproduces_the_pinned_rtt_curve_bit_for_bit() {
+    let config = NocConfig::proposed_chip().unwrap();
+    let populations: Vec<usize> = SERVING_GOLDEN_POINTS.iter().map(|p| p.0).collect();
+    let outcome = ServingRunner::new(2)
+        .with_windows(200, 1000)
+        .unwrap()
+        .run(config, &populations)
+        .unwrap();
+    assert_eq!(outcome.points.len(), SERVING_GOLDEN_POINTS.len());
+    for (point, golden) in outcome.points.iter().zip(&SERVING_GOLDEN_POINTS) {
+        assert_eq!(point.clients, golden.0);
+        assert_eq!(
+            point.result.rtt_mean_cycles.to_bits(),
+            golden.1,
+            "RTT mean moved at {} clients: {} cycles",
+            golden.0,
+            point.result.rtt_mean_cycles
+        );
+        assert_eq!(
+            point.result.rtt_p50_cycles.to_bits(),
+            golden.2,
+            "RTT p50 moved at {} clients: {} cycles",
+            golden.0,
+            point.result.rtt_p50_cycles
+        );
+        assert_eq!(
+            point.result.rtt_p99_cycles.to_bits(),
+            golden.3,
+            "RTT p99 moved at {} clients: {} cycles",
+            golden.0,
+            point.result.rtt_p99_cycles
+        );
+        assert_eq!(
+            point.result.received_gbps.to_bits(),
+            golden.4,
+            "delivered throughput moved at {} clients: {} Gb/s",
+            golden.0,
+            point.result.received_gbps
+        );
+    }
 }
 
 /// First 12 16-bit words of the rate LFSR from the default seed, MSB-first —

@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use noc_repro::noc::{Network, NocConfig};
+use noc_repro::noc::{ClosedLoop, Network, NocConfig, ServingOpts};
 use noc_repro::router::{MatrixArbiter, RoundRobinArbiter};
 use noc_repro::sim::{
     bernoulli_threshold, BoundaryMailbox, FlitHandle, FlitSlab, Lfsr, PrbsGenerator,
@@ -8,7 +8,9 @@ use noc_repro::sim::{
 use noc_repro::topology::limits::MeshLimits;
 use noc_repro::topology::{routing, Mesh};
 use noc_repro::traffic::SpatialPattern;
-use noc_repro::types::{ArrayFifo, Coord, DestinationSet, Packet, PacketKind, Port, PortSet};
+use noc_repro::types::{
+    ArrayFifo, Coord, DestinationSet, Packet, PacketKind, Port, PortSet, Trace, TraceEvent,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -550,5 +552,107 @@ proptest! {
         // push sequence.
         let expected: Vec<u32> = (0..next).collect();
         prop_assert_eq!(delivered, expected);
+    }
+
+    // ------------------------------------------------------------------ traces
+
+    /// The binary trace format must round-trip arbitrary event lists exactly:
+    /// every cycle (LEB128 delta-coded), source, kind and destination set
+    /// (unicast / broadcast / general tags) survives `to_bytes` →
+    /// `from_bytes` bit for bit, and the decoded events come back in the
+    /// canonical `(cycle, source)` order. Each word decodes one event:
+    /// low bits pick the cycle gap, then the source node, the packet kind
+    /// and the destination-set shape.
+    #[test]
+    fn trace_serialization_round_trips_arbitrary_events(
+        k in 2u16..=16,
+        words in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let nodes = k * k;
+        let mut cycle = 0u64;
+        let mut events = Vec::with_capacity(words.len());
+        for word in words {
+            cycle += word % 300;
+            let source = (word >> 9) as u16 % nodes;
+            let kind = if word >> 20 & 1 == 0 { PacketKind::Request } else { PacketKind::Response };
+            let destinations = match word >> 21 & 3 {
+                0 => DestinationSet::unicast((source + 1 + (word >> 23) as u16 % (nodes - 1)) % nodes),
+                1 => DestinationSet::broadcast(k, source),
+                // A "general" multicast: a handful of nodes spread from the
+                // word's high bits, never including the source.
+                _ => (0..5)
+                    .map(|i| (word >> (23 + 7 * i)) as u16 % nodes)
+                    .filter(|&d| d != source)
+                    .chain(std::iter::once((source + 1) % nodes))
+                    .collect(),
+            };
+            events.push(TraceEvent { cycle, source, kind, destinations });
+        }
+        let trace = Trace::from_events(k, events);
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("well-formed bytes decode");
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(decoded.k(), k);
+        for pair in decoded.events().windows(2) {
+            prop_assert!(
+                (pair[0].cycle, pair[0].source) <= (pair[1].cycle, pair[1].source),
+                "decoded events left canonical order"
+            );
+        }
+    }
+
+    /// Double round trip: decoding is a left inverse of encoding on its own
+    /// output, so re-encoding a decoded trace yields identical bytes.
+    #[test]
+    fn trace_bytes_are_a_fixed_point_of_the_round_trip(
+        k in 2u16..=8,
+        gaps in proptest::collection::vec(0u64..50, 0..40),
+    ) {
+        let nodes = k * k;
+        let mut cycle = 0u64;
+        let mut trace = Trace::new(k);
+        for (i, gap) in gaps.iter().enumerate() {
+            cycle += gap;
+            let source = i as u16 % nodes;
+            trace.record(TraceEvent {
+                cycle,
+                source,
+                kind: PacketKind::Request,
+                destinations: DestinationSet::unicast((source + 1) % nodes),
+            });
+        }
+        let bytes = trace.to_bytes();
+        let decoded = Trace::from_bytes(&bytes).expect("well-formed bytes decode");
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    // ------------------------------------------------------- closed-loop serving
+
+    /// Conservation and flow control of the closed-loop request/reply layer:
+    /// after any issuing phase, requests only lead replies by what is still
+    /// in flight; no client ever exceeds its outstanding window; and a
+    /// bounded drain completes every request with **exactly one** reply —
+    /// a dropped, duplicated or misrouted reply breaks one of these counts.
+    #[test]
+    fn closed_loop_conserves_requests_and_respects_the_window(
+        clients in 1usize..24,
+        window in 1u32..5,
+        service_cycles in 0u64..24,
+        cycles in 1u64..200,
+    ) {
+        let config = NocConfig::proposed_chip().unwrap();
+        let opts = ServingOpts { window, service_cycles };
+        let mut serving = ClosedLoop::new(config, clients, opts).unwrap();
+        serving.advance(cycles);
+        prop_assert!(serving.requests_issued() > 0);
+        prop_assert!(serving.peak_outstanding() <= window, "window bound exceeded");
+        // Issued minus completed must equal what is still in flight.
+        prop_assert_eq!(
+            serving.requests_issued() - serving.replies_completed(),
+            serving.outstanding_requests() as u64
+        );
+        prop_assert!(serving.drain_remaining(50_000), "closed loop failed to drain");
+        prop_assert_eq!(serving.replies_completed(), serving.requests_issued());
+        prop_assert_eq!(serving.outstanding_requests(), 0);
+        prop_assert!(serving.peak_outstanding() <= window, "window bound exceeded in drain");
     }
 }

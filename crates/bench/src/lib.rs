@@ -23,6 +23,7 @@
 //! assert!(report.render_json().contains("\"experiment\": \"table1\""));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

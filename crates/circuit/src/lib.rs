@@ -29,6 +29,7 @@
 //! assert_eq!(low_swing.technology(), LinkTechnology::LowSwing);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

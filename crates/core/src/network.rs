@@ -24,7 +24,7 @@
 //! thread count** (`tests/determinism.rs` pins this). With one partition
 //! (the default) the step runs inline with no barriers, pool or locking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
 use noc_topology::{Mesh, PartitionMap};
@@ -76,7 +76,10 @@ pub struct Network {
     /// Chicken bit for the quiescent-NIC nap (on by default; `false` restores
     /// the serial one-coin-per-NIC-per-cycle loop).
     nic_idle_skip: bool,
-    scoreboard: HashMap<PacketId, TrackedPacket>,
+    /// Keyed by a `BTreeMap` so iteration (diagnostics, drain checks) is
+    /// deterministic — a hash map's order would depend on the hasher seed
+    /// and leak into any output derived from a scan (noc-lint rule D01).
+    scoreboard: BTreeMap<PacketId, TrackedPacket>,
     latency: LatencyStats,
     throughput: ThroughputStats,
     measuring: bool,
@@ -170,7 +173,7 @@ impl Network {
             clock: Clock::new(),
             inject_steps: 0,
             nic_idle_skip: true,
-            scoreboard: HashMap::new(),
+            scoreboard: BTreeMap::new(),
             latency: LatencyStats::new(),
             throughput: ThroughputStats::new(),
             measuring: false,

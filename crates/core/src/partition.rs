@@ -889,6 +889,10 @@ fn worker_loop(shared: &PoolShared, slot: usize) {
             // duration of the cycle; the main thread owns partition 0 and
             // does not reclaim the slice until the done barrier.
             let partition = unsafe { &mut *job.partitions.add(slot + 1) };
+            // SAFETY: `edges`/`edge_count` were captured from the live edge
+            // vector, which the main thread keeps alive (and borrows only
+            // immutably) until the done barrier; mailboxes synchronise
+            // internally.
             let edges = unsafe { std::slice::from_raw_parts(job.edges, job.edge_count) };
             partition.step_cycle(&job.ctx, edges);
         }

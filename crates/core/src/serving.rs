@@ -39,7 +39,7 @@
 //! unmeasured requests, so measured stragglers complete under load) until
 //! every measured request has its reply or the drain bound hits.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use noc_sim::LatencyStats;
@@ -166,7 +166,10 @@ pub struct ClosedLoop {
     /// Serviced requests keyed by the cycle their reply becomes ready.
     /// Within one ready cycle, insertion (= reception merge) order.
     service_queue: BTreeMap<Cycle, Vec<PendingReply>>,
-    in_flight: HashMap<PacketId, InFlightRequest>,
+    /// Outstanding requests by packet id. A `BTreeMap` keeps every scan
+    /// deterministic (noc-lint rule D01) — lookups are keyed, but the drain
+    /// bookkeeping must not depend on a hasher's iteration order.
+    in_flight: BTreeMap<PacketId, InFlightRequest>,
     rtt: LatencyStats,
     /// Copy buffer for the network's delivery log (reused every cycle).
     delivery_scratch: Vec<Reception>,
@@ -223,7 +226,7 @@ impl ClosedLoop {
             opts,
             clients,
             service_queue: BTreeMap::new(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             rtt: LatencyStats::with_bins(RTT_BINS),
             delivery_scratch: Vec::new(),
             issuing: true,

@@ -38,6 +38,7 @@
 //! assert!(power.datapath_mw > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

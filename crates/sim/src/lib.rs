@@ -54,6 +54,7 @@
 //! assert!(injected > 150 && injected < 350);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

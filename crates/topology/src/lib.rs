@@ -31,6 +31,7 @@
 //! # Ok::<(), noc_types::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

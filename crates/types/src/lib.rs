@@ -33,6 +33,7 @@
 //! assert_eq!(packet.message_class(), MessageClass::Request);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -36,6 +36,7 @@
 //! # Ok::<(), noc_repro::types::NocError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use noc_circuit as circuit;

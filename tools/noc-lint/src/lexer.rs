@@ -1,0 +1,515 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The rule engine must never fire on the word `HashMap` inside a doc
+//! comment or on `"SAFETY:"` inside a string literal, so before any rule
+//! runs the source is split into [`Span`]s tagged by syntactic class. Two
+//! derived views drive the rules:
+//!
+//! * [`FileLex::code_view`] — the source with comment text and the *inside*
+//!   of string/char literals blanked to spaces (newlines kept, so line
+//!   numbers survive). D/U rules pattern-match against this.
+//! * [`FileLex::comment_lines_containing`] — the lines whose comment text
+//!   holds a given needle, used by U01 to find `// SAFETY:` justifications.
+//!
+//! The lexer understands nested block comments, `//` line comments, string
+//! literals with escapes, raw strings `r"…"` / `r#"…"#` (any hash depth),
+//! byte and raw-byte strings (`b"…"`, `br#"…"#`), char and byte-char
+//! literals (`'x'`, `b'\n'`) and tells lifetimes (`'a`) apart from char
+//! literals. It does not need to be a full Rust lexer — only to never
+//! misclassify which bytes are code.
+
+/// Syntactic class of a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Plain code: keywords, identifiers, punctuation.
+    Code,
+    /// `// …` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, possibly nested and spanning lines.
+    BlockComment,
+    /// A string, raw-string, byte-string, char or byte-char literal,
+    /// *including* its delimiters.
+    Literal,
+}
+
+/// One contiguous run of bytes of a single [`Kind`].
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Classification of this run.
+    pub kind: Kind,
+    /// 1-indexed line the span starts on.
+    pub line: usize,
+    /// The exact source text of the span.
+    pub text: String,
+}
+
+/// A lexed file: the span stream plus the derived rule-facing views.
+#[derive(Debug)]
+pub struct FileLex {
+    spans: Vec<Span>,
+    code: String,
+}
+
+impl FileLex {
+    /// Lexes `src` into classified spans.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let spans = lex(src);
+        let code = build_code_view(&spans);
+        FileLex { spans, code }
+    }
+
+    /// The classified span stream, in source order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The source with comments and literal *contents* blanked to spaces.
+    ///
+    /// Same length and line structure as the input: newlines inside block
+    /// comments and multi-line strings are preserved, so byte offsets and
+    /// line numbers in this view match the original file.
+    #[must_use]
+    pub fn code_view(&self) -> &str {
+        &self.code
+    }
+
+    /// Code-view lines, 0-indexed (line 1 of the file is `lines()[0]`).
+    #[must_use]
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+
+    /// 1-indexed line numbers on which a comment containing `needle` sits
+    /// (every line of a multi-line block comment counts).
+    #[must_use]
+    pub fn comment_lines_containing(&self, needle: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        for span in &self.spans {
+            if !matches!(span.kind, Kind::LineComment | Kind::BlockComment) {
+                continue;
+            }
+            for (offset, line_text) in span.text.lines().enumerate() {
+                if line_text.contains(needle) {
+                    out.push(span.line + offset);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Blanks comments and literal contents (keeping delimiters and newlines).
+fn build_code_view(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        match span.kind {
+            Kind::Code => out.push_str(&span.text),
+            Kind::LineComment | Kind::BlockComment => {
+                blank_preserving_newlines(&span.text, &mut out);
+            }
+            Kind::Literal => {
+                // Keep the opening delimiter run (so `r#"` still reads as a
+                // literal boundary in the view) but blank everything else.
+                let mut chars = span.text.chars();
+                if let Some(first) = chars.next() {
+                    out.push(first);
+                }
+                blank_preserving_newlines(chars.as_str(), &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn blank_preserving_newlines(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        out.push(if ch == '\n' { '\n' } else { ' ' });
+    }
+}
+
+/// The lexer proper: a scan over `src` producing classified spans.
+fn lex(src: &str) -> Vec<Span> {
+    let bytes = src.as_bytes();
+    let mut spans = Vec::new();
+    let mut line = 1usize;
+    let mut start = 0usize;
+    let mut start_line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! flush_code {
+        () => {
+            if start < i {
+                spans.push(Span {
+                    kind: Kind::Code,
+                    line: start_line,
+                    text: src[start..i].to_owned(),
+                });
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                flush_code!();
+                let begin = i;
+                let begin_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                spans.push(Span {
+                    kind: Kind::LineComment,
+                    line: begin_line,
+                    text: src[begin..i].to_owned(),
+                });
+                start = i;
+                start_line = line;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                flush_code!();
+                let begin = i;
+                let begin_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                spans.push(Span {
+                    kind: Kind::BlockComment,
+                    line: begin_line,
+                    text: src[begin..i].to_owned(),
+                });
+                start = i;
+                start_line = line;
+            }
+            b'"' => {
+                flush_code!();
+                let begin = i;
+                let begin_line = line;
+                i = scan_string(bytes, i, &mut line);
+                spans.push(Span {
+                    kind: Kind::Literal,
+                    line: begin_line,
+                    text: src[begin..i].to_owned(),
+                });
+                start = i;
+                start_line = line;
+            }
+            b'r' | b'b' if is_literal_prefix(bytes, i) && !prev_is_ident(bytes, i) => {
+                // One of r"…", r#"…"#, b"…", br"…", b'…', br#"…"# (the
+                // helper already verified the shape).
+                flush_code!();
+                let begin = i;
+                let begin_line = line;
+                i = scan_prefixed_literal(bytes, i, &mut line);
+                spans.push(Span {
+                    kind: Kind::Literal,
+                    line: begin_line,
+                    text: src[begin..i].to_owned(),
+                });
+                start = i;
+                start_line = line;
+            }
+            b'\'' => {
+                if let Some(end) = scan_char_literal(bytes, i) {
+                    flush_code!();
+                    spans.push(Span {
+                        kind: Kind::Literal,
+                        line,
+                        text: src[i..end].to_owned(),
+                    });
+                    i = end;
+                    start = i;
+                    start_line = line;
+                } else {
+                    // A lifetime (`'a`) or a stray quote: plain code.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    flush_code!();
+    spans
+}
+
+/// Does `r`/`b` at `i` open a (raw/byte) string or byte-char literal?
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            return true; // b'…'
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    // `r#ident` raw identifiers fall through to `false` here because the
+    // char after the hashes is not a quote.
+    bytes.get(j) == Some(&b'"') && j > i
+}
+
+/// Is the byte before `i` part of an identifier (so `abr"x"` is not a
+/// literal prefix)?
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Scans a plain `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn scan_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` or `b'…'` starting at the
+/// prefix; returns the index one past the closing delimiter.
+fn scan_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+        if bytes.get(i) == Some(&b'\'') {
+            // Byte-char literal: reuse the char scanner (cannot fail — the
+            // prefix check saw the quote).
+            return scan_char_literal(bytes, i).unwrap_or(bytes.len());
+        }
+    }
+    if bytes.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    if !raw {
+        // b"…" — escapes apply.
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks, no escapes.
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans a char literal at the opening `'`; returns `None` when the quote
+/// starts a lifetime instead.
+fn scan_char_literal(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escaped char: find the closing quote (handles '\'', '\n',
+            // '\u{1F600}').
+            let mut j = i + 2;
+            if bytes.get(j) == Some(&b'\'') || bytes.get(j) == Some(&b'\\') {
+                j += 1;
+            }
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            (j < bytes.len()).then_some(j + 1)
+        }
+        _ => {
+            // `'x'` is a char literal; `'x` followed by anything else is a
+            // lifetime. Multi-byte UTF-8 scalars also close with a quote.
+            let mut k = i + 2;
+            while k < bytes.len() && (bytes[k] & 0xC0) == 0x80 {
+                k += 1;
+            }
+            (bytes.get(k) == Some(&b'\'')).then_some(k + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        FileLex::new(src)
+            .spans()
+            .iter()
+            .map(|s| (s.kind, s.text.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let lex = FileLex::new("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!lex.code_view().contains("HashMap"));
+        assert!(lex.code_view().contains("let y = 2;"));
+        assert_eq!(lex.comment_lines_containing("HashMap"), vec![1]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_outer_level() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let spans = kinds(src);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].0, Kind::BlockComment);
+        assert!(spans[1].1.contains("inner"));
+        let lex = FileLex::new(src);
+        assert!(lex.code_view().contains('a'));
+        assert!(lex.code_view().contains('b'));
+        assert!(!lex.code_view().contains("still"));
+    }
+
+    #[test]
+    fn block_comment_line_numbers_survive() {
+        let src = "/* one\ntwo\nthree */\nlet x = HashMap::new();\n";
+        let lex = FileLex::new(src);
+        // `HashMap` in code sits on line 4 of the view too.
+        let lines = lex.code_lines();
+        assert!(lines[3].contains("HashMap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_stay() {
+        let lex = FileLex::new(r#"let s = "unsafe // not code"; s"#);
+        assert!(!lex.code_view().contains("unsafe"));
+        assert!(!lex.code_view().contains("not code"));
+        assert!(lex.code_view().starts_with("let s = \""));
+    }
+
+    #[test]
+    fn slashes_inside_strings_do_not_open_comments() {
+        let lex = FileLex::new(r#"let url = "http://example.com"; let live = 1;"#);
+        assert!(lex.code_view().contains("let live = 1;"));
+        assert_eq!(lex.comment_lines_containing("example"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lex = FileLex::new(r#"let s = "a\"b HashMap c"; let t = 9;"#);
+        assert!(!lex.code_view().contains("HashMap"));
+        assert!(lex.code_view().contains("let t = 9;"));
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_match_hash_depth() {
+        let src = r###"let s = r#"contains "quotes" and \ HashMap"#; done"###;
+        let lex = FileLex::new(src);
+        assert!(!lex.code_view().contains("HashMap"));
+        assert!(lex.code_view().contains("done"));
+    }
+
+    #[test]
+    fn byte_string_literals_are_literals() {
+        let lex = FileLex::new(r#"let magic = b"NOCT HashMap"; let x = 1;"#);
+        assert!(!lex.code_view().contains("HashMap"));
+        assert!(lex.code_view().contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_literals() {
+        let src = r###"let m = br#"raw "bytes" unsafe"#; tail"###;
+        let lex = FileLex::new(src);
+        assert!(!lex.code_view().contains("unsafe"));
+        assert!(lex.code_view().contains("tail"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_but_char_literals_are_not() {
+        let lex = FileLex::new("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lex.code_view().contains("<'a>"));
+        assert!(lex.code_view().contains("&'a str"));
+        assert!(!lex.code_view().contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals_close_properly() {
+        let lex = FileLex::new(r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; rest");
+        assert!(lex.code_view().contains("rest"));
+        assert!(!lex.code_view().contains("1F600"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_literals() {
+        let lex = FileLex::new(r"let b = b'x'; let e = b'\n'; tail");
+        assert!(!lex.code_view().contains("b'x'"));
+        assert!(lex.code_view().contains("tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let lex = FileLex::new("let r#match = 1; let after = 2;");
+        assert!(lex.code_view().contains("r#match"));
+        assert!(lex.code_view().contains("let after = 2;"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_does_not_open_a_raw_string() {
+        let lex = FileLex::new(r#"let var = parser"x"; tail"#);
+        // `parser` ends in `r` but is part of an identifier, so only the
+        // plain string that follows is a literal.
+        assert!(lex.code_view().contains("parser"));
+        assert!(lex.code_view().contains("tail"));
+    }
+
+    #[test]
+    fn safety_comment_lines_are_reported_per_line() {
+        let src = "// SAFETY: one\n/* SAFETY: two\nspanning */\ncode();\n";
+        let lex = FileLex::new(src);
+        assert_eq!(lex.comment_lines_containing("SAFETY:"), vec![1, 2]);
+    }
+}

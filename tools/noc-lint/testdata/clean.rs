@@ -1,0 +1,32 @@
+//! Clean corpus: every lexer escape hatch in one file, zero findings.
+//!
+//! HashMap, Instant, thread_rng, std::env and unsafe all appear below —
+//! but only inside comments, strings, raw strings, byte strings, char-free
+//! lifetimes or `#[cfg(test)]` regions, so the gate must stay silent.
+
+/* Block comment mentioning HashMap and unsafe,
+   /* nested: SystemTime thread_rng */
+   still inside the outer comment: std::env::var */
+
+pub fn decoys<'a>(input: &'a str) -> usize {
+    let s = "HashMap and unsafe in a plain string // with a fake comment";
+    let r = r#"Instant and "std::time" in a raw string"#;
+    let b = b"thread_rng in a byte string";
+    let rb = br#"std::env::var in a raw byte string"#;
+    let q = '"'; // a char literal quote must not open a string
+    let escaped = "escaped quote \" then HashMap";
+    input.len() + s.len() + r.len() + b.len() + rb.len() + escaped.len() + (q == '"') as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn test_code_may_use_hash_collections_and_clocks() {
+        let mut map = HashMap::new();
+        map.insert("k", 1);
+        let mut set = HashSet::new();
+        set.insert(std::time::Instant::now());
+    }
+}

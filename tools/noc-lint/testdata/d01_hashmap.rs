@@ -1,0 +1,19 @@
+//! D01 corpus: exactly one hash-ordered collection in live simulation code.
+//! The HashMap mentioned in this comment, the one in the string below and
+//! the HashSet inside the cfg(test) module must all stay silent.
+
+use std::collections::HashMap;
+
+pub fn scoreboard() -> usize {
+    let note = "a HashMap in a string literal is not code";
+    note.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_local_hash_sets_are_fine() {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(1);
+    }
+}

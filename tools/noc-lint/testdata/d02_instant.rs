@@ -1,0 +1,8 @@
+//! D02 corpus: exactly one wall-clock read in live simulation code.
+//! `Instant` in this comment and in the raw string stay silent.
+
+pub fn measure() -> u64 {
+    let started = std::time::Instant::now();
+    let doc = r#"SystemTime and Instant inside a raw string are not code"#;
+    (doc.len() + started.elapsed().subsec_nanos() as usize) as u64
+}

@@ -1,0 +1,16 @@
+//! D03 corpus: exactly one ambient-randomness draw in live code.
+//! (The determinism contract requires every random bit to flow from the
+//! seeded LFSR/PRBS layer; thread_rng here must be the only finding.)
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.next_u32()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_draw_ambient_randomness() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,13 @@
+//! D04 corpus: exactly one ad-hoc thread spawn outside the allowlisted
+//! parallelism layers. `StepPool::spawn` and `scope.spawn` are method calls
+//! on owned types, not `std::thread` entry points, and must stay silent.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+pub fn pool_reuse(pool: &StepPool, scope: &Scope) {
+    let _ = StepPool::spawn(4);
+    scope.spawn(|| {});
+}

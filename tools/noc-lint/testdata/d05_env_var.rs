@@ -1,0 +1,7 @@
+//! D05 corpus: exactly one environment read outside the approved config
+//! entry points. The `env::var` in the byte string below stays silent.
+
+pub fn hidden_knob() -> bool {
+    let magic = b"env::var markers inside byte strings are data";
+    std::env::var("NOC_SECRET_KNOB").is_ok() && !magic.is_empty()
+}

@@ -1,0 +1,8 @@
+//! U01 corpus: exactly one `unsafe` block with no `// SAFETY:` comment.
+//! (It also trips U02 — this file is not on the unsafe allowlist — which is
+//! why the corpus test filters findings by rule id.)
+
+pub fn read_first(values: &[u32]) -> u32 {
+    let base = values.as_ptr();
+    unsafe { *base }
+}

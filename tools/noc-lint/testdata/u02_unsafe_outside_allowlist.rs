@@ -1,0 +1,10 @@
+//! U02 corpus: a properly documented `unsafe` block — U01 is satisfied by
+//! the SAFETY comment — in a file that is not on the `[allow.u02]`
+//! allowlist, so exactly one U02 finding fires.
+
+pub fn read_first(values: &[u32]) -> u32 {
+    let base = values.as_ptr();
+    // SAFETY: the slice is non-empty at every call site and `base` points at
+    // its first initialised element.
+    unsafe { *base }
+}

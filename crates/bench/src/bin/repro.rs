@@ -3,35 +3,58 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--step-threads N] [--json PATH] <experiment>...
-//! repro [--quick] [--jobs N] [--step-threads N] [--json PATH] all
+//! repro [--quick] [--jobs N] [--step-threads N] [--partition SHAPE]
+//!       [--rebalance N] [--json PATH] <experiment>...
+//! repro [options] all
 //! repro list                                                 # ids + descriptions
 //! ```
 //!
 //! Experiments come from the typed registry (`noc_bench::REGISTRY`); `list`
 //! prints each id with its description. `--jobs N` runs sweep-backed
-//! experiments (`fig5`, `fig13`, `stress8`, `stress16`, `patterns`, and the
-//! closed-loop `serving` population sweep) with N
+//! experiments (`fig5`, `fig13`, `stress8`, `stress16`, `hotspot16`,
+//! `patterns`, and the closed-loop `serving` population sweep) with N
 //! worker threads; `--step-threads N` additionally steps each worker's mesh
 //! with N partition threads (most useful for the big `stress16` mesh — jobs
 //! take precedence when the product would oversubscribe the machine).
-//! Results are bit-identical for any combination of thread counts. Whenever
-//! a run produces sweep data, a machine-readable JSON document (per-point
-//! rates, latencies, throughputs and wall-clock times) is written next to
-//! the printed tables — `BENCH_sweep.json` by default, or the path given
-//! with `--json`.
+//! `--partition rows:N` or `--partition tiles:RxC` pins the partition layout
+//! explicitly instead of deriving row strips from `--step-threads`, and
+//! `--rebalance N` turns on deterministic load-aware repartitioning every N
+//! cycles (open-loop sweeps only; `serving` keeps its own stepping).
+//! Results are bit-identical for any combination of thread counts, partition
+//! shapes and rebalance epochs. Whenever a run produces sweep data, a
+//! machine-readable JSON document (per-point rates, latencies, throughputs
+//! and wall-clock times) is written next to the printed tables —
+//! `BENCH_sweep.json` by default, or the path given with `--json`.
 
 use std::process::ExitCode;
+
+use mesh_noc::PartitionShape;
 
 use noc_bench::{
     find_experiment, sweep_records_json, Effort, Experiment, RunOpts, SweepRecord, REGISTRY,
 };
+
+/// Parses `rows:N` / `tiles:RxC` (axes must be positive — zero axes are
+/// invalid partition grids).
+fn parse_partition(value: &str) -> Option<PartitionShape> {
+    if let Some(rows) = value.strip_prefix("rows:") {
+        let rows: usize = rows.parse().ok()?;
+        return (rows >= 1).then_some(PartitionShape::Rows(rows));
+    }
+    let spec = value.strip_prefix("tiles:")?;
+    let (rows, cols) = spec.split_once('x')?;
+    let rows: usize = rows.parse().ok()?;
+    let cols: usize = cols.parse().ok()?;
+    (rows >= 1 && cols >= 1).then_some(PartitionShape::Tiles { rows, cols })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = Effort::Full;
     let mut jobs: usize = 1;
     let mut step_threads: usize = 1;
+    let mut shape: Option<PartitionShape> = None;
+    let mut rebalance: Option<u64> = None;
     let mut json_path = "BENCH_sweep.json".to_owned();
     let mut selected: Vec<&'static dyn Experiment> = Vec::new();
     let mut iter = args.into_iter();
@@ -64,6 +87,35 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--partition" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--partition needs a shape (rows:N or tiles:RxC)");
+                    return ExitCode::FAILURE;
+                };
+                match parse_partition(&value) {
+                    Some(parsed) => shape = Some(parsed),
+                    None => {
+                        eprintln!(
+                            "--partition needs rows:N or tiles:RxC with positive axes, \
+                             got '{value}'"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--rebalance" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--rebalance needs an epoch in cycles");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => rebalance = Some(n),
+                    _ => {
+                        eprintln!("--rebalance needs a positive cycle count, got '{value}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--json" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--json needs an output path");
@@ -90,8 +142,8 @@ fn main() -> ExitCode {
     }
     if selected.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--jobs N] [--step-threads N] [--json PATH] \
-             <experiment>... | all | list"
+            "usage: repro [--quick] [--jobs N] [--step-threads N] [--partition rows:N|tiles:RxC] \
+             [--rebalance N] [--json PATH] <experiment>... | all | list"
         );
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id()).collect();
         eprintln!("experiments: {}", ids.join(", "));
@@ -100,7 +152,9 @@ fn main() -> ExitCode {
     let mut sweeps: Vec<SweepRecord> = Vec::new();
     let opts = RunOpts::new(effort)
         .with_jobs(jobs)
-        .with_step_threads(step_threads);
+        .with_step_threads(step_threads)
+        .with_partition_shape(shape)
+        .with_rebalance_epoch(rebalance);
     for experiment in selected {
         let report = experiment.run(opts);
         println!("==================================================================");

@@ -1,8 +1,8 @@
 //! One function per table / figure of the paper.
 
 use mesh_noc::{
-    sweep, NetworkVariant, NocConfig, Scenario, ServingOutcome, ServingRunner, Simulation,
-    SimulationResult, SweepRunner,
+    sweep, NetworkVariant, NocConfig, PartitionShape, Scenario, ServingOutcome, ServingRunner,
+    Simulation, SimulationResult, SweepRunner,
 };
 use noc_circuit::{
     AreaModel, CriticalPathModel, EyeAnalysis, LowSwingLink, MulticastPowerPoint,
@@ -58,6 +58,25 @@ fn run_single(config: NocConfig, rate: f64, effort: Effort) -> SimulationResult 
     let mut sim = Simulation::new(config).expect("built-in configurations are valid");
     sim.run(rate, effort.warmup(), effort.measure())
         .expect("built-in rates are valid")
+}
+
+/// The [`SweepRunner`] every open-loop sweep experiment steps with: effort
+/// windows plus the full thread/partition surface of [`RunOpts`] — worker
+/// count, step threads, an explicit partition shape when the CLI passed
+/// `--partition`, and the `--rebalance` epoch. Results are bit-identical for
+/// every combination.
+fn sweep_runner(opts: RunOpts) -> SweepRunner {
+    let mut runner = SweepRunner::new(opts.jobs)
+        .with_windows(opts.effort.warmup(), opts.effort.measure())
+        .expect("effort windows are non-zero")
+        .with_step_threads(opts.step_threads)
+        .expect("callers pass a positive step-thread count");
+    if let Some(shape) = opts.shape {
+        runner = runner
+            .with_partition_shape(shape)
+            .expect("the CLI rejects zero partition axes at parse time");
+    }
+    runner.with_rebalance_epoch(opts.rebalance_epoch)
 }
 
 // --------------------------------------------------------------------- Table 1
@@ -156,11 +175,7 @@ fn latency_throughput_full(
         .expect("valid preset")
         .with_mix(mix);
     let rates = opts.effort.thin(rates);
-    let runner = SweepRunner::new(opts.jobs)
-        .with_windows(opts.effort.warmup(), opts.effort.measure())
-        .expect("effort windows are non-zero")
-        .with_step_threads(opts.step_threads)
-        .expect("callers pass a positive step-thread count");
+    let runner = sweep_runner(opts);
     let proposed_outcome = runner
         .run(proposed_cfg, &rates)
         .expect("built-in sweep configuration is valid");
@@ -330,11 +345,7 @@ fn stress_mesh_full(
     rates: &[f64],
     opts: RunOpts,
 ) -> (String, Vec<SweepRecord>) {
-    let runner = SweepRunner::new(opts.jobs)
-        .with_windows(opts.effort.warmup(), opts.effort.measure())
-        .expect("effort windows are non-zero")
-        .with_step_threads(opts.step_threads)
-        .expect("callers pass a positive step-thread count");
+    let runner = sweep_runner(opts);
     let outcome = runner
         .run(config, rates)
         .expect("built-in sweep configuration is valid");
@@ -384,6 +395,209 @@ fn stress_mesh_full(
     (out, vec![record])
 }
 
+// ------------------------------------------------------------------ hotspot16
+
+/// Injection rate of the fixed-length balance runs: enough background load
+/// to keep the whole mesh active, with the hotspot's congestion tree
+/// skewing where the work lands.
+const HOTSPOT16_BALANCE_RATE: f64 = 0.04;
+
+/// Rebalance epoch of the `*-rebal` balance variants (cycles).
+const HOTSPOT16_EPOCH: u64 = 256;
+
+/// The hotspot16 traffic scenario: a 16×16 proposed-chip mesh under unicast
+/// traffic where 90% of packets target the far-corner node. XY routing
+/// funnels that load into a congestion tree, so per-node activity is heavily
+/// skewed — the workload the load-aware repartitioner exists for.
+fn hotspot16_scenario() -> Scenario {
+    let hotspot = noc_types::DestinationSet::unicast(255);
+    Scenario::builder()
+        .mesh(16)
+        .pattern(SpatialPattern::hotspot(hotspot, 0.9))
+        .mix(TrafficMix::unicast_only())
+        .seed_mode(SeedMode::PerNode)
+        .build()
+        .expect("the hotspot16 scenario is a valid preset")
+}
+
+/// `hotspot16`: a 16×16-mesh weighted-hotspot stressor for the load-aware
+/// repartitioner. Not a paper figure. Two halves:
+///
+/// 1. a normal latency/throughput sweep (the `hotspot16/proposed/k16/*`
+///    baseline pins), honouring the CLI's `--jobs` / `--step-threads` /
+///    `--partition` / `--rebalance` knobs like every other sweep;
+/// 2. fixed-length **balance runs** on four partition layouts — uniform row
+///    strips, uniform 2×2 tiles, and both with deterministic load-aware
+///    rebalancing — reporting each layout's cumulative per-partition busy
+///    counters ([`mesh_noc::Network::partition_loads`]). The per-node
+///    weights are pure simulated state (bit-identical for every layout), so
+///    the busy tables differ *only* in where the cuts fall: rebalancing must
+///    drive max/mean strictly below the uniform split, and the JSON records
+///    carry the counters as evidence (`partition_loads` in
+///    `BENCH_hotspot16.json`).
+#[must_use]
+pub fn hotspot16_full(opts: RunOpts) -> (String, Vec<SweepRecord>) {
+    let scenario = hotspot16_scenario();
+    let runner = sweep_runner(opts);
+    let rates = opts.effort.thin(&[0.01, 0.02, 0.04, 0.06]);
+    let outcome = scenario
+        .sweep(&runner, &rates)
+        .expect("built-in sweep configuration is valid");
+    let record = SweepRecord::from_outcome(
+        "hotspot16",
+        "proposed",
+        scenario.config().k,
+        runner.jobs(),
+        runner.step_threads(),
+        &outcome,
+    );
+
+    let mut out =
+        String::from("Hotspot 16x16 - 90% of unicast traffic targets the far-corner node\n\n");
+    let mut table = Table::new([
+        "offered rate (flits/node/cyc)",
+        "latency (cyc)",
+        "p95 (cyc)",
+        "thru (Gb/s)",
+        "wall (ms)",
+    ]);
+    for p in &record.points {
+        table.row([
+            num(p.injection_rate, 3),
+            num(p.latency_cycles, 1),
+            num(p.p95_latency_cycles, 1),
+            num(p.received_gbps, 1),
+            num(p.wall_ms, 1),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    out.push_str(&format!(
+        "saturation throughput {:.0} Gb/s at rate {:.3}; zero-load latency {:.1} cycles\n\n",
+        record.saturation_gbps, record.saturation_rate, record.zero_load_latency_cycles
+    ));
+    let mut records = vec![record];
+
+    let variants: [(&str, PartitionShape, Option<u64>); 4] = [
+        ("rows4", PartitionShape::Rows(4), None),
+        ("tiles2x2", PartitionShape::Tiles { rows: 2, cols: 2 }, None),
+        (
+            "rows4-rebal",
+            PartitionShape::Rows(4),
+            Some(HOTSPOT16_EPOCH),
+        ),
+        (
+            "tiles2x2-rebal",
+            PartitionShape::Tiles { rows: 2, cols: 2 },
+            Some(HOTSPOT16_EPOCH),
+        ),
+    ];
+    let mut table = Table::new([
+        "partition layout",
+        "busy max",
+        "busy mean",
+        "max/mean",
+        "latency (cyc)",
+        "thru (Gb/s)",
+    ]);
+    let mut imbalances = Vec::new();
+    for (variant, shape, epoch) in variants {
+        let (result, loads) = hotspot16_balance_run(&scenario, shape, epoch, opts.effort);
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        let imbalance = max / mean;
+        table.row([
+            variant.to_owned(),
+            format!("{}", loads.iter().copied().max().unwrap_or(0)),
+            num(mean, 0),
+            num(imbalance, 3),
+            num(result.average_latency_cycles, 1),
+            num(result.received_gbps, 1),
+        ]);
+        imbalances.push((variant, imbalance));
+        records.push(hotspot16_balance_record(variant, &result, loads));
+    }
+    out.push_str(&format!(
+        "Partition balance at rate {HOTSPOT16_BALANCE_RATE} (cumulative per-partition busy \
+         counters;\nrebalance epoch {HOTSPOT16_EPOCH} cycles; identical simulated state for \
+         every layout)\n\n",
+    ));
+    out.push_str(&table.render());
+    out.push('\n');
+    let lookup = |name: &str| {
+        imbalances
+            .iter()
+            .find(|(v, _)| *v == name)
+            .map_or(f64::NAN, |(_, i)| *i)
+    };
+    out.push_str(&format!(
+        "load-aware rebalancing cuts the max/mean imbalance from {:.3} to {:.3} (row strips)\n\
+         and from {:.3} to {:.3} (2x2 tiles); per-partition counters are in the JSON records\n",
+        lookup("rows4"),
+        lookup("rows4-rebal"),
+        lookup("tiles2x2"),
+        lookup("tiles2x2-rebal"),
+    ));
+    (out, records)
+}
+
+/// One fixed-length balance run of [`hotspot16_full`]: the scenario stepped
+/// on `shape` (optionally rebalancing every `epoch` cycles), returning the
+/// run statistics and the cumulative per-partition busy counters.
+fn hotspot16_balance_run(
+    scenario: &Scenario,
+    shape: PartitionShape,
+    epoch: Option<u64>,
+    effort: Effort,
+) -> (SimulationResult, Vec<u64>) {
+    let mut sim = scenario
+        .simulation()
+        .expect("the hotspot16 scenario is a valid preset");
+    sim.set_partition_shape(shape)
+        .expect("balance-run shapes have non-zero axes");
+    sim.set_rebalance_epoch(epoch);
+    let result = sim
+        .run(HOTSPOT16_BALANCE_RATE, effort.warmup(), effort.measure())
+        .expect("the balance rate is a valid injection rate");
+    let loads = sim.network().partition_loads();
+    (result, loads)
+}
+
+/// Shapes one balance run into a [`SweepRecord`] so `BENCH_hotspot16.json`
+/// carries the per-partition busy counters next to the sweep data. The
+/// single "point" is the fixed-rate run; wall-clock fields are zero (balance
+/// runs are about load placement, not speed).
+fn hotspot16_balance_record(
+    variant: &str,
+    result: &SimulationResult,
+    partition_loads: Vec<u64>,
+) -> SweepRecord {
+    SweepRecord {
+        experiment: "hotspot16".to_owned(),
+        network: variant.to_owned(),
+        k: 16,
+        jobs: 1,
+        step_threads: partition_loads.len(),
+        zero_load_latency_cycles: result.average_latency_cycles,
+        saturation_gbps: result.received_gbps,
+        saturation_rate: HOTSPOT16_BALANCE_RATE,
+        total_wall_ms: 0.0,
+        partition_loads,
+        points: vec![SweepPointRecord {
+            injection_rate: result.injection_rate,
+            latency_cycles: result.average_latency_cycles,
+            p50_latency_cycles: result.p50_latency_cycles,
+            p95_latency_cycles: result.p95_latency_cycles,
+            p99_latency_cycles: result.p99_latency_cycles,
+            received_gbps: result.received_gbps,
+            received_flits_per_cycle: result.received_flits_per_cycle,
+            bypass_fraction: result.bypass_fraction,
+            measured_packets: result.measured_packets,
+            wall_ms: 0.0,
+        }],
+    }
+}
+
 // ------------------------------------------------------------------- patterns
 
 /// `patterns`: a per-pattern saturation sweep of the proposed chip under
@@ -396,11 +610,7 @@ fn stress_mesh_full(
 /// 8×8 scaled mesh.
 #[must_use]
 pub fn patterns_report(opts: RunOpts) -> Report {
-    let runner = SweepRunner::new(opts.jobs)
-        .with_windows(opts.effort.warmup(), opts.effort.measure())
-        .expect("effort windows are non-zero")
-        .with_step_threads(opts.step_threads)
-        .expect("callers pass a positive step-thread count");
+    let runner = sweep_runner(opts);
     let mut report = Report::new("patterns");
     let sides: &[u16] = match opts.effort {
         Effort::Quick => &[4],
@@ -578,6 +788,7 @@ fn serving_record(
         saturation_gbps: knee.received_gbps,
         saturation_rate: knee.injection_rate,
         total_wall_ms: outcome.total_wall_ms,
+        partition_loads: Vec::new(),
         points,
     }
 }
@@ -1106,5 +1317,36 @@ mod tests {
         assert!(report.contains("low-load latency"));
         assert!(report.contains("saturation throughput"));
         assert!(report.contains("theoretical"));
+    }
+
+    #[test]
+    fn hotspot16_rebalancing_beats_the_uniform_splits() {
+        let (text, records) = hotspot16_full(RunOpts::new(Effort::Quick));
+        assert!(text.contains("load-aware rebalancing cuts the max/mean imbalance"));
+        let imbalance = |name: &str| {
+            let r = records
+                .iter()
+                .find(|r| r.network == name)
+                .unwrap_or_else(|| panic!("missing balance record {name}"));
+            assert_eq!(r.partition_loads.len(), 4, "{name} runs on 4 partitions");
+            let max = *r.partition_loads.iter().max().expect("non-empty") as f64;
+            let mean = r.partition_loads.iter().sum::<u64>() as f64 / 4.0;
+            max / mean
+        };
+        // The per-node weights are identical for every layout (pure simulated
+        // state), so these ratios differ only in where the cuts fall: the
+        // rebalanced layouts must beat their uniform splits strictly.
+        assert!(
+            imbalance("rows4-rebal") < imbalance("rows4"),
+            "rebalanced rows {} vs uniform rows {}",
+            imbalance("rows4-rebal"),
+            imbalance("rows4")
+        );
+        assert!(
+            imbalance("tiles2x2-rebal") < imbalance("tiles2x2"),
+            "rebalanced tiles {} vs uniform tiles {}",
+            imbalance("tiles2x2-rebal"),
+            imbalance("tiles2x2")
+        );
     }
 }

@@ -81,6 +81,7 @@ mod tests {
             ("fig5", 2),
             ("stress8", 1),
             ("stress16", 1),
+            ("hotspot16", 5),
             ("patterns", 8),
             ("serving", 1),
         ] {

@@ -58,6 +58,12 @@ pub struct SweepRecord {
     pub saturation_rate: f64,
     /// Total wall-clock milliseconds for the sweep.
     pub total_wall_ms: f64,
+    /// Cumulative per-partition busy counters (router steps of the
+    /// active-set walk, in partition order) at the end of the run. Empty for
+    /// ordinary sweeps; the `hotspot16` balance runs fill it so the JSON
+    /// carries the partition-load evidence the load-aware repartitioner is
+    /// judged by. Rendered into the JSON only when non-empty.
+    pub partition_loads: Vec<u64>,
     /// The measured points, in injection-rate order.
     pub points: Vec<SweepPointRecord>,
 }
@@ -83,6 +89,7 @@ impl SweepRecord {
             saturation_gbps: outcome.curve.saturation_gbps,
             saturation_rate: outcome.curve.saturation_rate,
             total_wall_ms: outcome.total_wall_ms,
+            partition_loads: Vec::new(),
             points: outcome
                 .points
                 .iter()
@@ -167,6 +174,13 @@ pub(crate) fn sweep_record_json(r: &SweepRecord, indent: &str) -> String {
         "{indent}  \"total_wall_ms\": {},\n",
         num(r.total_wall_ms)
     ));
+    if !r.partition_loads.is_empty() {
+        let loads: Vec<String> = r.partition_loads.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "{indent}  \"partition_loads\": [{}],\n",
+            loads.join(", ")
+        ));
+    }
     out.push_str(&format!("{indent}  \"points\": [\n"));
     for (pi, p) in r.points.iter().enumerate() {
         out.push_str(&format!(
@@ -220,6 +234,7 @@ mod tests {
             saturation_gbps: 890.0,
             saturation_rate: 0.24,
             total_wall_ms: 123.5,
+            partition_loads: Vec::new(),
             points: vec![SweepPointRecord {
                 injection_rate: 0.01,
                 latency_cycles: 8.25,
@@ -269,5 +284,17 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn partition_loads_render_only_when_present() {
+        let json = sweep_records_json(&[record()]);
+        assert!(!json.contains("partition_loads"));
+        let mut r = record();
+        r.partition_loads = vec![10, 20, 30, 40];
+        let json = sweep_records_json(&[r]);
+        assert!(json.contains("\"partition_loads\": [10, 20, 30, 40]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

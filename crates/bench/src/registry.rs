@@ -8,6 +8,8 @@
 //! CLI, `repro list`, `repro all` and the sweep-JSON plumbing pick it up
 //! automatically.
 
+use mesh_noc::PartitionShape;
+
 use crate::experiments::{self, Effort};
 use crate::report::Report;
 
@@ -27,6 +29,15 @@ pub struct RunOpts {
     /// [`mesh_noc::SweepRunner::with_step_threads`]); also bit-identical for
     /// any count.
     pub step_threads: usize,
+    /// Explicit partition shape for each worker's network (`repro
+    /// --partition rows:N|tiles:RxC`). `None` derives row strips from
+    /// `step_threads`; `Some` overrides it for the open-loop sweeps (also
+    /// bit-identical for any shape).
+    pub shape: Option<PartitionShape>,
+    /// Deterministic load-aware repartitioning epoch in cycles (`repro
+    /// --rebalance N`); `None` keeps the cuts fixed. Bit-identical either
+    /// way.
+    pub rebalance_epoch: Option<u64>,
 }
 
 impl RunOpts {
@@ -37,6 +48,8 @@ impl RunOpts {
             effort,
             jobs: 1,
             step_threads: 1,
+            shape: None,
+            rebalance_epoch: None,
         }
     }
 
@@ -51,6 +64,23 @@ impl RunOpts {
     #[must_use]
     pub fn with_step_threads(mut self, step_threads: usize) -> Self {
         self.step_threads = step_threads;
+        self
+    }
+
+    /// Requests an explicit partition shape for the open-loop sweeps.
+    /// Callers must pass a shape with non-zero axes (the CLI rejects zero at
+    /// parse time).
+    #[must_use]
+    pub fn with_partition_shape(mut self, shape: Option<PartitionShape>) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Requests deterministic load-aware repartitioning every `epoch` cycles
+    /// (`None` disables it). Callers must pass a non-zero epoch.
+    #[must_use]
+    pub fn with_rebalance_epoch(mut self, epoch: Option<u64>) -> Self {
+        self.rebalance_epoch = epoch;
         self
     }
 }
@@ -142,6 +172,11 @@ experiments! {
                    let (text, sweeps) = experiments::stress16_full(opts);
                    Report::from_text("stress16", text).with_sweeps(sweeps)
                } },
+    Hotspot16 { id: "hotspot16", desc: "16x16-mesh weighted-hotspot stressor for the load-aware repartitioner (not a paper figure)",
+                run: |opts| {
+                    let (text, sweeps) = experiments::hotspot16_full(opts);
+                    Report::from_text("hotspot16", text).with_sweeps(sweeps)
+                } },
     Patterns { id: "patterns", desc: "per-pattern saturation sweep across the spatial-pattern gallery",
                run: experiments::patterns_report },
     Serving { id: "serving", desc: "closed-loop request/reply serving: RTT percentiles vs client population (not a paper figure)",
@@ -180,9 +215,25 @@ mod tests {
         assert_eq!(
             ids,
             [
-                "table1", "table2", "fig5", "fig6", "table3", "fig7", "table4", "fig8", "fig10",
-                "fig11", "fig12", "fig13", "zeroload", "headline", "stress8", "stress16",
-                "patterns", "serving",
+                "table1",
+                "table2",
+                "fig5",
+                "fig6",
+                "table3",
+                "fig7",
+                "table4",
+                "fig8",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "zeroload",
+                "headline",
+                "stress8",
+                "stress16",
+                "hotspot16",
+                "patterns",
+                "serving",
             ]
         );
     }

@@ -69,7 +69,7 @@ mod simulation;
 pub mod sweep;
 
 pub use config::{DatapathKind, NetworkVariant, NocConfig};
-pub use network::Network;
+pub use network::{Network, PartitionShape};
 pub use nic::{Nic, Reception};
 pub use result::SimulationResult;
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -12,28 +12,98 @@
 //! naive full scan (see `crate::partition` for the per-cycle phase
 //! machinery).
 //!
-//! On top of that, the mesh is sharded into **spatial partitions**
-//! (contiguous row strips, [`noc_topology::PartitionMap`]) so
-//! [`Network::with_step_threads`] can step strips on a persistent worker
-//! pool. Each partition owns private wheels, slab and masks; events crossing
-//! a strip boundary ride per-edge FIFO mailboxes and are merged — together
-//! with the partitions' buffered receptions and packet registrations — by
-//! the main thread in fixed partition order at a single merge point per
-//! cycle. Because every within-cycle delivery commutes and the merge order
-//! is fixed, a partitioned run is **bit-identical to the serial one for any
-//! thread count** (`tests/determinism.rs` pins this). With one partition
-//! (the default) the step runs inline with no barriers, pool or locking.
+//! On top of that, the mesh is sharded into **spatial partitions** — row
+//! strips or 2-D tiles ([`noc_topology::PartitionMap`]) — so
+//! [`Network::with_step_threads`] / [`Network::set_partition_shape`] can
+//! step them on a persistent worker pool. Each partition owns private
+//! wheels, slab and masks; events crossing a cut ride per-directed-edge FIFO
+//! mailboxes and are merged — together with the partitions' buffered
+//! receptions and packet registrations — by the main thread at a single
+//! merge point per cycle (mailboxes in fixed edge order, receptions in
+//! ascending destination-node order — the serial within-cycle order).
+//! Because every within-cycle delivery commutes and the merge order is
+//! fixed, a partitioned run is **bit-identical to the serial one for any
+//! shape and thread count** (`tests/determinism.rs` pins this). With one
+//! partition (the default) the step runs inline with no barriers, pool or
+//! locking.
+//!
+//! With [`set_rebalance_epoch`](Network::set_rebalance_epoch), the network
+//! additionally recomputes the cut positions every N cycles from the
+//! partitions' cumulative per-node activity weights (router steps of the
+//! active-set walk) and migrates the per-node state to the new shape. The
+//! weights are pure simulated state, so the partition shape is itself a
+//! function of the simulation — rebalanced runs stay bit-identical too.
 
 use std::collections::BTreeMap;
 
-use noc_sim::{ActivityCounters, Clock, LatencyStats, ThroughputStats};
+use noc_sim::{ActivityCounters, BoundaryMailbox, Clock, LatencyStats, ThroughputStats};
 use noc_topology::{Mesh, PartitionMap};
 use noc_traffic::TrafficSource;
-use noc_types::{ConfigError, Cycle, NocError, NodeId, Packet, PacketId, Port, Trace, TraceEvent};
+use noc_types::{
+    ConfigError, Cycle, Direction, NocError, NodeId, Packet, PacketId, Port, Trace, TraceEvent,
+};
 
 use crate::config::NocConfig;
 use crate::nic::{PacketRegistration, Reception};
-use crate::partition::{BoundaryEvent, EdgeMailboxes, Partition, StepCtx, StepPool};
+use crate::partition::{BoundaryEvent, DirectedEdge, NodeState, Partition, StepCtx, StepPool};
+
+/// How the mesh is cut into spatial partitions for parallel stepping.
+///
+/// Both shapes produce axis-aligned rectangles; results are bit-identical
+/// for every shape (`tests/determinism.rs`), so the choice only affects
+/// wall-clock. Row strips minimise cut traffic on small meshes; tiles cut
+/// both axes, which balances better when traffic concentrates in a corner
+/// and is the natural shape for larger meshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionShape {
+    /// `n` horizontal row strips (clamped to the mesh's row count).
+    Rows(usize),
+    /// A `rows × cols` grid of rectangular tiles (each axis clamped to the
+    /// mesh side).
+    Tiles {
+        /// Tile rows (cuts along the y axis).
+        rows: usize,
+        /// Tile columns (cuts along the x axis).
+        cols: usize,
+    },
+}
+
+impl PartitionShape {
+    /// The unweighted partition map this shape produces on `mesh`.
+    fn map(self, mesh: &Mesh) -> PartitionMap {
+        match self {
+            Self::Rows(parts) => PartitionMap::rows(mesh, parts),
+            Self::Tiles { rows, cols } => PartitionMap::tiles(mesh, rows, cols),
+        }
+    }
+
+    /// The weighted map with the same grid dimensions as `map`, cuts placed
+    /// by per-node `weights`.
+    fn weighted_map(self, mesh: &Mesh, map: &PartitionMap, weights: &[u64]) -> PartitionMap {
+        match self {
+            Self::Rows(_) => PartitionMap::weighted_rows(mesh, map.tile_rows(), weights),
+            Self::Tiles { .. } => {
+                PartitionMap::weighted_tiles(mesh, map.tile_rows(), map.tile_cols(), weights)
+            }
+        }
+    }
+
+    /// Validates that every requested axis is non-zero.
+    pub(crate) fn validate(self) -> Result<(), NocError> {
+        let zero = match self {
+            Self::Rows(parts) => parts == 0,
+            Self::Tiles { rows, cols } => rows == 0 || cols == 0,
+        };
+        if zero {
+            return Err(ConfigError::InvalidParallelism {
+                jobs: 1,
+                step_threads: 0,
+            }
+            .into());
+        }
+        Ok(())
+    }
+}
 
 /// Scoreboard entry tracking one packet until every destination received it.
 #[derive(Debug, Clone, Copy)]
@@ -57,14 +127,29 @@ pub struct Network {
     mesh: Mesh,
     /// Current per-NIC injection rate (kept so repartitioning can rebuild).
     rate: f64,
-    /// Row-strip shards of the mesh, in ascending node order. One partition
-    /// means the serial inline step; more mean pool-stepped strips.
+    /// The requested partition shape (grid dimensions); the current `map`
+    /// may deviate from its unweighted cuts after a rebalance.
+    shape: PartitionShape,
+    /// The partition map currently instantiated in `partitions`.
+    map: PartitionMap,
+    /// Rectangular shards of the mesh, in `map` order (row-major over the
+    /// partition grid). One partition means the serial inline step; more
+    /// mean pool-stepped shards.
     partitions: Vec<Partition>,
-    /// Boundary mailboxes, one pair per adjacent-partition edge
-    /// (`edges[e]` sits between partitions `e` and `e + 1`).
-    edges: Vec<EdgeMailboxes>,
+    /// Boundary mailboxes, one per *directed* adjacent-partition edge, in
+    /// the fixed order `wire_edges` produced them (ascending source
+    /// partition, then [`Direction::ALL`] order).
+    edges: Vec<DirectedEdge>,
+    /// Recompute the cuts from accumulated node weights every this many
+    /// cycles (`None` disables rebalancing).
+    rebalance_epoch: Option<u64>,
+    /// Idle-router-cycle ledgers of dismantled partitions: the counter
+    /// belongs to the run, not to any one partition shape.
+    banked_idle_router_cycles: u64,
     /// Reused drain buffer for the merge point's mailbox sweeps.
     boundary_scratch: Vec<BoundaryEvent>,
+    /// Reused per-partition cursors for the merge point's reception merge.
+    merge_cursors: Vec<usize>,
     /// Worker pool stepping partitions `1..` (`None` until the first
     /// multi-partition step, and on clones).
     pool: Option<StepPool>,
@@ -96,12 +181,23 @@ impl Clone for Network {
             config: self.config,
             mesh: self.mesh,
             rate: self.rate,
+            shape: self.shape,
+            map: self.map.clone(),
             partitions: self.partitions.clone(),
-            // Mailboxes are empty between steps; a clone gets fresh ones.
-            edges: (0..self.edges.len())
-                .map(|_| EdgeMailboxes::default())
+            // Mailboxes are empty between steps; a clone gets fresh ones
+            // with the same routing.
+            edges: self
+                .edges
+                .iter()
+                .map(|e| DirectedEdge {
+                    to: e.to,
+                    mailbox: BoundaryMailbox::new(),
+                })
                 .collect(),
+            rebalance_epoch: self.rebalance_epoch,
+            banked_idle_router_cycles: self.banked_idle_router_cycles,
             boundary_scratch: Vec::new(),
+            merge_cursors: Vec::new(),
             // Worker pools are per-instance; the clone respawns lazily.
             pool: None,
             clock: self.clock,
@@ -125,7 +221,7 @@ impl Network {
     ///
     /// Returns [`NocError::Config`] when the configuration is invalid.
     pub fn new(config: NocConfig, rate: f64) -> Result<Self, NocError> {
-        Self::build(config, rate, 1)
+        Self::build(config, rate, PartitionShape::Rows(1))
     }
 
     /// Builds a network like [`Network::new`] and configures it to step with
@@ -142,44 +238,78 @@ impl Network {
         rate: f64,
         threads: usize,
     ) -> Result<Self, NocError> {
-        if threads == 0 {
-            return Err(ConfigError::InvalidParallelism {
-                jobs: 1,
-                step_threads: 0,
-            }
-            .into());
-        }
-        Self::build(config, rate, threads)
+        Self::build(config, rate, PartitionShape::Rows(threads))
     }
 
-    fn build(config: NocConfig, rate: f64, threads: usize) -> Result<Self, NocError> {
+    /// Builds a network like [`Network::new`] partitioned into `shape` (see
+    /// [`set_partition_shape`](Network::set_partition_shape)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when the configuration is invalid or the
+    /// shape has a zero axis.
+    pub fn with_partition_shape(
+        config: NocConfig,
+        rate: f64,
+        shape: PartitionShape,
+    ) -> Result<Self, NocError> {
+        Self::build(config, rate, shape)
+    }
+
+    fn build(config: NocConfig, rate: f64, shape: PartitionShape) -> Result<Self, NocError> {
+        shape.validate()?;
         config.validate()?;
         let mesh = Mesh::new(config.k).map_err(NocError::from)?;
-        let map = PartitionMap::rows(&mesh, threads);
-        let partitions = (0..map.len())
-            .map(|index| Partition::new(&config, mesh, &map, index, rate))
+        let map = shape.map(&mesh);
+        let mut partitions = (0..map.len())
+            .map(|index| Partition::new(&config, mesh, map.region(index), rate))
             .collect::<Vec<_>>();
-        let edges = (0..map.len().saturating_sub(1))
-            .map(|_| EdgeMailboxes::default())
-            .collect();
+        let edges = Self::wire_edges(&map, &mut partitions);
         Ok(Self {
             config,
             mesh,
             rate,
+            shape,
+            map,
             partitions,
             edges,
+            rebalance_epoch: None,
+            banked_idle_router_cycles: 0,
             boundary_scratch: Vec::new(),
+            merge_cursors: Vec::new(),
             pool: None,
             clock: Clock::new(),
             inject_steps: 0,
             nic_idle_skip: true,
             scoreboard: BTreeMap::new(),
-            latency: LatencyStats::new(),
+            latency: LatencyStats::with_bins(4096),
             throughput: ThroughputStats::new(),
             measuring: false,
             log_deliveries: false,
             deliveries: Vec::new(),
         })
+    }
+
+    /// Builds the directed boundary edges of `map` and wires every
+    /// partition's outboxes to them: for each partition in ascending order
+    /// and each direction in [`Direction::ALL`] order with a neighbour on
+    /// the partition grid, one [`DirectedEdge`] carrying that partition's
+    /// departing events to the neighbour. The order is a pure function of
+    /// the map, so the merge point's fixed edge sweep is deterministic.
+    fn wire_edges(map: &PartitionMap, partitions: &mut [Partition]) -> Vec<DirectedEdge> {
+        let mut edges = Vec::new();
+        for (p, partition) in partitions.iter_mut().enumerate() {
+            for dir in Direction::ALL {
+                if let Some(to) = map.neighbor(p, dir) {
+                    partition.set_edge_out(dir, edges.len());
+                    edges.push(DirectedEdge {
+                        to: usize::from(to),
+                        mailbox: BoundaryMailbox::new(),
+                    });
+                }
+            }
+        }
+        edges
     }
 
     /// The configuration this network was built from.
@@ -208,21 +338,73 @@ impl Network {
     /// Returns [`NocError::Config`] with
     /// [`ConfigError::InvalidParallelism`] when `threads` is zero.
     pub fn set_step_threads(&mut self, threads: usize) -> Result<(), NocError> {
-        if threads == 0 {
-            return Err(ConfigError::InvalidParallelism {
-                jobs: 1,
-                step_threads: 0,
-            }
-            .into());
-        }
-        let effective = threads.min(usize::from(self.config.k)).max(1);
-        if effective == self.partitions.len() {
+        self.set_partition_shape(PartitionShape::Rows(threads))
+    }
+
+    /// Reconfigures the partition shape: the mesh is re-sharded into
+    /// `shape`'s row strips or tile grid (each axis clamped to the mesh
+    /// side — a tile must own at least one row and column) and subsequent
+    /// [`step`](Network::step)s run one partition per thread on a persistent
+    /// worker pool. Results are bit-identical for every shape; a single
+    /// partition restores the inline serial step.
+    ///
+    /// Like [`set_step_threads`](Network::set_step_threads) this is a
+    /// *configuration-time* operation: when the node ownership actually
+    /// changes, the network is rebuilt cold (same config, seed and rate;
+    /// clock, traffic and statistics state reset) — call it before running,
+    /// or follow it with [`reset`](Network::reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] with
+    /// [`ConfigError::InvalidParallelism`] when any axis of `shape` is zero.
+    pub fn set_partition_shape(&mut self, shape: PartitionShape) -> Result<(), NocError> {
+        shape.validate()?;
+        let map = shape.map(&self.mesh);
+        if map == self.map {
+            // Same node ownership (e.g. `Rows(2)` vs `Tiles { 2, 1 }`, or a
+            // re-request of the current shape): keep all run state, only
+            // record the shape for future rebalances.
+            self.shape = shape;
             return Ok(());
         }
         let nic_idle_skip = self.nic_idle_skip;
-        *self = Self::build(self.config, self.rate, effective)?;
+        let rebalance_epoch = self.rebalance_epoch;
+        *self = Self::build(self.config, self.rate, shape)?;
         self.nic_idle_skip = nic_idle_skip;
+        self.rebalance_epoch = rebalance_epoch;
         Ok(())
+    }
+
+    /// The currently requested partition shape (grid dimensions; the live
+    /// cut positions may deviate after a rebalance).
+    #[must_use]
+    pub fn partition_shape(&self) -> PartitionShape {
+        self.shape
+    }
+
+    /// Enables (`Some(epoch)`) or disables (`None`) deterministic load-aware
+    /// repartitioning: every `epoch` cycles the merge point recomputes the
+    /// cut positions of the current shape from the partitions' cumulative
+    /// per-node activity weights and migrates the per-node state to the new
+    /// cuts. The weights are pure simulated state, so the resulting shape —
+    /// and therefore the run — is bit-identical for every thread count, and
+    /// bit-identical to never rebalancing at all (`tests/determinism.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is `Some(0)`.
+    pub fn set_rebalance_epoch(&mut self, epoch: Option<u64>) {
+        assert!(epoch != Some(0), "rebalance epoch must be non-zero");
+        self.rebalance_epoch = epoch;
+    }
+
+    /// Cumulative activity weight (router steps of the active-set walk) of
+    /// every partition, in partition order — the per-partition busy metric
+    /// the hotspot stressor reports.
+    #[must_use]
+    pub fn partition_loads(&self) -> Vec<u64> {
+        self.partitions.iter().map(Partition::load).collect()
     }
 
     /// Number of threads (partitions) the network currently steps with.
@@ -267,13 +449,26 @@ impl Network {
         let folded = (seed ^ (seed >> 16) ^ (seed >> 32) ^ (seed >> 48)) as u16;
         self.config.base_seed = if folded == 0 { 0x1D0C } else { folded };
         let config = self.config;
-        for partition in &mut self.partitions {
-            partition.reset(&config);
+        let initial_map = self.shape.map(&self.mesh);
+        if initial_map == self.map {
+            for partition in &mut self.partitions {
+                partition.reset(&config);
+            }
+        } else {
+            // A mid-run rebalance moved the cuts; a fresh run must start
+            // from the unweighted cuts to stay bit-identical to a cold
+            // network (the warmed buffers of the displaced shape cannot be
+            // kept — node ownership changes).
+            let mesh = self.mesh;
+            let rate = self.rate;
+            self.partitions = (0..initial_map.len())
+                .map(|index| Partition::new(&config, mesh, initial_map.region(index), rate))
+                .collect();
+            self.edges = Self::wire_edges(&initial_map, &mut self.partitions);
+            self.map = initial_map;
         }
-        debug_assert!(self
-            .edges
-            .iter()
-            .all(|e| e.up.is_empty() && e.down.is_empty()));
+        self.banked_idle_router_cycles = 0;
+        debug_assert!(self.edges.iter().all(|e| e.mailbox.is_empty()));
         self.boundary_scratch.clear();
         self.clock.reset();
         self.inject_steps = 0;
@@ -348,10 +543,11 @@ impl Network {
 
     /// Enables or disables the delivery log. While enabled, every reception
     /// (local NIC accepting the tail flit of a packet copy) is appended to
-    /// the log in the deterministic merge order — fixed edge order, then
-    /// ascending partition order — so consumers see the exact same sequence
-    /// for every step-thread count. The closed-loop serving layer uses this
-    /// to match replies to outstanding requests.
+    /// the log in the deterministic merge order — ascending destination-node
+    /// order within a cycle, the serial within-cycle order — so consumers
+    /// see the exact same sequence for every partition shape and
+    /// step-thread count. The closed-loop serving layer uses this to match
+    /// replies to outstanding requests.
     pub fn set_delivery_logging(&mut self, enabled: bool) {
         self.log_deliveries = enabled;
         if !enabled {
@@ -427,13 +623,11 @@ impl Network {
             per_node[usize::from(event.source)].push(*event);
         }
         for partition in &mut self.partitions {
-            let first = partition.first_node();
+            let region = partition.region();
             for (local, nic) in partition.nics_mut().iter_mut().enumerate() {
-                let node = first + local;
-                let source = TrafficSource::replay(
-                    NodeId::try_from(node).expect("mesh nodes fit NodeId"),
-                    std::mem::take(&mut per_node[node]),
-                );
+                let node = region.node_of(local);
+                let source =
+                    TrafficSource::replay(node, std::mem::take(&mut per_node[usize::from(node)]));
                 nic.set_source(source);
             }
         }
@@ -453,17 +647,14 @@ impl Network {
     ///
     /// Panics when the packet's source node is outside the mesh.
     pub fn inject_packet(&mut self, packet: Packet) {
-        let node = usize::from(packet.source());
-        let partition = self
-            .partitions
-            .iter_mut()
-            .find(|p| {
-                let first = p.first_node();
-                node >= first && node < first + p.nics().len()
-            })
-            .expect("packet source node is inside the mesh");
-        let local = node - partition.first_node();
-        partition.enqueue_external(local, packet);
+        let node = packet.source();
+        assert!(
+            usize::from(node) < self.mesh.node_count(),
+            "packet source node is inside the mesh"
+        );
+        let p = usize::from(self.map.partition_of(node));
+        let local = self.partitions[p].region().local_of(node);
+        self.partitions[p].enqueue_external(local, packet);
     }
 
     /// Merged activity counters of all routers and NICs.
@@ -491,7 +682,8 @@ impl Network {
             .partitions
             .iter()
             .map(|p| p.idle_router_cycles)
-            .sum::<u64>();
+            .sum::<u64>()
+            + self.banked_idle_router_cycles;
         total
     }
 
@@ -501,10 +693,7 @@ impl Network {
     pub fn in_flight_flits(&self) -> usize {
         // Between steps the boundary mailboxes are drained; nothing hides
         // in transit between partitions.
-        debug_assert!(self
-            .edges
-            .iter()
-            .all(|e| e.up.is_empty() && e.down.is_empty()));
+        debug_assert!(self.edges.iter().all(|e| e.mailbox.is_empty()));
         self.partitions.iter().map(Partition::in_flight_flits).sum()
     }
 
@@ -533,7 +722,7 @@ impl Network {
     pub fn debug_dump(&self) {
         for partition in &self.partitions {
             for (local, nic) in partition.nics().iter().enumerate() {
-                let node = partition.first_node() + local;
+                let node = partition.region().node_of(local);
                 if nic.queued_flits() > 0 {
                     eprintln!("nic {node}: {} queued flits", nic.queued_flits());
                 }
@@ -541,7 +730,7 @@ impl Network {
         }
         for partition in &self.partitions {
             for (local, router) in partition.routers().iter().enumerate() {
-                let node = partition.first_node() + local;
+                let node = partition.region().node_of(local);
                 if router.buffered_flits() == 0 {
                     continue;
                 }
@@ -568,7 +757,7 @@ impl Network {
         }
         for partition in &self.partitions {
             for (local, router) in partition.routers().iter().enumerate() {
-                let node = partition.first_node() + local;
+                let node = partition.region().node_of(local);
                 if router.buffered_flits() == 0 {
                     continue;
                 }
@@ -610,9 +799,10 @@ impl Network {
     /// With one partition the cycle runs inline; with more, each partition
     /// steps on its own thread between two barriers and this (main) thread
     /// then performs the deterministic merge: boundary mailboxes are drained
-    /// in fixed edge order and each partition's buffered receptions and
-    /// packet registrations are applied in ascending partition order —
-    /// exactly the order a serial node scan would have produced them in.
+    /// in fixed edge order, buffered packet registrations are applied in
+    /// ascending partition order and buffered receptions in ascending
+    /// destination-node order — exactly the order a serial node scan would
+    /// have produced them in.
     pub fn step(&mut self, inject: bool) {
         let ctx = StepCtx {
             now: self.clock.now(),
@@ -635,29 +825,67 @@ impl Network {
             self.inject_steps += 1;
         }
         self.clock.tick();
+        if let Some(epoch) = self.rebalance_epoch {
+            if self.partitions.len() > 1 && self.clock.now().is_multiple_of(epoch) {
+                self.rebalance();
+            }
+        }
+    }
+
+    /// The load-aware repartition pass, run at the merge point every
+    /// rebalance epoch: recompute the cut positions of the current shape
+    /// from the partitions' cumulative per-node activity weights and, when
+    /// they moved, migrate every node's state to its new partition
+    /// ([`Partition::dismantle`] / [`Partition::assemble`]). The weights are
+    /// pure simulated state and the migration is pure state relocation, so
+    /// the run stays bit-identical to never rebalancing.
+    fn rebalance(&mut self) {
+        let mut weights = vec![0u64; self.mesh.node_count()];
+        for partition in &self.partitions {
+            partition.node_weights_into(&mut weights);
+        }
+        let new_map = self.shape.weighted_map(&self.mesh, &self.map, &weights);
+        if new_map == self.map {
+            return;
+        }
+        let cursor = self.clock.now();
+        let config = self.config;
+        let mut states: Vec<Option<NodeState>> = Vec::new();
+        states.resize_with(self.mesh.node_count(), || None);
+        for partition in self.partitions.drain(..) {
+            self.banked_idle_router_cycles += partition.dismantle(&mut states);
+        }
+        self.partitions = (0..new_map.len())
+            .map(|index| Partition::assemble(&config, new_map.region(index), cursor, &mut states))
+            .collect();
+        self.edges = Self::wire_edges(&new_map, &mut self.partitions);
+        self.map = new_map;
+        // The partition count is fixed by the shape, so the pool carries
+        // over unchanged.
+        debug_assert_eq!(self.partitions.len(), self.map.len());
     }
 
     /// The single-threaded merge point closing one cycle: re-homes boundary
     /// events into their destination partitions (fixed edge order, FIFO
-    /// within an edge) and applies the buffered packet registrations and
-    /// receptions to the shared scoreboard and statistics in ascending
-    /// partition order. Everything applied here commutes within a cycle, so
-    /// the result is bit-identical to the serial interleaving.
+    /// within an edge), applies the buffered packet registrations in
+    /// ascending partition order (they fully commute — keyed map inserts
+    /// plus sums), and applies the buffered receptions in ascending
+    /// destination-node order. Receptions are the one merge input whose
+    /// order is observable (the delivery log), and ascending node is exactly
+    /// the serial within-cycle order: ejections are scheduled only during
+    /// the ascending-node router walk with a fixed delay, so each
+    /// partition's reception list is node-ascending and a k-way min-head
+    /// merge reproduces the global serial sequence for every partition
+    /// shape. Everything else applied here commutes within a cycle, so the
+    /// result is bit-identical to the serial interleaving.
     fn merge_cycle(&mut self) {
         for e in 0..self.edges.len() {
-            self.edges[e].up.drain_into(&mut self.boundary_scratch);
+            self.edges[e].mailbox.drain_into(&mut self.boundary_scratch);
             if !self.boundary_scratch.is_empty() {
+                let to = self.edges[e].to;
                 let mut batch = std::mem::take(&mut self.boundary_scratch);
                 for event in batch.drain(..) {
-                    self.partitions[e + 1].accept_boundary(event);
-                }
-                self.boundary_scratch = batch;
-            }
-            self.edges[e].down.drain_into(&mut self.boundary_scratch);
-            if !self.boundary_scratch.is_empty() {
-                let mut batch = std::mem::take(&mut self.boundary_scratch);
-                for event in batch.drain(..) {
-                    self.partitions[e].accept_boundary(event);
+                    self.partitions[to].accept_boundary(event);
                 }
                 self.boundary_scratch = batch;
             }
@@ -670,13 +898,34 @@ impl Network {
                 }
                 self.partitions[p].registrations = registrations;
             }
-            if !self.partitions[p].receptions.is_empty() {
-                let mut receptions = std::mem::take(&mut self.partitions[p].receptions);
-                for reception in receptions.drain(..) {
-                    self.apply_reception(reception);
+        }
+        self.merge_receptions();
+    }
+
+    /// K-way merges the partitions' node-ascending reception lists into the
+    /// global ascending-node order and applies them. Node ownership is
+    /// disjoint, so the minimum head node is unique; within one node the
+    /// owning partition's list order is kept. With one partition this
+    /// degenerates to an in-order drain.
+    fn merge_receptions(&mut self) {
+        self.merge_cursors.clear();
+        self.merge_cursors.resize(self.partitions.len(), 0);
+        loop {
+            let mut best: Option<(NodeId, usize)> = None;
+            for (p, partition) in self.partitions.iter().enumerate() {
+                if let Some(reception) = partition.receptions.get(self.merge_cursors[p]) {
+                    if best.is_none_or(|(node, _)| reception.node < node) {
+                        best = Some((reception.node, p));
+                    }
                 }
-                self.partitions[p].receptions = receptions;
             }
+            let Some((_, p)) = best else { break };
+            let reception = self.partitions[p].receptions[self.merge_cursors[p]];
+            self.merge_cursors[p] += 1;
+            self.apply_reception(reception);
+        }
+        for partition in &mut self.partitions {
+            partition.receptions.clear();
         }
     }
 
@@ -813,6 +1062,25 @@ mod tests {
     }
 
     #[test]
+    fn bypass_fraction_is_a_true_fraction_under_broadcast_traffic() {
+        // Broadcast flits fork at bypass time and eject locally mid-tree;
+        // counting bypasses per flit instead of per link traversal used to
+        // push the ratio above 1.0 on broadcast-heavy runs.
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_mix(noc_traffic::TrafficMix::broadcast_only());
+        let mut network = Network::new(config, 0.02).unwrap();
+        run_cycles(&mut network, 2000, true);
+        let counters = network.counters();
+        assert!(counters.bypasses > 0, "broadcasts must bypass at low load");
+        let fraction = counters.bypass_fraction();
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "bypass fraction must be a fraction: {fraction}"
+        );
+    }
+
+    #[test]
     fn reset_reproduces_a_cold_network_exactly() {
         let config = NocConfig::proposed_chip()
             .unwrap()
@@ -893,6 +1161,105 @@ mod tests {
         let serial = run(1);
         assert_eq!(run(2), serial, "2-thread run diverged from serial");
         assert_eq!(run(4), serial, "4-thread run diverged from serial");
+    }
+
+    #[test]
+    fn tiled_stepping_matches_serial_exactly() {
+        // Vertical cuts exercise the East/West boundary mailboxes; the full
+        // shape × thread × rebalance cross-product lives in
+        // tests/determinism.rs.
+        let config = NocConfig::proposed_chip().unwrap();
+        let run = |shape: Option<PartitionShape>, epoch: Option<u64>| {
+            let mut network = match shape {
+                Some(shape) => Network::with_partition_shape(config, 0.2, shape).unwrap(),
+                None => Network::new(config, 0.2).unwrap(),
+            };
+            network.set_rebalance_epoch(epoch);
+            network.set_measuring(true);
+            run_cycles(&mut network, 400, true);
+            run_cycles(&mut network, 400, false);
+            (
+                network.injected_packets(),
+                network.in_flight_flits(),
+                format!("{:?}", network.latency()),
+                format!("{:?}", network.throughput()),
+                network.counters(),
+            )
+        };
+        let serial = run(None, None);
+        let tiles = PartitionShape::Tiles { rows: 2, cols: 2 };
+        assert_eq!(
+            run(Some(tiles), None),
+            serial,
+            "2x2-tile run diverged from serial"
+        );
+        assert_eq!(
+            run(Some(tiles), Some(64)),
+            serial,
+            "rebalanced 2x2-tile run diverged from serial"
+        );
+        assert_eq!(
+            run(Some(PartitionShape::Rows(4)), Some(100)),
+            serial,
+            "rebalanced 4-row run diverged from serial"
+        );
+    }
+
+    #[test]
+    fn rebalancing_moves_the_cuts_under_skewed_load() {
+        // Drive a corner-hotspot pattern: the congestion tree rooted at the
+        // far corner keeps the rows away from it busiest (blocked upstream
+        // routers never nap), so the weighted cuts must displace the
+        // unweighted even split once an epoch elapses.
+        let mut hotspot = noc_types::DestinationSet::empty();
+        hotspot.insert(15);
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_mix(noc_traffic::TrafficMix::unicast_only())
+            .with_pattern(noc_traffic::SpatialPattern::hotspot(hotspot, 0.9));
+        let mut network =
+            Network::with_partition_shape(config, 0.05, PartitionShape::Rows(2)).unwrap();
+        network.set_rebalance_epoch(Some(128));
+        run_cycles(&mut network, 1024, true);
+        let even = PartitionShape::Rows(2).map(network.mesh());
+        assert_ne!(
+            network.map, even,
+            "hotspot load should displace the even cuts"
+        );
+        // A warm reset restores the unweighted cuts and replays bit-identically.
+        let mut cold =
+            Network::with_partition_shape(config, 0.05, PartitionShape::Rows(2)).unwrap();
+        cold.reset(0x5EED);
+        network.reset(0x5EED);
+        assert_eq!(network.map, even, "reset must restore the unweighted cuts");
+        run_cycles(&mut network, 300, true);
+        run_cycles(&mut cold, 300, true);
+        assert_eq!(network.counters(), cold.counters());
+        assert_eq!(network.injected_packets(), cold.injected_packets());
+    }
+
+    #[test]
+    fn partition_shape_requests_are_validated_and_clamped() {
+        let config = NocConfig::proposed_chip().unwrap();
+        assert!(matches!(
+            Network::with_partition_shape(config, 0.0, PartitionShape::Tiles { rows: 0, cols: 2 }),
+            Err(NocError::Config(ConfigError::InvalidParallelism { .. }))
+        ));
+        // Axes clamp to the mesh side (k = 4).
+        let network =
+            Network::with_partition_shape(config, 0.0, PartitionShape::Tiles { rows: 9, cols: 9 })
+                .unwrap();
+        assert_eq!(network.step_threads(), 16);
+        // Same node ownership under a different name keeps all state.
+        let mut network = Network::with_step_threads(config, 0.0, 2).unwrap();
+        network
+            .set_partition_shape(PartitionShape::Tiles { rows: 2, cols: 1 })
+            .unwrap();
+        assert_eq!(network.step_threads(), 2);
+        assert_eq!(
+            network.partition_shape(),
+            PartitionShape::Tiles { rows: 2, cols: 1 }
+        );
     }
 
     #[test]

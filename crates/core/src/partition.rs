@@ -1,17 +1,19 @@
 //! Spatial partitions of the network and the persistent worker pool that
 //! steps them in parallel.
 //!
-//! The mesh is sharded into contiguous row strips
-//! ([`noc_topology::PartitionMap`]); each [`Partition`] owns the routers,
-//! NICs, event-wheel lanes and flit slab of its node range and can run one
-//! full network cycle touching nothing but its own state — except for events
-//! crossing a partition boundary, which it accumulates into per-direction
-//! outboxes and hands to the neighbouring strip through a
-//! [`BoundaryMailbox`] at the cycle barrier. The `Network` then drains the
-//! mailboxes and merges buffered receptions/registrations in **fixed
-//! partition order** at a single-threaded merge point, which is what makes a
-//! partitioned run bit-identical to the serial one for any thread count (see
-//! `ARCHITECTURE.md`, "Partitioned parallel stepping").
+//! The mesh is sharded into axis-aligned rectangles — row strips or 2-D
+//! tiles ([`noc_topology::PartitionMap`]); each [`Partition`] owns the
+//! routers, NICs, event-wheel lanes and flit slab of its [`TileRegion`] and
+//! can run one full network cycle touching nothing but its own state —
+//! except for events crossing a partition boundary, which it accumulates
+//! into per-direction outboxes and hands to the grid neighbour on that side
+//! through a per-directed-edge [`BoundaryMailbox`] at the cycle barrier. The
+//! `Network` then drains the mailboxes in fixed edge order and merges
+//! buffered receptions/registrations at a single-threaded merge point
+//! (receptions in ascending destination-node order — exactly the serial
+//! within-cycle order), which is what makes a partitioned run bit-identical
+//! to the serial one for any shape and thread count (see `ARCHITECTURE.md`,
+//! "Partitioned parallel stepping").
 //!
 //! Within one cycle every delivery commutes: a router input port receives at
 //! most one flit and one lookahead per cycle (one link per port, one
@@ -20,6 +22,14 @@
 //! and histograms. Cross-partition events therefore only need to arrive in
 //! the right *cycle* — their order within a wheel slot is free — and the
 //! per-edge FIFO mailboxes keep even that order deterministic.
+//!
+//! Each partition also accumulates a cumulative per-node **activity weight**
+//! (router steps of the active-set walk). The weights are themselves pure
+//! simulated state — identical for every shape and thread count — so the
+//! `Network` can periodically recompute the cut positions from them
+//! (deterministic load-aware repartitioning) and migrate the per-node state
+//! via [`Partition::dismantle`] / [`Partition::assemble`] without perturbing
+//! a single bit of the simulation.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -27,8 +37,8 @@ use std::thread::JoinHandle;
 
 use noc_router::{Departure, Lookahead, Router, RouterOutput};
 use noc_sim::{BoundaryMailbox, EventWheel, FlitHandle, FlitSlab};
-use noc_topology::Mesh;
-use noc_types::{Credit, Cycle, Flit, NodeId, Packet, Port, PORT_COUNT};
+use noc_topology::{Mesh, TileRegion};
+use noc_types::{Credit, Cycle, Direction, Flit, NodeId, Packet, Port, PORT_COUNT};
 
 use crate::config::NocConfig;
 use crate::nic::{Nic, PacketRegistration, Reception};
@@ -105,13 +115,16 @@ pub(crate) enum BoundaryEvent {
     },
 }
 
-/// The pair of directed mailboxes on one partition boundary. Edge `e` sits
-/// between partitions `e` and `e + 1`: `up` carries events from `e` to
-/// `e + 1` (northward), `down` the reverse.
-#[derive(Debug, Default)]
-pub(crate) struct EdgeMailboxes {
-    pub(crate) up: BoundaryMailbox<BoundaryEvent>,
-    pub(crate) down: BoundaryMailbox<BoundaryEvent>,
+/// One directed partition edge: the mailbox a single producing partition
+/// pushes its per-cycle boundary batch into, and the partition that drains
+/// it at the merge point. The network materialises one `DirectedEdge` per
+/// (partition, direction-with-a-grid-neighbour) pair, in ascending partition
+/// order then [`Direction::ALL`] order — a fixed drain order for the merge.
+#[derive(Debug)]
+pub(crate) struct DirectedEdge {
+    /// Destination partition that receives this edge's events.
+    pub(crate) to: usize,
+    pub(crate) mailbox: BoundaryMailbox<BoundaryEvent>,
 }
 
 /// Per-cycle parameters shared by every partition's step, copied into the
@@ -128,16 +141,16 @@ pub(crate) struct StepCtx {
     pub(crate) credit_delay: u64,
 }
 
-/// One contiguous row strip of the mesh: the routers and NICs of a node
-/// range plus private copies of all per-cycle machinery (event-wheel lanes,
-/// flit slab, active-set masks, NIC nap bookkeeping), so a full cycle can
-/// run without touching any other partition's state.
+/// One axis-aligned rectangle of the mesh: the routers and NICs of a
+/// [`TileRegion`] plus private copies of all per-cycle machinery
+/// (event-wheel lanes, flit slab, active-set masks, NIC nap bookkeeping),
+/// so a full cycle can run without touching any other partition's state.
 #[derive(Debug, Clone)]
 pub(crate) struct Partition {
-    /// Index of this partition in the network's partition vector.
-    index: usize,
-    /// First (global) node id owned by this partition.
-    first_node: usize,
+    /// The rectangular node region owned by this partition. Local indices
+    /// (`0..region.len()`) follow the region's row-major order, which
+    /// ascends with global node id.
+    region: TileRegion,
     routers: Vec<Router>,
     nics: Vec<Nic>,
     word_lane: EventWheel<WordEvent>,
@@ -145,7 +158,7 @@ pub(crate) struct Partition {
     slab: FlitSlab,
     router_scratch: RouterOutput,
     /// Active-set words over this partition's routers (bit indices are
-    /// partition-local: `node - first_node`).
+    /// partition-local: `region.local_of(node)`).
     router_wake: Vec<u64>,
     /// Bit set ⇔ the local NIC has queued flits (drain-phase active set).
     nic_active: Vec<u64>,
@@ -163,39 +176,40 @@ pub(crate) struct Partition {
     /// Minimum of `nic_wake_at` over sleeping NICs (`u64::MAX` when all are
     /// awake).
     next_nic_wake: u64,
-    /// Packet receptions completed this cycle, in local delivery order; the
-    /// network merges them into the scoreboard/statistics in partition
-    /// order at the deterministic merge point.
+    /// Cumulative per-node activity weight: router steps performed by the
+    /// phase-B2 active-set walk since the last reset. Pure simulated state
+    /// (identical for every shape and thread count), it drives the
+    /// deterministic load-aware repartitioning and the per-partition busy
+    /// reporting; migrated with its node on repartition.
+    weights: Vec<u64>,
+    /// Packet receptions completed this cycle, in local delivery order
+    /// (ascending destination node: ejections are scheduled by the B2
+    /// router walk); the network merges them in ascending global-node order
+    /// at the deterministic merge point.
     pub(crate) receptions: Vec<Reception>,
     /// Packets registered by local NICs this cycle, in local tick order.
     pub(crate) registrations: Vec<PacketRegistration>,
-    /// Events bound for the partition above, accumulated over the cycle and
-    /// pushed to the edge mailbox in one batch.
-    outbox_up: Vec<BoundaryEvent>,
-    /// Events bound for the partition below.
-    outbox_down: Vec<BoundaryEvent>,
+    /// Per-direction boundary batches, accumulated over the cycle and pushed
+    /// to the direction's edge mailbox in one batch (indexed by
+    /// `Direction::port().index()`).
+    outboxes: [Vec<BoundaryEvent>; 4],
+    /// For each direction, the index into the network's edge vector this
+    /// partition produces into (`None` at the partition-grid edge).
+    edge_out: [Option<u32>; 4],
 }
 
 impl Partition {
-    /// Builds partition `index` of `map` over `mesh`, with every NIC
-    /// injecting at `rate`.
-    pub(crate) fn new(
-        config: &NocConfig,
-        mesh: Mesh,
-        map: &noc_topology::PartitionMap,
-        index: usize,
-        rate: f64,
-    ) -> Self {
-        let range = map.node_range(index);
-        let first_node = range.start;
-        let count = range.len();
-        let routers = range
-            .clone()
-            .map(|node| Router::new(&config.router, mesh, mesh.coord_of(node as NodeId)))
+    /// Builds the partition owning `region`, with every NIC injecting at
+    /// `rate`. Edge routing (`edge_out`) is wired afterwards by the network.
+    pub(crate) fn new(config: &NocConfig, mesh: Mesh, region: TileRegion, rate: f64) -> Self {
+        let count = region.len();
+        let routers = region
+            .nodes()
+            .map(|node| Router::new(&config.router, mesh, mesh.coord_of(node)))
             .collect();
-        let nics = range
-            .clone()
-            .map(|node| Nic::new(config, mesh, node as NodeId, rate))
+        let nics = region
+            .nodes()
+            .map(|node| Nic::new(config, mesh, node, rate))
             .collect();
         let horizon = config
             .link_delay_cycles()
@@ -203,8 +217,7 @@ impl Partition {
             .max(1);
         let words = count.div_ceil(64);
         Self {
-            index,
-            first_node,
+            region,
             routers,
             nics,
             word_lane: EventWheel::new(horizon),
@@ -218,10 +231,11 @@ impl Partition {
             nic_wake_at: vec![0; count],
             nic_slept_at: vec![0; count],
             next_nic_wake: u64::MAX,
+            weights: vec![0; count],
             receptions: Vec::new(),
             registrations: Vec::new(),
-            outbox_up: Vec::new(),
-            outbox_down: Vec::new(),
+            outboxes: [const { Vec::new() }; 4],
+            edge_out: [None; 4],
         }
     }
 
@@ -246,10 +260,12 @@ impl Partition {
         self.nic_wake_at.fill(0);
         self.nic_slept_at.fill(0);
         self.next_nic_wake = u64::MAX;
+        self.weights.fill(0);
         self.receptions.clear();
         self.registrations.clear();
-        self.outbox_up.clear();
-        self.outbox_down.clear();
+        for outbox in &mut self.outboxes {
+            outbox.clear();
+        }
     }
 
     /// The partition's routers, in ascending node order.
@@ -284,9 +300,30 @@ impl Partition {
         self.nic_active[local / 64] |= 1 << (local % 64);
     }
 
-    /// First (global) node id owned by this partition.
-    pub(crate) fn first_node(&self) -> usize {
-        self.first_node
+    /// The rectangular node region owned by this partition.
+    pub(crate) fn region(&self) -> TileRegion {
+        self.region
+    }
+
+    /// Routes this partition's boundary events for direction `dir` to the
+    /// network edge at `edge` (called while wiring a freshly built or
+    /// repartitioned network).
+    pub(crate) fn set_edge_out(&mut self, dir: Direction, edge: usize) {
+        self.edge_out[dir.port().index()] = Some(u32::try_from(edge).expect("edge index fits u32"));
+    }
+
+    /// Total accumulated activity weight of this partition's nodes (the
+    /// per-partition busy metric the hotspot stressor reports).
+    pub(crate) fn load(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Scatters this partition's cumulative per-node weights into a
+    /// mesh-sized `out` slice indexed by global node id.
+    pub(crate) fn node_weights_into(&self, out: &mut [u64]) {
+        for (local, &w) in self.weights.iter().enumerate() {
+            out[usize::from(self.region.node_of(local))] = w;
+        }
     }
 
     /// Changes the injection rate of every local NIC (waking sleepers first;
@@ -313,7 +350,7 @@ impl Partition {
     /// for other partitions are batched into the edge mailboxes; everything
     /// else is indistinguishable from the serial step restricted to this
     /// node range.
-    pub(crate) fn step_cycle(&mut self, ctx: &StepCtx, edges: &[EdgeMailboxes]) {
+    pub(crate) fn step_cycle(&mut self, ctx: &StepCtx, edges: &[DirectedEdge]) {
         let now = ctx.now;
 
         // Phase A: deliver everything scheduled for this cycle — the word
@@ -380,6 +417,7 @@ impl Partition {
                 let offset = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let local = w * 64 + offset;
+                self.weights[local] += 1;
                 self.step_router(local, now, ctx.link_delay, ctx.credit_delay, &mut output);
                 if self.routers[local].buffered_flits() > 0 {
                     self.router_wake[w] |= 1 << offset;
@@ -389,17 +427,19 @@ impl Partition {
         self.idle_router_cycles += (self.routers.len() - stepped) as u64;
         self.router_scratch = output;
 
-        // Hand this cycle's boundary batches to the edge mailboxes. The
-        // strip shape guarantees at most two neighbours: `edges[index]`
-        // above, `edges[index - 1]` below.
-        if self.index < edges.len() {
-            edges[self.index].up.push_batch(&mut self.outbox_up);
+        // Hand this cycle's boundary batches to the per-direction edge
+        // mailboxes (axis-aligned cuts: at most four grid neighbours).
+        for d in 0..4 {
+            match self.edge_out[d] {
+                Some(edge) => edges[edge as usize]
+                    .mailbox
+                    .push_batch(&mut self.outboxes[d]),
+                None => debug_assert!(
+                    self.outboxes[d].is_empty(),
+                    "boundary events pushed off the partition grid"
+                ),
+            }
         }
-        if self.index > 0 {
-            edges[self.index - 1].down.push_batch(&mut self.outbox_down);
-        }
-        debug_assert!(self.outbox_up.is_empty(), "northward events off the mesh");
-        debug_assert!(self.outbox_down.is_empty(), "southward events off the mesh");
     }
 
     /// Schedules a boundary event arriving from a neighbouring partition
@@ -460,7 +500,7 @@ impl Partition {
         }
         if let Some(injection) = injection {
             let arrival = now + 1;
-            let node = (self.first_node + local) as NodeId;
+            let node = self.region.node_of(local);
             let handle = self.slab.insert(injection.flit);
             self.flit_lane.schedule(
                 arrival,
@@ -491,9 +531,11 @@ impl Partition {
 
     /// Runs local router `local`'s allocation/traversal cycle (phase B2) and
     /// schedules its departures and credits, reusing `output` as scratch.
-    /// Events for nodes outside this partition's range go to the outboxes;
-    /// boundary flits are taken out of the local slab by value (they are
-    /// re-homed into the destination slab at the merge point).
+    /// Events for nodes outside this partition's region go to the
+    /// departing link's per-direction outbox (axis-aligned cuts guarantee
+    /// the grid neighbour on that side owns the destination); boundary flits
+    /// are taken out of the local slab by value (they are re-homed into the
+    /// destination slab at the merge point).
     fn step_router(
         &mut self,
         local: usize,
@@ -503,7 +545,7 @@ impl Partition {
         output: &mut RouterOutput,
     ) {
         self.routers[local].step_into(now, &mut self.slab, output);
-        let node = (self.first_node + local) as NodeId;
+        let node = self.region.node_of(local);
         for Departure {
             port,
             flit,
@@ -547,11 +589,7 @@ impl Partition {
                     }
                 } else {
                     let payload = self.slab.take(flit);
-                    let outbox = if usize::from(dest_node) < self.first_node {
-                        &mut self.outbox_down
-                    } else {
-                        &mut self.outbox_up
-                    };
+                    let outbox = &mut self.outboxes[dir.port().index()];
                     outbox.push(BoundaryEvent::Flit {
                         at: arrival,
                         node: dest_node,
@@ -590,12 +628,7 @@ impl Partition {
                         },
                     );
                 } else {
-                    let outbox = if usize::from(upstream) < self.first_node {
-                        &mut self.outbox_down
-                    } else {
-                        &mut self.outbox_up
-                    };
-                    outbox.push(BoundaryEvent::Credit {
+                    self.outboxes[dir.port().index()].push(BoundaryEvent::Credit {
                         at: arrival,
                         node: upstream,
                         port: up_port,
@@ -606,17 +639,16 @@ impl Partition {
         }
     }
 
-    /// Whether global node id `node` lies in this partition's range.
+    /// Whether global node id `node` lies in this partition's region.
     #[inline]
     fn owns(&self, node: NodeId) -> bool {
-        let node = usize::from(node);
-        node >= self.first_node && node < self.first_node + self.routers.len()
+        self.region.contains(node)
     }
 
     /// Marks the router of global node `node` as having work this cycle.
     #[inline]
     fn wake_router(&mut self, node: NodeId) {
-        let local = usize::from(node) - self.first_node;
+        let local = self.region.local_of(node);
         self.router_wake[local / 64] |= 1 << (local % 64);
     }
 
@@ -696,23 +728,23 @@ impl Partition {
                 lookahead,
             } => {
                 self.wake_router(node);
-                let local = usize::from(node) - self.first_node;
+                let local = self.region.local_of(node);
                 self.routers[local].accept_lookahead(port, lookahead);
             }
             WordEvent::CreditToRouter { node, port, credit } => {
                 self.wake_router(node);
-                let local = usize::from(node) - self.first_node;
+                let local = self.region.local_of(node);
                 self.routers[local].accept_credit(port, credit);
             }
             WordEvent::CreditToNic { node, credit } => {
-                let local = usize::from(node) - self.first_node;
+                let local = self.region.local_of(node);
                 self.nics[local].accept_credit(credit);
             }
         }
     }
 
     fn deliver_flit(&mut self, event: FlitEvent, now: Cycle) {
-        let local = usize::from(event.node) - self.first_node;
+        let local = self.region.local_of(event.node);
         if event.port_code == NIC_PORT_CODE {
             // NIC reception reads only override-independent payload fields
             // (kind, packet id, packet length), so a fork replica's shared
@@ -732,6 +764,179 @@ impl Partition {
             self.routers[local].accept_flit(port, flit);
         }
     }
+
+    /// Dismantles this partition into per-node state for repartitioning:
+    /// every router, NIC, mask bit, weight and pending event is parked in
+    /// `states` (indexed by global node id; pending flit payloads are
+    /// materialised out of the slab, event lists in ascending cycle order).
+    /// Returns the partition's idle-router-cycle ledger, which the network
+    /// banks — it belongs to the run, not to any one partition shape.
+    ///
+    /// Must be called between steps (after the merge point): the per-cycle
+    /// buffers are empty and every live slab handle is a pending flit event.
+    pub(crate) fn dismantle(mut self, states: &mut [Option<NodeState>]) -> u64 {
+        debug_assert!(self.receptions.is_empty() && self.registrations.is_empty());
+        debug_assert!(self.outboxes.iter().all(Vec::is_empty));
+        for (local, (router, nic)) in std::mem::take(&mut self.routers)
+            .into_iter()
+            .zip(std::mem::take(&mut self.nics))
+            .enumerate()
+        {
+            let node = self.region.node_of(local);
+            let bit = 1u64 << (local % 64);
+            states[usize::from(node)] = Some(NodeState {
+                router,
+                nic,
+                nic_awake: self.nic_awake[local / 64] & bit != 0,
+                nic_wake_at: self.nic_wake_at[local],
+                nic_slept_at: self.nic_slept_at[local],
+                nic_active: self.nic_active[local / 64] & bit != 0,
+                router_woken: self.router_wake[local / 64] & bit != 0,
+                weight: self.weights[local],
+                word_events: Vec::new(),
+                flit_events: Vec::new(),
+            });
+        }
+        let mut word_events = Vec::new();
+        self.word_lane.drain_window_into(&mut word_events);
+        for (at, event) in word_events {
+            let node = match event {
+                WordEvent::Lookahead { node, .. }
+                | WordEvent::CreditToRouter { node, .. }
+                | WordEvent::CreditToNic { node, .. } => node,
+            };
+            states[usize::from(node)]
+                .as_mut()
+                .expect("event targets an owned node")
+                .word_events
+                .push((at, event));
+        }
+        let mut flit_events = Vec::new();
+        self.flit_lane.drain_window_into(&mut flit_events);
+        for (at, event) in flit_events {
+            let flit = self.slab.take(event.handle);
+            states[usize::from(event.node)]
+                .as_mut()
+                .expect("event targets an owned node")
+                .flit_events
+                .push((at, event.port_code, flit));
+        }
+        debug_assert_eq!(self.slab.live(), 0, "every payload left with its event");
+        self.idle_router_cycles
+    }
+
+    /// Rebuilds the partition owning `region` from dismantled per-node
+    /// `states`, with both event-wheel cursors aligned to `cursor`
+    /// (the cycle the network will step next). Nodes are consumed in
+    /// ascending order, so within every rescheduled wheel slot events stay
+    /// grouped by ascending node — preserving the serial within-cycle
+    /// delivery order the reception merge depends on. Edge routing is wired
+    /// afterwards by the network.
+    pub(crate) fn assemble(
+        config: &NocConfig,
+        region: TileRegion,
+        cursor: Cycle,
+        states: &mut [Option<NodeState>],
+    ) -> Self {
+        let count = region.len();
+        let words = count.div_ceil(64);
+        let horizon = config
+            .link_delay_cycles()
+            .max(config.credit_delay_cycles)
+            .max(1);
+        let mut word_lane = EventWheel::new(horizon);
+        word_lane.align_to(cursor);
+        let mut flit_lane = EventWheel::new(horizon);
+        flit_lane.align_to(cursor);
+        let mut slab = FlitSlab::new();
+        let mut routers = Vec::with_capacity(count);
+        let mut nics = Vec::with_capacity(count);
+        let mut router_wake = vec![0u64; words];
+        let mut nic_active = vec![0u64; words];
+        let mut nic_awake = vec![0u64; words];
+        let mut nic_wake_at = vec![0u64; count];
+        let mut nic_slept_at = vec![0u64; count];
+        let mut weights = vec![0u64; count];
+        let mut next_nic_wake = u64::MAX;
+        for local in 0..count {
+            let node = region.node_of(local);
+            let state = states[usize::from(node)]
+                .take()
+                .expect("every node is dismantled exactly once");
+            routers.push(state.router);
+            nics.push(state.nic);
+            let bit = 1u64 << (local % 64);
+            if state.nic_awake {
+                nic_awake[local / 64] |= bit;
+            } else {
+                next_nic_wake = next_nic_wake.min(state.nic_wake_at);
+            }
+            if state.nic_active {
+                nic_active[local / 64] |= bit;
+            }
+            if state.router_woken {
+                router_wake[local / 64] |= bit;
+            }
+            nic_wake_at[local] = state.nic_wake_at;
+            nic_slept_at[local] = state.nic_slept_at;
+            weights[local] = state.weight;
+            for (at, event) in state.word_events {
+                word_lane.schedule(at, event);
+            }
+            for (at, port_code, flit) in state.flit_events {
+                let handle = slab.insert(flit);
+                flit_lane.schedule(
+                    at,
+                    FlitEvent {
+                        node,
+                        port_code,
+                        handle,
+                    },
+                );
+            }
+        }
+        Self {
+            region,
+            routers,
+            nics,
+            word_lane,
+            flit_lane,
+            slab,
+            router_scratch: RouterOutput::default(),
+            router_wake,
+            nic_active,
+            idle_router_cycles: 0,
+            nic_awake,
+            nic_wake_at,
+            nic_slept_at,
+            next_nic_wake,
+            weights,
+            receptions: Vec::new(),
+            registrations: Vec::new(),
+            outboxes: [const { Vec::new() }; 4],
+            edge_out: [None; 4],
+        }
+    }
+}
+
+/// One node's complete simulation state in transit between partition shapes:
+/// its router and NIC, active-set and nap bookkeeping, cumulative activity
+/// weight, and every pending event targeting it (flit payloads materialised,
+/// lists in ascending cycle order). Produced by [`Partition::dismantle`] and
+/// consumed by [`Partition::assemble`]; pure state relocation, so a
+/// repartitioned run stays bit-identical.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    router: Router,
+    nic: Nic,
+    nic_awake: bool,
+    nic_wake_at: u64,
+    nic_slept_at: u64,
+    nic_active: bool,
+    router_woken: bool,
+    weight: u64,
+    word_events: Vec<(Cycle, WordEvent)>,
+    flit_events: Vec<(Cycle, u8, Flit)>,
 }
 
 /// Mask with one set bit per NIC of a `count`-node partition, spread over
@@ -755,7 +960,7 @@ fn full_awake_mask(words: usize, count: usize) -> Vec<u64> {
 struct StepJob {
     partitions: *mut Partition,
     count: usize,
-    edges: *const EdgeMailboxes,
+    edges: *const DirectedEdge,
     edge_count: usize,
     ctx: StepCtx,
 }
@@ -763,7 +968,7 @@ struct StepJob {
 // SAFETY: the pointers refer to the `Network`'s partition and edge vectors,
 // which outlive the job (the main thread publishes a job, waits for the done
 // barrier, and only then regains mutable access); `Partition` and
-// `EdgeMailboxes` own no thread-affine state (asserted below), and each
+// `DirectedEdge` own no thread-affine state (asserted below), and each
 // worker dereferences a distinct element.
 unsafe impl Send for StepJob {}
 
@@ -774,8 +979,8 @@ fn assert_partition_state_is_send_sync() {
     fn assert_send<T: Send>() {}
     fn assert_sync<T: Sync>() {}
     assert_send::<Partition>();
-    assert_send::<EdgeMailboxes>();
-    assert_sync::<EdgeMailboxes>();
+    assert_send::<DirectedEdge>();
+    assert_sync::<DirectedEdge>();
 }
 
 /// State shared between the main thread and the pool workers.
@@ -840,7 +1045,7 @@ impl StepPool {
     ///
     /// `partitions.len()` must be at least [`Self::threads`]... exactly: one
     /// partition per thread.
-    pub(crate) fn step(&self, partitions: &mut [Partition], edges: &[EdgeMailboxes], ctx: StepCtx) {
+    pub(crate) fn step(&self, partitions: &mut [Partition], edges: &[DirectedEdge], ctx: StepCtx) {
         debug_assert_eq!(partitions.len(), self.threads());
         let base = partitions.as_mut_ptr();
         let job = StepJob {

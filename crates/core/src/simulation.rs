@@ -74,6 +74,45 @@ impl Simulation {
         self.network.step_threads()
     }
 
+    /// Reconfigures the partition shape of the underlying network's mesh
+    /// (see [`Network::set_partition_shape`]). Results are bit-identical for
+    /// any shape. Re-sharding resets simulation state, so call this before
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when any axis of `shape` is zero.
+    pub fn set_partition_shape(
+        &mut self,
+        shape: crate::network::PartitionShape,
+    ) -> Result<(), NocError> {
+        self.network.set_partition_shape(shape)
+    }
+
+    /// Builder form of [`set_partition_shape`](Self::set_partition_shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::Config`] when any axis of `shape` is zero.
+    pub fn with_partition_shape(
+        mut self,
+        shape: crate::network::PartitionShape,
+    ) -> Result<Self, NocError> {
+        self.network.set_partition_shape(shape)?;
+        Ok(self)
+    }
+
+    /// Enables or disables deterministic load-aware repartitioning (see
+    /// [`Network::set_rebalance_epoch`]). The knob survives
+    /// [`reset`](Self::reset), so sweep batching keeps it per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is `Some(0)`.
+    pub fn set_rebalance_epoch(&mut self, epoch: Option<u64>) {
+        self.network.set_rebalance_epoch(epoch);
+    }
+
     /// Rewinds the simulation to cycle zero with the PRBS generators
     /// re-seeded from `seed`, keeping the network's warmed-up buffer
     /// capacity (see [`Network::reset`]). A following [`run`](Self::run)

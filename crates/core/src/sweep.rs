@@ -38,6 +38,7 @@ use noc_types::{ConfigError, NocError};
 use serde::{Deserialize, Serialize};
 
 use crate::config::NocConfig;
+use crate::network::PartitionShape;
 use crate::result::SimulationResult;
 use crate::simulation::Simulation;
 
@@ -174,6 +175,14 @@ pub struct SweepRunner {
     /// value is capped at run time so `jobs × step_threads` never
     /// oversubscribes the machine.
     step_threads: usize,
+    /// Explicit partition shape per sweep worker (see
+    /// [`with_partition_shape`](SweepRunner::with_partition_shape)); when
+    /// set it overrides `step_threads` and bypasses the oversubscription
+    /// cap — an explicit shape is honoured exactly.
+    shape: Option<PartitionShape>,
+    /// Deterministic load-aware repartition epoch applied to every worker's
+    /// simulation (see [`with_rebalance_epoch`](SweepRunner::with_rebalance_epoch)).
+    rebalance_epoch: Option<u64>,
     warmup_cycles: u64,
     measure_cycles: u64,
 }
@@ -187,6 +196,8 @@ impl SweepRunner {
         Self {
             jobs: jobs.max(1),
             step_threads: 1,
+            shape: None,
+            rebalance_epoch: None,
             warmup_cycles: 1_000,
             measure_cycles: 5_000,
         }
@@ -236,6 +247,37 @@ impl SweepRunner {
         }
         self.step_threads = step_threads;
         Ok(self)
+    }
+
+    /// Requests an explicit partition shape for each sweep worker's
+    /// simulation ([`Simulation::set_partition_shape`]) — row strips or a
+    /// 2-D tile grid. Unlike [`with_step_threads`](Self::with_step_threads),
+    /// an explicit shape is honoured exactly (no oversubscription cap):
+    /// curves are bit-identical for every shape, so the choice only affects
+    /// wall-clock, and a caller asking for `tiles:2x2` gets `tiles:2x2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParallelism`] when any axis of `shape`
+    /// is zero.
+    pub fn with_partition_shape(mut self, shape: PartitionShape) -> Result<Self, NocError> {
+        shape.validate()?;
+        self.shape = Some(shape);
+        Ok(self)
+    }
+
+    /// Applies a deterministic load-aware repartition epoch to every
+    /// worker's simulation ([`Simulation::set_rebalance_epoch`]). Curves are
+    /// bit-identical with or without rebalancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is `Some(0)`.
+    #[must_use]
+    pub fn with_rebalance_epoch(mut self, epoch: Option<u64>) -> Self {
+        assert!(epoch != Some(0), "rebalance epoch must be non-zero");
+        self.rebalance_epoch = epoch;
+        self
     }
 
     /// Number of worker threads this runner uses.
@@ -301,7 +343,7 @@ impl SweepRunner {
         let mut outcomes: Vec<Option<SweepPointOutcome>> = vec![None; rates.len()];
 
         if jobs <= 1 {
-            let mut sim = Simulation::new(config)?.with_step_threads(step_threads)?;
+            let mut sim = self.build_simulation(config, step_threads)?;
             for (index, slot) in outcomes.iter_mut().enumerate() {
                 *slot = Some(self.run_point(&mut sim, &config, rates, index)?);
             }
@@ -315,8 +357,7 @@ impl SweepRunner {
                     let handles: Vec<_> = (0..jobs)
                         .map(|worker| {
                             scope.spawn(move || {
-                                let mut sim =
-                                    Simulation::new(config)?.with_step_threads(step_threads)?;
+                                let mut sim = self.build_simulation(config, step_threads)?;
                                 let mut mine = Vec::new();
                                 for index in (worker..rates.len()).step_by(jobs) {
                                     mine.push((
@@ -351,6 +392,23 @@ impl SweepRunner {
             points,
             total_wall_ms: sweep_start.elapsed().as_secs_f64() * 1_000.0,
         })
+    }
+
+    /// Builds one sweep worker's batch simulation: an explicit partition
+    /// shape wins over the (capped) step-thread request, and the rebalance
+    /// epoch — which survives per-point resets — is applied once here.
+    fn build_simulation(
+        &self,
+        config: NocConfig,
+        step_threads: usize,
+    ) -> Result<Simulation, NocError> {
+        let mut sim = Simulation::new(config)?;
+        match self.shape {
+            Some(shape) => sim.set_partition_shape(shape)?,
+            None => sim.set_step_threads(step_threads)?,
+        }
+        sim.set_rebalance_epoch(self.rebalance_epoch);
+        Ok(sim)
     }
 
     /// Simulates sweep point `index` of `rates` on a (possibly warm) batch
@@ -620,6 +678,39 @@ mod tests {
             .run(config, &rates)
             .unwrap();
         assert_eq!(serial.curve, partitioned.curve);
+    }
+
+    #[test]
+    fn tiled_and_rebalanced_sweep_workers_agree_with_serial_ones_exactly() {
+        let config = NocConfig::proposed_chip()
+            .unwrap()
+            .with_seed_mode(SeedMode::PerNode);
+        let rates = [0.02, 0.14];
+        let serial = SweepRunner::new(1)
+            .with_windows(100, 300)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        let tiled = SweepRunner::new(1)
+            .with_partition_shape(PartitionShape::Tiles { rows: 2, cols: 2 })
+            .unwrap()
+            .with_windows(100, 300)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        assert_eq!(serial.curve, tiled.curve);
+        let rebalanced = SweepRunner::new(1)
+            .with_partition_shape(PartitionShape::Tiles { rows: 2, cols: 2 })
+            .unwrap()
+            .with_rebalance_epoch(Some(64))
+            .with_windows(100, 300)
+            .unwrap()
+            .run(config, &rates)
+            .unwrap();
+        assert_eq!(serial.curve, rebalanced.curve);
+        assert!(SweepRunner::new(1)
+            .with_partition_shape(PartitionShape::Rows(0))
+            .is_err());
     }
 
     #[test]

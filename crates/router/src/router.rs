@@ -451,7 +451,6 @@ impl Router {
             // this very cycle and its (never used) buffer slot is credited
             // back immediately.
             self.arrived_lookaheads[i] = None;
-            self.counters.bypasses += 1;
             if is_head {
                 self.counters.route_computations += 1;
             }
@@ -757,6 +756,13 @@ impl Router {
                 None
             } else {
                 self.counters.link_traversals += 1;
+                // Counted per link traversal (not per bypassing flit) so
+                // `bypasses / link_traversals` is a true fraction: a bypass
+                // that forks to n links counts n times, and one that only
+                // ejects locally counts zero — it crossed no link.
+                if bypassed {
+                    self.counters.bypasses += 1;
+                }
                 Some(bypassed)
             };
 

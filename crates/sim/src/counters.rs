@@ -36,7 +36,9 @@ pub struct ActivityCounters {
     pub route_computations: u64,
     /// Lookahead signals sent to downstream routers.
     pub lookaheads_sent: u64,
-    /// Hops on which a flit bypassed buffering thanks to a winning lookahead.
+    /// Link traversals on which the flit bypassed buffering thanks to a
+    /// winning lookahead (a strict subset of `link_traversals`; local-port
+    /// ejections of a bypassing flit are not counted).
     pub bypasses: u64,
     /// Flow-control credits sent upstream.
     pub credits_sent: u64,
@@ -79,7 +81,11 @@ impl ActivityCounters {
         self.routers += other.routers;
     }
 
-    /// Fraction of hops that used the bypass path (0.0 when no hop occurred).
+    /// Fraction of router-to-router link traversals that used the bypass
+    /// path (0.0 when no link hop occurred). Always in `[0, 1]`: `bypasses`
+    /// is counted per link traversal, so a bypassing flit forked to `n`
+    /// links counts `n` of each, and one that only ejected locally counts
+    /// neither.
     ///
     /// The paper reports that with identical PRBS seeds the bypass rate at
     /// low load is noticeably below 1.0, which is why measured low-load
@@ -91,6 +97,7 @@ impl ActivityCounters {
         if hops == 0 {
             0.0
         } else {
+            debug_assert!(self.bypasses <= hops, "bypasses are a subset of hops");
             self.bypasses as f64 / hops as f64
         }
     }

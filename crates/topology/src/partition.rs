@@ -1,31 +1,153 @@
-//! Spatial partitioning of a k×k mesh into contiguous row strips.
+//! Spatial partitioning of a k×k mesh into contiguous row strips or 2-D
+//! tile grids.
 //!
 //! The partitioned `Network::step` shards the mesh across worker threads;
 //! this module answers the purely structural questions that sharding needs:
-//! which rows (and therefore which node ids) each partition owns, which
-//! partition a node belongs to, and which directed links cross a partition
-//! boundary.
+//! which rows and columns (and therefore which node ids) each partition owns,
+//! which partition a node belongs to, which partitions are grid neighbours,
+//! and which directed links cross a partition boundary.
 //!
-//! Row strips are the shape that makes the determinism contract cheap to
-//! keep. Node ids are row-major (`id = y·k + x`), so a strip of consecutive
-//! rows is a *contiguous node-id range*: iterating partitions in ascending
-//! order visits nodes in exactly the order a serial scan would, which is what
-//! lets counters and statistics merge in fixed partition order and still be
-//! bit-identical to the serial path. Every cross-partition link is a
-//! North/South link between adjacent strips, so a partition exchanges
-//! boundary traffic with at most two neighbours.
+//! Two shapes are supported, both products of axis-aligned cuts:
+//!
+//! - **Row strips** ([`PartitionMap::rows`]): node ids are row-major
+//!   (`id = y·k + x`), so a strip of consecutive rows is a *contiguous
+//!   node-id range* and every cut link is a North/South link between
+//!   adjacent strips.
+//! - **Tiles** ([`PartitionMap::tiles`]): the row axis *and* the column axis
+//!   are cut, producing a `rows × cols` grid of rectangular tiles. A tile's
+//!   nodes are no longer id-contiguous, but each tile still owns a
+//!   rectangular [`TileRegion`] with a fixed node-ascending local order, and
+//!   every cut link leaves through one of at most four grid neighbours.
+//!
+//! Both shapes also come in *weighted* variants
+//! ([`PartitionMap::weighted_rows`], [`PartitionMap::weighted_tiles`]) that
+//! place the cuts by a deterministic greedy prefix split over per-row /
+//! per-column activity weights: the cut positions are a pure function of
+//! `(k, parts, weights)`, never of thread scheduling, which is what lets the
+//! load-aware repartitioning upstream keep the partitioned ≡ serial
+//! bit-identity contract.
 
 use std::ops::Range;
 
-use noc_types::{Coord, Direction, NodeId, PartitionId};
+use noc_types::{Direction, NodeId, PartitionId};
 
 use crate::mesh::{Link, Mesh};
 
-/// A division of a k×k mesh into contiguous row-strip partitions.
+/// The rectangular node region owned by one partition of a [`PartitionMap`].
 ///
-/// Built with [`PartitionMap::rows`]; partition `p` owns rows
-/// `row_start(p) .. row_start(p + 1)` and therefore the contiguous node-id
-/// range [`node_range(p)`](PartitionMap::node_range).
+/// A region covers columns `col0..col1` of rows `row0..row1` in a k×k mesh.
+/// Its nodes have a fixed *local order* — row-major within the rectangle —
+/// which ascends with global node id, so walking a region's locals visits
+/// nodes in exactly the order a serial scan restricted to the region would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRegion {
+    k: u16,
+    row0: u16,
+    row1: u16,
+    col0: u16,
+    col1: u16,
+}
+
+impl TileRegion {
+    /// Side length of the mesh this region belongs to.
+    #[must_use]
+    pub fn side(&self) -> u16 {
+        self.k
+    }
+
+    /// First row of the region.
+    #[must_use]
+    pub fn row0(&self) -> u16 {
+        self.row0
+    }
+
+    /// One past the last row of the region.
+    #[must_use]
+    pub fn row1(&self) -> u16 {
+        self.row1
+    }
+
+    /// First column of the region.
+    #[must_use]
+    pub fn col0(&self) -> u16 {
+        self.col0
+    }
+
+    /// One past the last column of the region.
+    #[must_use]
+    pub fn col1(&self) -> u16 {
+        self.col1
+    }
+
+    /// Number of columns in the region.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        usize::from(self.col1 - self.col0)
+    }
+
+    /// Number of rows in the region.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        usize::from(self.row1 - self.row0)
+    }
+
+    /// Number of nodes in the region (always at least 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Always `false`: regions own at least one node by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether global node id `node` lies inside the region.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (x, y) = (node % self.k, node / self.k);
+        y >= self.row0 && y < self.row1 && x >= self.col0 && x < self.col1
+    }
+
+    /// Local index of global node `node` (row-major within the region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` lies outside the region.
+    #[must_use]
+    pub fn local_of(&self, node: NodeId) -> usize {
+        assert!(self.contains(node), "node {node} outside region {self:?}");
+        let (x, y) = (node % self.k, node / self.k);
+        usize::from(y - self.row0) * self.width() + usize::from(x - self.col0)
+    }
+
+    /// Global node id of local index `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= len()`.
+    #[must_use]
+    pub fn node_of(&self, local: usize) -> NodeId {
+        assert!(local < self.len(), "local {local} outside region {self:?}");
+        let y = self.row0 + (local / self.width()) as u16;
+        let x = self.col0 + (local % self.width()) as u16;
+        y * self.k + x
+    }
+
+    /// Iterates the region's global node ids in local (ascending) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(|local| self.node_of(local))
+    }
+}
+
+/// A division of a k×k mesh into an axis-aligned grid of rectangular
+/// partitions (row strips are the one-column special case).
+///
+/// Built with [`PartitionMap::rows`] / [`PartitionMap::tiles`] or their
+/// weighted variants. Partition `p` of a `rows × cols` grid sits at tile row
+/// `p / cols`, tile column `p % cols` and owns the [`TileRegion`] returned
+/// by [`region(p)`](PartitionMap::region).
 ///
 /// # Examples
 ///
@@ -39,14 +161,81 @@ use crate::mesh::{Link, Mesh};
 /// assert_eq!(map.node_range(1), 8..16);
 /// assert_eq!(map.partition_of(5), 0);
 /// assert_eq!(map.partition_of(12), 1);
+///
+/// let tiles = PartitionMap::tiles(&mesh, 2, 2);
+/// assert_eq!(tiles.len(), 4);
+/// assert_eq!(tiles.partition_of(0), 0);
+/// assert_eq!(tiles.partition_of(3), 1);
+/// assert_eq!(tiles.partition_of(15), 3);
 /// # Ok::<(), noc_types::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionMap {
     k: u16,
-    /// `row_starts[p] .. row_starts[p + 1]` are the rows of partition `p`;
-    /// length is `len() + 1` with `row_starts[len()] == k`.
+    /// `row_starts[r] .. row_starts[r + 1]` are the mesh rows of tile row
+    /// `r`; length is `tile_rows() + 1` with `row_starts[tile_rows()] == k`.
     row_starts: Vec<u16>,
+    /// `col_starts[c] .. col_starts[c + 1]` are the mesh columns of tile
+    /// column `c`; `[0, k]` for row strips.
+    col_starts: Vec<u16>,
+}
+
+/// Splits `0..len` into `parts` contiguous chunks by a deterministic greedy
+/// prefix walk over `weights`: each chunk takes lines while its accumulated
+/// weight stays within its fair share of the remaining weight, and every
+/// chunk keeps at least one line. Falls back to the balanced even split when
+/// the total weight is zero.
+fn split_axis_weighted(len: u16, parts: u16, weights: &[u64]) -> Vec<u16> {
+    debug_assert_eq!(weights.len(), usize::from(len));
+    debug_assert!((1..=len).contains(&parts));
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        return split_axis_even(len, parts);
+    }
+    let mut starts = Vec::with_capacity(usize::from(parts) + 1);
+    starts.push(0u16);
+    let mut start = 0u16;
+    let mut remaining_weight = total;
+    for p in 0..parts {
+        let remaining_parts = u128::from(parts - p);
+        let end = if p + 1 == parts {
+            len
+        } else {
+            // Each of the chunks still to be placed needs at least one line.
+            let max_end = len - (parts - p - 1);
+            let mut end = start + 1;
+            let mut acc = u128::from(weights[usize::from(start)]);
+            while end < max_end
+                && (acc + u128::from(weights[usize::from(end)])) * remaining_parts
+                    <= remaining_weight
+            {
+                acc += u128::from(weights[usize::from(end)]);
+                end += 1;
+            }
+            remaining_weight -= acc;
+            end
+        };
+        starts.push(end);
+        start = end;
+    }
+    debug_assert_eq!(*starts.last().unwrap(), len);
+    starts
+}
+
+/// The balanced even split of `0..len` into `parts` chunks: the first
+/// `len % parts` chunks get one extra line.
+fn split_axis_even(len: u16, parts: u16) -> Vec<u16> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut starts = Vec::with_capacity(usize::from(parts) + 1);
+    let mut at = 0u16;
+    starts.push(at);
+    for p in 0..parts {
+        at += base + u16::from(p < extra);
+        starts.push(at);
+    }
+    debug_assert_eq!(at, len);
+    starts
 }
 
 impl PartitionMap {
@@ -60,23 +249,81 @@ impl PartitionMap {
     pub fn rows(mesh: &Mesh, parts: usize) -> Self {
         let k = mesh.side();
         let parts = parts.clamp(1, usize::from(k)) as u16;
-        let base = k / parts;
-        let extra = k % parts;
-        let mut row_starts = Vec::with_capacity(usize::from(parts) + 1);
-        let mut row = 0u16;
-        row_starts.push(row);
-        for p in 0..parts {
-            row += base + u16::from(p < extra);
-            row_starts.push(row);
+        Self {
+            k,
+            row_starts: split_axis_even(k, parts),
+            col_starts: vec![0, k],
         }
-        debug_assert_eq!(row, k);
-        Self { k, row_starts }
     }
 
-    /// Number of partitions.
+    /// Splits `mesh` into a grid of at most `rows × cols` balanced tiles.
+    ///
+    /// Each axis is clamped to `1..=k` and split evenly (leading tile
+    /// rows/columns absorb the remainder, as in [`rows`](Self::rows)). The
+    /// grid depends only on `(k, rows, cols)`.
+    #[must_use]
+    pub fn tiles(mesh: &Mesh, rows: usize, cols: usize) -> Self {
+        let k = mesh.side();
+        let rows = rows.clamp(1, usize::from(k)) as u16;
+        let cols = cols.clamp(1, usize::from(k)) as u16;
+        Self {
+            k,
+            row_starts: split_axis_even(k, rows),
+            col_starts: split_axis_even(k, cols),
+        }
+    }
+
+    /// Splits `mesh` into at most `parts` row strips whose boundaries are
+    /// placed by per-node activity `weights` (indexed by node id, length
+    /// `k²`): each strip greedily takes rows while its accumulated weight
+    /// stays within its fair share of the remaining total, so hot rows get
+    /// narrow strips. Falls back to the even split when all weights are zero.
+    ///
+    /// The cut positions are a pure function of `(k, parts, weights)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != mesh.node_count()`.
+    #[must_use]
+    pub fn weighted_rows(mesh: &Mesh, parts: usize, weights: &[u64]) -> Self {
+        Self::weighted_tiles(mesh, parts, 1, weights)
+    }
+
+    /// Splits `mesh` into a grid of at most `rows × cols` tiles whose row
+    /// and column boundaries are placed independently by the per-row and
+    /// per-column sums of the per-node activity `weights` (indexed by node
+    /// id, length `k²`). See [`weighted_rows`](Self::weighted_rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != mesh.node_count()`.
+    #[must_use]
+    pub fn weighted_tiles(mesh: &Mesh, rows: usize, cols: usize, weights: &[u64]) -> Self {
+        let k = mesh.side();
+        assert_eq!(
+            weights.len(),
+            mesh.node_count(),
+            "one weight per node required"
+        );
+        let rows = rows.clamp(1, usize::from(k)) as u16;
+        let cols = cols.clamp(1, usize::from(k)) as u16;
+        let mut row_sums = vec![0u64; usize::from(k)];
+        let mut col_sums = vec![0u64; usize::from(k)];
+        for (node, &w) in weights.iter().enumerate() {
+            row_sums[node / usize::from(k)] = row_sums[node / usize::from(k)].saturating_add(w);
+            col_sums[node % usize::from(k)] = col_sums[node % usize::from(k)].saturating_add(w);
+        }
+        Self {
+            k,
+            row_starts: split_axis_weighted(k, rows, &row_sums),
+            col_starts: split_axis_weighted(k, cols, &col_sums),
+        }
+    }
+
+    /// Number of partitions (`tile_rows() × tile_cols()`).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.row_starts.len() - 1
+        self.tile_rows() * self.tile_cols()
     }
 
     /// Always `false`: a map owns at least one partition by construction
@@ -92,24 +339,66 @@ impl PartitionMap {
         self.k
     }
 
-    /// First row owned by partition `p` (equals the side length for
-    /// `p == len()`, the one-past-the-end sentinel).
+    /// Number of tile rows in the partition grid.
+    #[must_use]
+    pub fn tile_rows(&self) -> usize {
+        self.row_starts.len() - 1
+    }
+
+    /// Number of tile columns in the partition grid (1 for row strips).
+    #[must_use]
+    pub fn tile_cols(&self) -> usize {
+        self.col_starts.len() - 1
+    }
+
+    /// Whether this map is a pure row-strip split (one tile column), i.e.
+    /// every partition owns a contiguous node-id range.
+    #[must_use]
+    pub fn is_strips(&self) -> bool {
+        self.tile_cols() == 1
+    }
+
+    /// First row owned by tile row `p` (equals the side length for
+    /// `p == tile_rows()`, the one-past-the-end sentinel).
     ///
     /// # Panics
     ///
-    /// Panics if `p > len()`.
+    /// Panics if `p > tile_rows()`.
     #[must_use]
     pub fn row_start(&self, p: usize) -> u16 {
         self.row_starts[p]
     }
 
-    /// The contiguous node-id range owned by partition `p`.
+    /// The rectangular node region owned by partition `p`.
     ///
     /// # Panics
     ///
     /// Panics if `p >= len()`.
     #[must_use]
+    pub fn region(&self, p: usize) -> TileRegion {
+        assert!(p < self.len(), "partition {p} out of range");
+        let (r, c) = (p / self.tile_cols(), p % self.tile_cols());
+        TileRegion {
+            k: self.k,
+            row0: self.row_starts[r],
+            row1: self.row_starts[r + 1],
+            col0: self.col_starts[c],
+            col1: self.col_starts[c + 1],
+        }
+    }
+
+    /// The contiguous node-id range owned by strip partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len()` or if the map is a multi-column tile grid
+    /// (tile regions are not id-contiguous; use [`region`](Self::region)).
+    #[must_use]
     pub fn node_range(&self, p: usize) -> Range<usize> {
+        assert!(
+            self.is_strips(),
+            "node_range is only defined for row-strip maps; use region()"
+        );
         let k = usize::from(self.k);
         usize::from(self.row_starts[p]) * k..usize::from(self.row_starts[p + 1]) * k
     }
@@ -121,42 +410,65 @@ impl PartitionMap {
     /// Panics if `node` lies outside the mesh.
     #[must_use]
     pub fn partition_of(&self, node: NodeId) -> PartitionId {
-        let row = node / self.k;
-        assert!(
-            row < self.k,
-            "node {node} outside a {k}x{k} mesh",
-            k = self.k
-        );
-        // At most 16 partitions on a k<=16 mesh: a linear scan beats a
+        let (x, y) = (node % self.k, node / self.k);
+        assert!(y < self.k, "node {node} outside a {k}x{k} mesh", k = self.k);
+        // At most 16 cuts per axis on a k<=16 mesh: a linear scan beats a
         // binary search and the branch predictor learns it instantly.
-        let mut p = 0u16;
-        while self.row_starts[usize::from(p) + 1] <= row {
-            p += 1;
+        let mut r = 0usize;
+        while self.row_starts[r + 1] <= y {
+            r += 1;
         }
-        p
+        let mut c = 0usize;
+        while self.col_starts[c + 1] <= x {
+            c += 1;
+        }
+        (r * self.tile_cols() + c) as PartitionId
     }
 
-    /// Every directed link leaving partition `p` for another partition.
+    /// The grid neighbour of partition `p` one tile over in direction `dir`
+    /// (`None` at the grid edge). Because cuts are axis-aligned and span the
+    /// full mesh, every cut link leaving `p` in direction `dir` lands in
+    /// exactly this partition.
     ///
-    /// With row strips these are exactly the North links of `p`'s top row
-    /// and the South links of its bottom row — `k` links per interior
-    /// boundary side.
+    /// # Panics
+    ///
+    /// Panics if `p >= len()`.
+    #[must_use]
+    pub fn neighbor(&self, p: usize, dir: Direction) -> Option<PartitionId> {
+        assert!(p < self.len(), "partition {p} out of range");
+        let cols = self.tile_cols();
+        let (r, c) = (p / cols, p % cols);
+        let (nr, nc) = match dir {
+            Direction::North => (r.checked_add(1).filter(|&n| n < self.tile_rows())?, c),
+            Direction::South => (r.checked_sub(1)?, c),
+            Direction::East => (r, c.checked_add(1).filter(|&n| n < cols)?),
+            Direction::West => (r, c.checked_sub(1)?),
+        };
+        Some((nr * cols + nc) as PartitionId)
+    }
+
+    /// Every directed link leaving partition `p` for another partition, in
+    /// the deterministic order (owning node ascending, then direction in
+    /// port order).
+    ///
+    /// For row strips these are exactly the North links of `p`'s top row and
+    /// the South links of its bottom row; tile grids add the East/West links
+    /// of the vertical cuts.
     ///
     /// # Panics
     ///
     /// Panics if `p >= len()`.
     #[must_use]
     pub fn boundary_links(&self, mesh: &Mesh, p: usize) -> Vec<Link> {
-        assert!(p < self.len(), "partition {p} out of range");
+        let region = self.region(p);
         let mut links = Vec::new();
-        let (lo, hi) = (self.row_starts[p], self.row_starts[p + 1]);
-        for x in 0..self.k {
-            for (row, dir) in [(hi - 1, Direction::North), (lo, Direction::South)] {
-                let coord = Coord::new(x, row);
+        for node in region.nodes() {
+            let coord = mesh.coord_of(node);
+            for dir in Direction::ALL {
                 if let Some(next) = mesh.neighbor(coord, dir) {
                     if self.partition_of(mesh.id_of(next)) != p as PartitionId {
                         links.push(Link {
-                            from: mesh.id_of(coord),
+                            from: node,
                             to: mesh.id_of(next),
                             direction: dir,
                         });
@@ -195,6 +507,40 @@ mod tests {
     }
 
     #[test]
+    fn tile_regions_cover_the_mesh_exactly_once() {
+        for k in [1u16, 4, 5, 8, 16] {
+            let mesh = Mesh::new(k).unwrap();
+            for rows in 1..=3usize {
+                for cols in 1..=3usize {
+                    let map = PartitionMap::tiles(&mesh, rows, cols);
+                    let mut owner = vec![usize::MAX; mesh.node_count()];
+                    for p in 0..map.len() {
+                        let region = map.region(p);
+                        for (local, node) in region.nodes().enumerate() {
+                            assert_eq!(owner[usize::from(node)], usize::MAX, "double cover");
+                            owner[usize::from(node)] = p;
+                            assert_eq!(map.partition_of(node), p as PartitionId);
+                            assert_eq!(region.local_of(node), local);
+                            assert_eq!(region.node_of(local), node);
+                        }
+                    }
+                    assert!(owner.iter().all(|&p| p != usize::MAX), "full cover");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_local_order_ascends_with_global_node_id() {
+        let mesh = Mesh::new(8).unwrap();
+        let map = PartitionMap::tiles(&mesh, 2, 2);
+        for p in 0..map.len() {
+            let nodes: Vec<NodeId> = map.region(p).nodes().collect();
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]), "partition {p}");
+        }
+    }
+
+    #[test]
     fn balanced_split_spreads_the_remainder_over_leading_strips() {
         let mesh = Mesh::new(7).unwrap();
         let map = PartitionMap::rows(&mesh, 3);
@@ -209,6 +555,59 @@ mod tests {
         let mesh = Mesh::new(4).unwrap();
         assert_eq!(PartitionMap::rows(&mesh, 0).len(), 1);
         assert_eq!(PartitionMap::rows(&mesh, 9).len(), 4);
+        assert_eq!(PartitionMap::tiles(&mesh, 0, 9).len(), 4);
+        assert_eq!(PartitionMap::tiles(&mesh, 9, 9).len(), 16);
+    }
+
+    #[test]
+    fn weighted_rows_narrow_the_hot_strip() {
+        let mesh = Mesh::new(8).unwrap();
+        // All the weight on row 2: the strip containing it shrinks to that
+        // single row and the remaining strips share the cold rows.
+        let mut weights = vec![0u64; mesh.node_count()];
+        for x in 0..8usize {
+            weights[2 * 8 + x] = 1_000;
+        }
+        let map = PartitionMap::weighted_rows(&mesh, 4, &weights);
+        assert_eq!(map.len(), 4);
+        let hot = map.partition_of(2 * 8) as usize;
+        let hot_region = map.region(hot);
+        assert_eq!(hot_region.height(), 1, "hot strip shrinks to one row");
+        // Every node is still owned exactly once.
+        let mut seen = 0usize;
+        for p in 0..map.len() {
+            seen += map.region(p).len();
+        }
+        assert_eq!(seen, mesh.node_count());
+    }
+
+    #[test]
+    fn weighted_split_with_zero_weights_matches_the_even_split() {
+        let mesh = Mesh::new(8).unwrap();
+        let weights = vec![0u64; mesh.node_count()];
+        assert_eq!(
+            PartitionMap::weighted_tiles(&mesh, 2, 2, &weights),
+            PartitionMap::tiles(&mesh, 2, 2)
+        );
+        assert_eq!(
+            PartitionMap::weighted_rows(&mesh, 3, &weights),
+            PartitionMap::rows(&mesh, 3)
+        );
+    }
+
+    #[test]
+    fn grid_neighbors_follow_the_direction_convention() {
+        let mesh = Mesh::new(8).unwrap();
+        let map = PartitionMap::tiles(&mesh, 2, 2);
+        // Grid layout (tile row r = y band, tile col c = x band):
+        //   p0 = (r0,c0)  p1 = (r0,c1)
+        //   p2 = (r1,c0)  p3 = (r1,c1)
+        assert_eq!(map.neighbor(0, Direction::North), Some(2));
+        assert_eq!(map.neighbor(0, Direction::East), Some(1));
+        assert_eq!(map.neighbor(0, Direction::South), None);
+        assert_eq!(map.neighbor(0, Direction::West), None);
+        assert_eq!(map.neighbor(3, Direction::South), Some(1));
+        assert_eq!(map.neighbor(3, Direction::West), Some(2));
     }
 
     #[test]
@@ -236,6 +635,30 @@ mod tests {
         let mesh6 = Mesh::new(6).unwrap();
         let map6 = PartitionMap::rows(&mesh6, 3);
         assert_eq!(map6.boundary_links(&mesh6, 1).len(), 12);
+    }
+
+    #[test]
+    fn tile_boundary_links_include_the_vertical_cuts() {
+        let mesh = Mesh::new(4).unwrap();
+        let map = PartitionMap::tiles(&mesh, 2, 2);
+        // Each corner tile of a 2x2 grid on 4x4 has 2 East/West + 2
+        // North/South crossings.
+        for p in 0..4 {
+            let links = map.boundary_links(&mesh, p);
+            assert_eq!(links.len(), 4, "partition {p}");
+            let vertical = links
+                .iter()
+                .filter(|l| matches!(l.direction, Direction::East | Direction::West))
+                .count();
+            assert_eq!(vertical, 2, "partition {p} vertical cuts");
+            for link in &links {
+                assert_eq!(
+                    map.partition_of(link.to),
+                    map.neighbor(p, link.direction).unwrap(),
+                    "cut links land in the grid neighbour"
+                );
+            }
+        }
     }
 
     #[test]

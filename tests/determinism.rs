@@ -9,8 +9,8 @@
 //! bit-identically to a cold-constructed one.
 
 use noc_repro::noc::{
-    sweep, Network, NetworkVariant, NocConfig, ServingResult, ServingRunner, Simulation,
-    SimulationResult, SweepRunner,
+    sweep, Network, NetworkVariant, NocConfig, PartitionShape, ServingResult, ServingRunner,
+    Simulation, SimulationResult, SweepRunner,
 };
 use noc_repro::traffic::{SeedMode, SpatialPattern, TrafficMix};
 
@@ -260,6 +260,120 @@ fn partitioned_stepping_is_bit_identical_to_serial() {
                 "throughput statistics diverged at {threads} threads (nap {nic_idle_skip})"
             );
         }
+    }
+}
+
+#[test]
+fn tiled_and_rebalanced_stepping_is_bit_identical_to_serial() {
+    // The 2-D tile generalisation and the load-aware repartitioner are pure
+    // scheduling changes on top of the row-strip stepper: for every
+    // partition shape (row strips and 2-D tiles, so both horizontal and
+    // vertical boundary cuts), every step-thread count {1, 2, 4} and every
+    // rebalance setting, the mesh must reproduce the serial stepper's
+    // traffic bit for bit — across drain phases with injection disabled and
+    // through a mid-run rate change that forces the wake/catch-up and
+    // weight-migration paths.
+    let rate = 0.2;
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let mut serial = Network::new(config, rate).expect("valid configuration");
+    serial.set_measuring(true);
+    let variants: [(PartitionShape, Option<u64>); 6] = [
+        (PartitionShape::Rows(1), None),
+        (PartitionShape::Rows(2), Some(64)),
+        (PartitionShape::Rows(4), None),
+        (PartitionShape::Rows(4), Some(100)),
+        (PartitionShape::Tiles { rows: 2, cols: 2 }, None),
+        (PartitionShape::Tiles { rows: 2, cols: 2 }, Some(64)),
+    ];
+    let mut partitioned: Vec<Network> = variants
+        .into_iter()
+        .map(|(shape, epoch)| {
+            let mut network = Network::new(config, rate).expect("valid configuration");
+            network.set_partition_shape(shape).expect("valid shape");
+            network.set_rebalance_epoch(epoch);
+            network.set_measuring(true);
+            network
+        })
+        .collect();
+
+    let phases = [(200usize, true), (60, false), (120, true), (40, false)];
+    for (round, (steps, inject)) in phases.into_iter().enumerate() {
+        for _ in 0..steps {
+            serial.step(inject);
+            for network in &mut partitioned {
+                network.step(inject);
+                assert_eq!(
+                    network.in_flight_flits(),
+                    serial.in_flight_flits(),
+                    "in-flight flits diverged on {:?} (round {round})",
+                    network.partition_shape()
+                );
+            }
+        }
+        if round == 1 {
+            serial.set_rate(rate * 2.5);
+            for network in &mut partitioned {
+                network.set_rate(rate * 2.5);
+            }
+        }
+    }
+    // The per-node activity weights are simulated state too: every layout
+    // must agree on the total busy ledger, not just on the traffic.
+    let serial_busy: u64 = serial.partition_loads().iter().sum();
+    for network in &partitioned {
+        let shape = network.partition_shape();
+        assert_eq!(
+            network.injected_packets(),
+            serial.injected_packets(),
+            "injection streams diverged on {shape:?}"
+        );
+        assert_eq!(
+            network.counters(),
+            serial.counters(),
+            "activity counters diverged on {shape:?}"
+        );
+        assert_eq!(
+            network.partition_loads().iter().sum::<u64>(),
+            serial_busy,
+            "activity weights diverged on {shape:?}"
+        );
+        assert_eq!(
+            format!("{:?}", network.latency()),
+            format!("{:?}", serial.latency()),
+            "latency statistics diverged on {shape:?}"
+        );
+        assert_eq!(
+            format!("{:?}", network.throughput()),
+            format!("{:?}", serial.throughput()),
+            "throughput statistics diverged on {shape:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_tiled_rebalanced_resets_match_cold_serial_runs() {
+    // `reset(seed)` on a tiled, rebalancing simulation restores the
+    // *unweighted* cuts of the requested shape (a rebalance may have moved
+    // them mid-run) and must reproduce a cold serial run exactly — the
+    // property that lets sweep workers batch points on any layout.
+    let config = NocConfig::proposed_chip()
+        .unwrap()
+        .with_seed_mode(SeedMode::PerNode);
+    let mut warm = Simulation::new(config)
+        .expect("valid configuration")
+        .with_partition_shape(PartitionShape::Tiles { rows: 2, cols: 2 })
+        .expect("valid shape");
+    warm.set_rebalance_epoch(Some(64));
+    for (seed, rate) in [(0x0101u64, 0.04), (0xBEEF, 0.14), (0x7A5A, 0.24)] {
+        warm.reset(seed);
+        let warm_result = warm.run(rate, 150, 600).expect("valid rate");
+        let cold_result = run_once(config.with_base_seed(seed as u16), rate);
+        assert_eq!(
+            warm_result, cold_result,
+            "seed {seed:#x} rate {rate} diverged warm-tiled-rebalanced vs cold-serial"
+        );
     }
 }
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Profile-guided optimization build of the `repro` binary (ROADMAP item 4).
+#
+# Pipeline: build an instrumented `repro`, train it on `repro --quick all`
+# (every registered experiment, so the profile covers routers, NICs, the
+# partitioned stepper, the closed-loop layer and the sweep runner), merge
+# the raw profiles, rebuild with `-Cprofile-use`, then time the plain and
+# PGO binaries on the same workload and report the measured speedup.
+#
+# Measured speedup: run `tools/pgo.sh --record` on a host with a matching
+# llvm-profdata and the script fills in the line below from its own A/B
+# timing. The offline CI container cannot complete the pipeline — it ships
+# llvm-profdata 14, which rejects the raw-profile format emitted by rustc's
+# LLVM 22 ("unsupported instrumentation profile format version"), and the
+# vendored-shim build policy forbids installing `rustup component add
+# llvm-tools` — so the number is recorded from capable dev hosts only.
+# MEASURED_SPEEDUP: unrecorded (no host with llvm-tools has run --record yet)
+#
+# Requirements: an `llvm-profdata` whose major version matches rustc's LLVM
+# (`rustc -vV | grep LLVM`). The rustup `llvm-tools` component provides one
+# inside the sysroot; distro packages (`llvm-profdata-NN`) also work.
+#
+# Usage: tools/pgo.sh [--record] [--train-args "..."] [--bench-args "..."]
+#   --record       rewrite the MEASURED_SPEEDUP line above with this run's result
+#   --train-args   workload for profile collection (default: --quick all)
+#   --bench-args   workload for the final A/B timing (default: --quick stress16)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+record=0
+train_args="--quick all"
+bench_args="--quick stress16"
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --record) record=1 ;;
+        --train-args) train_args=$2; shift ;;
+        --bench-args) bench_args=$2; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+# ---------------------------------------------------------------- tooling
+# Find an llvm-profdata whose major version matches rustc's LLVM: raw
+# profiles are only readable by a merge tool at least as new as the
+# compiler that emitted them, and older tools fail with "unsupported
+# instrumentation profile format version".
+rustc_llvm=$(rustc -vV | sed -n 's/^LLVM version: \([0-9]*\).*/\1/p')
+sysroot=$(rustc --print sysroot)
+host=$(rustc -vV | sed -n 's/^host: //p')
+profdata=""
+for candidate in \
+    "$sysroot/lib/rustlib/$host/bin/llvm-profdata" \
+    "llvm-profdata-$rustc_llvm" \
+    "llvm-profdata"; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+        found_major=$("$candidate" merge --version 2>/dev/null \
+            | sed -n 's/.*LLVM version \([0-9]*\).*/\1/p' | head -n 1)
+        if [ "${found_major:-0}" -ge "$rustc_llvm" ]; then
+            profdata=$candidate
+            break
+        fi
+        echo "note: $candidate is LLVM ${found_major:-?}, need >= $rustc_llvm; skipping" >&2
+    fi
+done
+if [ -z "$profdata" ]; then
+    cat >&2 <<EOF
+error: no llvm-profdata matching rustc's LLVM $rustc_llvm found.
+Install the rustup llvm-tools component (rustup component add llvm-tools)
+or a distro llvm-$rustc_llvm package, then re-run. The offline CI container
+intentionally lacks both; PGO is a dev-host opt-in (see README "PGO builds").
+EOF
+    exit 2
+fi
+echo "using $profdata (rustc LLVM $rustc_llvm)"
+
+# ----------------------------------------------------------- instrumented
+profile_dir=target/pgo/profiles
+rm -rf "$profile_dir"
+mkdir -p "$profile_dir"
+echo "[1/4] building instrumented repro"
+RUSTFLAGS="-Cprofile-generate=$PWD/$profile_dir" \
+    cargo build --release -p noc-bench --bin repro --target-dir target/pgo-gen
+
+echo "[2/4] training on: repro $train_args"
+# shellcheck disable=SC2086 # train_args is a deliberate word-split list
+./target/pgo-gen/release/repro $train_args >/dev/null
+
+"$profdata" merge -o target/pgo/repro.profdata "$profile_dir"
+
+# -------------------------------------------------------------- optimized
+echo "[3/4] rebuilding with the merged profile"
+RUSTFLAGS="-Cprofile-use=$PWD/target/pgo/repro.profdata" \
+    cargo build --release -p noc-bench --bin repro --target-dir target/pgo
+
+# Plain binary for the A/B comparison, same codegen settings minus PGO.
+cargo build --release -p noc-bench --bin repro
+
+# ------------------------------------------------------------ measurement
+# Three timed runs each, best-of to shed scheduler noise; the workload is
+# deterministic so every run does identical work.
+time_best_ms() {
+    local binary=$1 best=; shift
+    for _ in 1 2 3; do
+        local start end elapsed
+        start=$(date +%s%N)
+        # shellcheck disable=SC2086 # bench_args is a deliberate word-split list
+        "$binary" $bench_args >/dev/null
+        end=$(date +%s%N)
+        elapsed=$(( (end - start) / 1000000 ))
+        if [ -z "$best" ] || [ "$elapsed" -lt "$best" ]; then
+            best=$elapsed
+        fi
+    done
+    echo "$best"
+}
+
+echo "[4/4] timing: repro $bench_args (best of 3)"
+plain_ms=$(time_best_ms ./target/release/repro)
+pgo_ms=$(time_best_ms ./target/pgo/release/repro)
+speedup=$(awk -v a="$plain_ms" -v b="$pgo_ms" 'BEGIN { printf "%.2f", a / b }')
+echo "plain: ${plain_ms} ms   pgo: ${pgo_ms} ms   speedup: ${speedup}x"
+echo "PGO binary: target/pgo/release/repro"
+
+if [ "$record" -eq 1 ]; then
+    stamp="${speedup}x on \`repro $bench_args\` (plain ${plain_ms} ms, pgo ${pgo_ms} ms)"
+    sed -i "s|^# MEASURED_SPEEDUP:.*|# MEASURED_SPEEDUP: $stamp|" "$0"
+    echo "recorded into $(basename "$0") header: $stamp"
+fi
